@@ -1,0 +1,36 @@
+//! `analysis` — the characterization and projection pipeline of Hestness et
+//! al. (PPoPP 2019), assembled from the workspace substrates:
+//!
+//! * [`characterize`]/[`sweep_domain`] — Figures 7–10 measurements over
+//!   [`modelzoo`] graphs via [`cgraph`]'s cost model (rayon-parallel).
+//! * [`fit_trends`] — the Table 2 asymptotic coefficients (γ, λ, µ, δ).
+//! * [`subbatch_analysis`] — the §5.2.1 / Figure 11 subbatch selection.
+//! * [`frontier_row`]/[`table3`] — the Table 3 frontier training
+//!   requirements, combining [`scaling`] projections with [`roofline`]
+//!   timing.
+//! * [`word_lm_case_study`] — the §6 / Table 5 parallelization case study on
+//!   top of [`parsim`].
+//! * [`hardware_sensitivity`] — the §6.2.3 design-space exploration: which
+//!   hardware resource helps which workload.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod casestudy;
+mod characterize;
+mod frontier;
+mod sensitivity;
+mod subbatch;
+mod trends;
+mod verify;
+
+pub use casestudy::{lstm_p_config, word_lm_case_study, CaseStudy, CaseStudyRow};
+pub use characterize::{
+    characterize, characterize_averaged, sweep_domain, sweep_domain_batches,
+    CharacterizationPoint,
+};
+pub use frontier::{frontier_row, table3, FrontierRow};
+pub use sensitivity::{hardware_sensitivity, hardware_variants, HardwareVariant, SensitivityPoint};
+pub use subbatch::{fig11_batches, subbatch_analysis, SubbatchAnalysis, SubbatchPoint};
+pub use trends::{fit_domain_trends, fit_trends, DomainTrends};
+pub use verify::{verify_first_order, ErrorStats, VerificationReport};

@@ -1,0 +1,170 @@
+//! Ablation benches for the design choices called out in DESIGN.md. Each
+//! compares alternatives head-to-head; the *reported quantity* (footprint,
+//! modeled step time) is printed once per run so the quality difference is
+//! visible next to the wall-clock cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Once;
+use std::time::Duration;
+
+use cgraph::{footprint, Scheduler};
+use modelzoo::{Domain, ModelConfig};
+use parsim::{ring_allreduce_seconds, tree_allreduce_seconds, CommConfig};
+use roofline::{per_op_step_time, Accelerator, CacheModel};
+use symath::Bindings;
+
+fn medium_model() -> modelzoo::ModelGraph {
+    ModelConfig::default_for(Domain::WordLm)
+        .with_target_params(100_000_000)
+        .build_training()
+}
+
+/// Ablation 1: footprint scheduler — program order vs greedy min-peak.
+fn ablate_footprint_scheduler(c: &mut Criterion) {
+    let model = medium_model();
+    let bindings = model.bindings_with_batch(64);
+    static REPORT: Once = Once::new();
+    REPORT.call_once(|| {
+        // Report on two structurally different graphs: the word LM (a long
+        // chain, where the schedulers tie) and the bidirectional speech
+        // encoder (heavy fan-out, where greedy's short-sightedness loses to
+        // program order — the reason Scheduler::Best exists).
+        for (name, domain) in [("wordlm", Domain::WordLm), ("speech", Domain::Speech)] {
+            let m = ModelConfig::default_for(domain)
+                .with_target_params(100_000_000)
+                .build_training();
+            let b = m.bindings_with_batch(64);
+            let po = footprint(&m.graph, &b, Scheduler::ProgramOrder).unwrap();
+            let gr = footprint(&m.graph, &b, Scheduler::GreedyMinPeak).unwrap();
+            eprintln!(
+                "[ablation] footprint {name}: program-order {:.3} GB vs greedy {:.3} GB",
+                po.peak_bytes as f64 / 1e9,
+                gr.peak_bytes as f64 / 1e9
+            );
+        }
+    });
+    let mut g = c.benchmark_group("ablate_footprint_scheduler");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+    for (name, sched) in [
+        ("program_order", Scheduler::ProgramOrder),
+        ("greedy_min_peak", Scheduler::GreedyMinPeak),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(footprint(&model.graph, &bindings, sched).unwrap().peak_bytes))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 2: cache model — algorithmic vs square-tile vs panel-stream
+/// (reproduces the §6.1 utilization drop).
+fn ablate_cache_model(c: &mut Criterion) {
+    let model = ModelConfig::WordLm(analysis::lstm_p_config()).build_training();
+    let bindings = model.bindings_with_batch(128);
+    let accel = Accelerator::v100_like();
+    static REPORT: Once = Once::new();
+    REPORT.call_once(|| {
+        for m in [CacheModel::Algorithmic, CacheModel::SquareTile, CacheModel::PanelStream] {
+            let t = per_op_step_time(&model.graph, &bindings, &accel, m).unwrap();
+            let stats = roofline::cache_aware_stats(&model.graph, &bindings, &accel, m).unwrap();
+            eprintln!(
+                "[ablation] cache {m:?}: {:.2} TB accessed, step {:.2} s, utilization {:.1}%",
+                stats.bytes / 1e12,
+                t.seconds,
+                100.0 * t.flop_utilization
+            );
+        }
+        eprintln!("[ablation] note: re-streamed traffic stays below each GEMM's compute");
+        eprintln!("[ablation] roofline at subbatch 128, so step time is traffic-insensitive");
+        eprintln!("[ablation] here; the utilization drop vs the whole-graph roofline (80%)");
+        eprintln!("[ablation] comes from memory-bound non-GEMM ops. See EXPERIMENTS.md.");
+    });
+    let mut g = c.benchmark_group("ablate_cache_model");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+    for (name, m) in [
+        ("algorithmic", CacheModel::Algorithmic),
+        ("square_tile", CacheModel::SquareTile),
+        ("panel_stream", CacheModel::PanelStream),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(per_op_step_time(&model.graph, &bindings, &accel, m).unwrap().seconds)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 3: symbolic evaluation — evaluating cached symbolic stats at a
+/// new batch vs rebuilding the whole graph.
+fn ablate_symbolic_eval(c: &mut Criterion) {
+    let cfg = ModelConfig::default_for(Domain::WordLm).with_target_params(100_000_000);
+    let model = cfg.build_training();
+    let stats = model.graph.stats();
+    let mut g = c.benchmark_group("ablate_symbolic_eval");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+    g.bench_function("eval_cached_symbolic", |b| {
+        let mut batch = 1.0;
+        b.iter(|| {
+            batch += 1.0;
+            black_box(
+                stats
+                    .flops
+                    .eval(&Bindings::new().with(modelzoo::BATCH_SYM, batch))
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("rebuild_graph_per_batch", |b| {
+        let mut batch = 1u64;
+        b.iter(|| {
+            batch += 1;
+            let m = cfg.build_training();
+            black_box(m.graph.stats().eval(&m.bindings_with_batch(batch)).unwrap().flops)
+        })
+    });
+    g.finish();
+}
+
+/// Ablation 4: allreduce algorithm — ring vs tree at the case-study scale.
+fn ablate_allreduce(c: &mut Criterion) {
+    let comm = CommConfig::default();
+    static REPORT: Once = Once::new();
+    REPORT.call_once(|| {
+        eprintln!(
+            "[ablation] allreduce of 33.6 GB over 1024 workers: ring {:.2} s vs tree {:.2} s",
+            ring_allreduce_seconds(33.6e9, 1024, &comm),
+            tree_allreduce_seconds(33.6e9, 1024, &comm)
+        );
+    });
+    let mut g = c.benchmark_group("ablate_allreduce");
+    g.bench_function("ring_model", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for n in 1..=1024u64 {
+                total += ring_allreduce_seconds(black_box(33.6e9), n, &comm);
+            }
+            black_box(total)
+        })
+    });
+    g.bench_function("tree_model", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for n in 1..=1024u64 {
+                total += tree_allreduce_seconds(black_box(33.6e9), n, &comm);
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablate_footprint_scheduler,
+    ablate_cache_model,
+    ablate_symbolic_eval,
+    ablate_allreduce
+);
+criterion_main!(ablations);

@@ -1,0 +1,115 @@
+//! Benches for the §6.2.3 extension features: precision casting, optimizer
+//! rewriting, gradient-compression scaling, and the hardware design-space
+//! exploration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Once;
+use std::time::Duration;
+
+use analysis::{hardware_sensitivity, hardware_variants, lstm_p_config};
+use cgraph::{apply_optimizer, build_training_step, cast_float_precision, DType, Optimizer};
+use modelzoo::{build_word_lm, ModelConfig};
+use parsim::{data_parallel_point_compressed, CommConfig, GradCompression, WorkerStep};
+use roofline::Accelerator;
+
+fn bench_cast_precision(c: &mut Criterion) {
+    let model = ModelConfig::WordLm(lstm_p_config()).build_training();
+    let mut g = c.benchmark_group("ext_cast_precision");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+    g.bench_function("lstm_p_to_f16", |b| {
+        b.iter_batched(
+            || model.graph.clone(),
+            |mut graph| {
+                cast_float_precision(&mut graph, DType::F16);
+                black_box(graph)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_optimizer_rewrite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_optimizer_rewrite");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+    for (name, opt) in [("momentum", Optimizer::Momentum), ("adam", Optimizer::Adam)] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut m = build_word_lm(&lstm_p_config());
+                    let step = build_training_step(&mut m.graph, m.loss).unwrap();
+                    (m, step)
+                },
+                |(mut m, step)| {
+                    apply_optimizer(&mut m.graph, &step, opt).unwrap();
+                    black_box(m)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_compression_sweep(c: &mut Criterion) {
+    let accel = Accelerator::v100_like();
+    let comm = CommConfig::default();
+    let worker = WorkerStep {
+        compute_seconds: 11.5,
+        alg_flops: 1.16e14,
+        gradient_bytes: 33.6e9,
+        samples_per_step: 128.0 * 80.0,
+    };
+    static REPORT: Once = Once::new();
+    REPORT.call_once(|| {
+        for (name, s) in [
+            ("f32", GradCompression::None),
+            ("int8", GradCompression::Int8),
+            ("ternary", GradCompression::Ternary),
+        ] {
+            let p = data_parallel_point_compressed(&worker, 256, 77e9, &accel, &comm, s);
+            eprintln!(
+                "[extension] compression {name} @256 workers: comm {:.2} s, epoch {:.1} days",
+                p.comm_seconds, p.epoch_days
+            );
+        }
+    });
+    c.bench_function("ext_compression_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for i in 0..=12u64 {
+                let p = data_parallel_point_compressed(
+                    &worker,
+                    1 << i,
+                    77e9,
+                    &accel,
+                    &comm,
+                    black_box(GradCompression::Int8),
+                );
+                total += p.epoch_days;
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_hardware_sensitivity(c: &mut Criterion) {
+    let model = ModelConfig::WordLm(lstm_p_config()).build_training();
+    let variants = hardware_variants();
+    let mut g = c.benchmark_group("ext_hardware_sensitivity");
+    g.sample_size(10).measurement_time(Duration::from_secs(15));
+    g.bench_function("lstm_p_design_space", |b| {
+        b.iter(|| black_box(hardware_sensitivity(&model, 128, &variants)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    extensions,
+    bench_cast_precision,
+    bench_optimizer_rewrite,
+    bench_compression_sweep,
+    bench_hardware_sensitivity
+);
+criterion_main!(extensions);

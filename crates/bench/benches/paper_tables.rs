@@ -1,0 +1,78 @@
+//! Criterion benches that regenerate the paper's tables (one bench per
+//! table). Each measures the end-to-end cost of producing the table's
+//! numbers from scratch; the printed results themselves are produced by the
+//! `tables` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use analysis::{fit_trends, frontier_row, sweep_domain_batches, word_lm_case_study};
+use modelzoo::Domain;
+use parsim::CommConfig;
+use roofline::Accelerator;
+use scaling::table1;
+
+fn table1_projection(c: &mut Criterion) {
+    c.bench_function("table1_projection", |b| {
+        b.iter(|| {
+            let rows = table1();
+            let projections: Vec<_> = rows.iter().map(|r| r.project()).collect();
+            black_box(projections)
+        })
+    });
+}
+
+fn table2_asymptotics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_asymptotics");
+    g.sample_size(10).measurement_time(Duration::from_secs(20));
+    // One representative recurrent domain and the CNN; full Table 2 runs in
+    // the `tables` binary.
+    for domain in [Domain::WordLm, Domain::ImageClassification] {
+        g.bench_function(domain.key(), |b| {
+            b.iter(|| {
+                let pts = sweep_domain_batches(
+                    black_box(domain),
+                    50_000_000,
+                    400_000_000,
+                    3,
+                    &[16, 128],
+                );
+                black_box(fit_trends(&pts))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn table3_frontier(c: &mut Criterion) {
+    let accel = Accelerator::v100_like();
+    let mut g = c.benchmark_group("table3_frontier");
+    g.sample_size(10).measurement_time(Duration::from_secs(20));
+    for domain in Domain::ALL {
+        g.bench_function(domain.key(), |b| {
+            b.iter(|| black_box(frontier_row(black_box(domain), &accel)))
+        });
+    }
+    g.finish();
+}
+
+fn table5_case_study(c: &mut Criterion) {
+    let accel = Accelerator::v100_like();
+    let comm = CommConfig::default();
+    let mut g = c.benchmark_group("table5_case_study");
+    g.sample_size(10).measurement_time(Duration::from_secs(20));
+    g.bench_function("word_lm", |b| {
+        b.iter(|| black_box(word_lm_case_study(&accel, &comm)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    tables,
+    table1_projection,
+    table2_asymptotics,
+    table3_frontier,
+    table5_case_study
+);
+criterion_main!(tables);

@@ -1,0 +1,105 @@
+//! Raw substrate performance: the symbolic engine, graph construction,
+//! autodiff, cost evaluation, and footprint simulation — the operations
+//! every analysis in this workspace is built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use cgraph::{build_training_step, footprint, Scheduler};
+use modelzoo::{build_word_lm, Domain, ModelConfig, WordLmConfig};
+use symath::{Bindings, Expr, Rat};
+
+fn symath_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("symath");
+    let h = Expr::sym("bench_h");
+    let v = Expr::sym("bench_v");
+    let b = Expr::sym("bench_b");
+    g.bench_function("polynomial_arith", |bch| {
+        bch.iter(|| {
+            // The word-LM cost form: q(16h²l + 2hv) per sample, batched.
+            let flops = (Expr::int(16) * h.pow(Rat::TWO) * Expr::int(2)
+                + Expr::int(2) * &h * &v)
+                * Expr::int(80)
+                * &b;
+            black_box(flops)
+        })
+    });
+    let expr = (Expr::int(16) * h.pow(Rat::TWO) * Expr::int(2) + Expr::int(2) * &h * &v)
+        * Expr::int(80)
+        * &b;
+    let bind = Bindings::new()
+        .with("bench_h", 8192.0)
+        .with("bench_v", 793471.0)
+        .with("bench_b", 128.0);
+    g.bench_function("eval", |bch| bch.iter(|| black_box(expr.eval(&bind).unwrap())));
+    g.bench_function("subst", |bch| {
+        bch.iter(|| black_box(expr.subst(symath::Symbol::new("bench_h"), &Expr::int(8192))))
+    });
+    g.finish();
+}
+
+fn graph_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph");
+    g.sample_size(20).measurement_time(Duration::from_secs(10));
+    let cfg = WordLmConfig {
+        vocab: 10_000,
+        hidden: 512,
+        layers: 2,
+        seq_len: 80,
+        projection: None,
+        tied_embedding: true,
+    };
+    g.bench_function("build_word_lm_forward", |b| {
+        b.iter(|| black_box(build_word_lm(&cfg)))
+    });
+    g.bench_function("autodiff_word_lm", |b| {
+        b.iter_batched(
+            || build_word_lm(&cfg),
+            |mut m| {
+                build_training_step(&mut m.graph, m.loss).unwrap();
+                black_box(m)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    let model = build_word_lm(&cfg).into_training();
+    g.bench_function("stats_symbolic", |b| b.iter(|| black_box(model.graph.stats())));
+    let stats = model.graph.stats();
+    let bindings = model.bindings_with_batch(128);
+    g.bench_function("stats_eval", |b| {
+        b.iter(|| black_box(stats.eval(&bindings).unwrap()))
+    });
+    g.bench_function("validate", |b| {
+        b.iter(|| black_box(model.graph.validate().is_ok()))
+    });
+    g.finish();
+}
+
+fn footprint_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("footprint");
+    g.sample_size(10).measurement_time(Duration::from_secs(15));
+    for (name, domain, params) in [
+        ("wordlm_100m", Domain::WordLm, 100_000_000u64),
+        ("resnet_50m", Domain::ImageClassification, 50_000_000),
+        ("speech_50m", Domain::Speech, 50_000_000),
+    ] {
+        let model = ModelConfig::default_for(domain)
+            .with_target_params(params)
+            .build_training();
+        let bindings = model.bindings_with_batch(32);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    footprint(&model.graph, &bindings, Scheduler::GreedyMinPeak)
+                        .unwrap()
+                        .peak_bytes,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(substrate, symath_ops, graph_construction, footprint_simulation);
+criterion_main!(substrate);

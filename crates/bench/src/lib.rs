@@ -1,0 +1,140 @@
+//! Shared report plumbing for the table/figure regenerators.
+
+#![warn(missing_docs)]
+
+
+/// A simple fixed-width text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Table {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with per-column widths; first column left-aligned.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                let pad = widths[i].saturating_sub(c.chars().count());
+                if i == 0 {
+                    line.push_str(c);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(c);
+                }
+                if i + 1 < cells.len() {
+                    line.push_str("  ");
+                }
+            }
+            line
+        };
+        let mut out = fmt_row(&self.headers);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float in engineering style with `digits` significant decimals.
+pub fn eng(value: f64, digits: usize) -> String {
+    if value == 0.0 {
+        return "0".into();
+    }
+    let magnitude = value.abs();
+    if (0.01..10_000.0).contains(&magnitude) {
+        format!("{value:.digits$}")
+    } else {
+        format!("{value:.digits$e}")
+    }
+}
+
+/// Format a ratio like `971x`.
+pub fn times(value: f64) -> String {
+    if value >= 100.0 {
+        format!("{value:.0}x")
+    } else {
+        format!("{value:.1}x")
+    }
+}
+
+/// Print a titled section header.
+pub fn section(title: impl std::fmt::Display) {
+    println!("\n=== {title} ===\n");
+}
+
+/// Parse a `--table N` / `--figure N` style CLI argument; `None` = all.
+pub fn parse_selector(flag: &str) -> Option<u32> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("{flag} expects a number")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["alpha", "1"]).row(["b", "22222"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].ends_with("22222"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn eng_formats_ranges() {
+        assert_eq!(eng(0.0, 2), "0");
+        assert_eq!(eng(3.25159, 2), "3.25");
+        assert_eq!(eng(1.5e13, 2), "1.50e13");
+    }
+
+    #[test]
+    fn times_formats() {
+        assert_eq!(times(971.2), "971x");
+        assert_eq!(times(6.6), "6.6x");
+    }
+}

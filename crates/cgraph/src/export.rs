@@ -1,0 +1,190 @@
+//! Graph introspection and export: op censuses, per-phase summaries, and
+//! Graphviz DOT rendering (the Catamount artifact's graph-inspection role).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::graph::Graph;
+use crate::op::Phase;
+use crate::tensor::TensorKind;
+
+/// Counts of ops by kind name and phase.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OpCensus {
+    /// `(kind label, phase)` → count.
+    pub counts: BTreeMap<(String, Phase), usize>,
+}
+
+impl OpCensus {
+    /// Total ops counted.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Ops in one phase.
+    pub fn phase_total(&self, phase: Phase) -> usize {
+        self.counts
+            .iter()
+            .filter(|((_, p), _)| *p == phase)
+            .map(|(_, c)| c)
+            .sum()
+    }
+
+    /// Render as sorted `kind phase count` lines.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for ((kind, phase), count) in &self.counts {
+            let _ = writeln!(out, "{kind:<24} {phase:?}: {count}");
+        }
+        out
+    }
+}
+
+/// Short label for an op kind (discriminant name only).
+fn kind_label(kind: &crate::op::OpKind) -> String {
+    let debug = format!("{kind:?}");
+    debug
+        .split([' ', '(', '{'])
+        .next()
+        .unwrap_or(&debug)
+        .to_owned()
+}
+
+impl Graph {
+    /// Count ops by kind and phase.
+    pub fn op_census(&self) -> OpCensus {
+        let mut census = OpCensus::default();
+        for op in self.ops() {
+            *census
+                .counts
+                .entry((kind_label(&op.kind), op.phase))
+                .or_insert(0) += 1;
+        }
+        census
+    }
+
+    /// Render the graph in Graphviz DOT format. Ops are boxes (colored by
+    /// phase), tensors are ellipses (weights shaded); edges follow dataflow.
+    /// Intended for small graphs or extracted subgraphs — a frontier LSTM
+    /// renders, but no one should have to look at it.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", escape(&self.name));
+        let _ = writeln!(out, "  rankdir=TB;");
+        for t in self.tensors() {
+            let (shape_attr, fill) = match t.kind {
+                TensorKind::Weight => ("ellipse", "lightblue"),
+                TensorKind::Input => ("ellipse", "lightyellow"),
+                TensorKind::OptimizerState => ("ellipse", "lightcyan"),
+                _ => ("ellipse", "white"),
+            };
+            let _ = writeln!(
+                out,
+                "  t{} [label=\"{}\\n{}\" shape={} style=filled fillcolor={}];",
+                t.id().index(),
+                escape(&t.name),
+                escape(&t.shape.to_string()),
+                shape_attr,
+                fill
+            );
+        }
+        for op in self.ops() {
+            let color = match op.phase {
+                Phase::Forward => "palegreen",
+                Phase::Backward => "lightsalmon",
+                Phase::Update => "plum",
+            };
+            let _ = writeln!(
+                out,
+                "  o{} [label=\"{}\" shape=box style=filled fillcolor={}];",
+                op.id().index(),
+                escape(&op.name),
+                color
+            );
+            for &i in &op.inputs {
+                let _ = writeln!(out, "  t{} -> o{};", i.index(), op.id().index());
+            }
+            for &o in &op.outputs {
+                let _ = writeln!(out, "  o{} -> t{};", op.id().index(), o.index());
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autodiff::build_training_step;
+    use crate::op::PointwiseFn;
+    use crate::tensor::DType;
+    use symath::Expr;
+
+    fn tiny() -> Graph {
+        let mut g = Graph::new("export\"test");
+        let b = Expr::sym("ex_b");
+        let x = g.input("x", [b.clone(), Expr::int(8)], DType::F32).unwrap();
+        let w = g.weight("w", [Expr::int(8), Expr::int(8)]).unwrap();
+        let h = g.matmul("fc", x, w, false, false).unwrap();
+        let h = g.unary("relu", PointwiseFn::Relu, h).unwrap();
+        let labels = g.input("y", [b], DType::I32).unwrap();
+        let loss = g.cross_entropy("loss", h, labels).unwrap();
+        build_training_step(&mut g, loss).unwrap();
+        g
+    }
+
+    #[test]
+    fn census_counts_every_op_once() {
+        let g = tiny();
+        let census = g.op_census();
+        assert_eq!(census.total(), g.ops().len());
+        assert!(census.phase_total(Phase::Forward) >= 3);
+        assert!(census.phase_total(Phase::Backward) >= 3);
+        assert_eq!(census.phase_total(Phase::Update), 1);
+        assert!(census.render().contains("MatMul"));
+    }
+
+    #[test]
+    fn census_kind_labels_strip_payloads() {
+        let g = tiny();
+        let census = g.op_census();
+        for (kind, _) in census.counts.keys() {
+            assert!(
+                !kind.contains('{') && !kind.contains(' '),
+                "label `{kind}` should be bare"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_mentions_every_node_and_escapes_quotes() {
+        let g = tiny();
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph \"export\\\"test\""));
+        for t in g.tensors() {
+            assert!(dot.contains(&format!("t{} ", t.id().index())));
+        }
+        for op in g.ops() {
+            assert!(dot.contains(&format!("o{} ", op.id().index())));
+        }
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_edge_count_matches_graph_arity() {
+        let g = tiny();
+        let dot = g.to_dot();
+        let expected: usize = g
+            .ops()
+            .iter()
+            .map(|o| o.inputs.len() + o.outputs.len())
+            .sum();
+        let arrows = dot.matches(" -> ").count();
+        assert_eq!(arrows, expected);
+    }
+}

@@ -1,0 +1,608 @@
+//! Minimal memory-footprint estimation (paper §2.1, §4.5).
+//!
+//! The paper defines *algorithmic memory footprint* as the minimum over all
+//! correct topological traversals of the maximum memory needed for all
+//! active tensors at any point of the traversal. Finding the true minimum is
+//! NP-hard in general; like the Catamount artifact we estimate it by
+//! simulating traversals:
+//!
+//! * [`Scheduler::ProgramOrder`] replays the construction order (what an
+//!   eager framework would do), and
+//! * [`Scheduler::GreedyMinPeak`] at each step runs the ready op that
+//!   minimizes the net change in live memory — a strong practical baseline
+//!   that the ablation bench compares against program order.
+//!
+//! Weights and weight-gradients are persistent for the whole step;
+//! activations and gradients are freed once their last consumer has run.
+
+use symath::{Bindings, UnboundSymbol};
+
+use crate::graph::Graph;
+use crate::op::{OpId, OpKind, PointwiseFn};
+
+/// Whether ops may overwrite a dying input instead of allocating a fresh
+/// output (paper §4.5: "Tensorflow optimizes to perform some ops on tensors
+/// in-place rather than allocating separate output tensors", which is why
+/// the paper's topological estimates slightly overestimate TF).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum InPlacePolicy {
+    /// Every op allocates fresh outputs (the paper's conservative default).
+    #[default]
+    Never,
+    /// Elementwise ops whose output matches a same-sized input that dies at
+    /// this op reuse its allocation.
+    Elementwise,
+}
+
+/// Traversal policy for the footprint simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scheduler {
+    /// Execute ops in construction order.
+    ProgramOrder,
+    /// Greedily execute the ready op with the smallest net memory delta.
+    /// Strong on graphs with reclaimable fan-out, but short-sighted
+    /// schedules can lose to program order (see the scheduler ablation).
+    GreedyMinPeak,
+    /// Run every heuristic and report the best (smallest-peak) traversal —
+    /// the closest estimate of the paper's minimum-over-traversals
+    /// definition.
+    Best,
+}
+
+/// Result of a footprint simulation.
+#[derive(Clone, Debug)]
+pub struct FootprintReport {
+    /// Peak bytes live at any point of the traversal.
+    pub peak_bytes: u64,
+    /// Bytes that stay allocated for the entire step (weights + weight
+    /// gradients).
+    pub persistent_bytes: u64,
+    /// The op order that achieved `peak_bytes`.
+    pub schedule: Vec<OpId>,
+}
+
+struct Sim<'g> {
+    graph: &'g Graph,
+    size: Vec<u64>,
+    refcount: Vec<usize>,
+    live: Vec<bool>,
+    mem: u64,
+    peak: u64,
+    in_place: InPlacePolicy,
+}
+
+/// Elementwise op kinds eligible for in-place execution: output overwrites
+/// an input of identical element count.
+fn in_place_eligible(kind: &OpKind) -> bool {
+    matches!(
+        kind,
+        OpKind::Pointwise(
+            PointwiseFn::Add
+                | PointwiseFn::Sub
+                | PointwiseFn::Mul
+                | PointwiseFn::Relu
+                | PointwiseFn::Sigmoid
+                | PointwiseFn::Tanh
+                | PointwiseFn::Exp
+                | PointwiseFn::Scale
+                | PointwiseFn::Copy
+        ) | OpKind::BiasAdd
+            | OpKind::PointwiseGrad(_)
+            | OpKind::SoftmaxGrad
+            | OpKind::Softmax
+    )
+}
+
+impl<'g> Sim<'g> {
+    fn new(
+        graph: &'g Graph,
+        bindings: &Bindings,
+        in_place: InPlacePolicy,
+    ) -> Result<Sim<'g>, UnboundSymbol> {
+        let n = graph.tensors().len();
+        let mut size = Vec::with_capacity(n);
+        for t in graph.tensors() {
+            size.push(t.bytes_u64(bindings)?);
+        }
+        let refcount: Vec<usize> = graph
+            .tensors()
+            .iter()
+            .map(|t| graph.consumers(t.id()).len())
+            .collect();
+        let mut sim = Sim {
+            graph,
+            size,
+            refcount,
+            live: vec![false; n],
+            mem: 0,
+            peak: 0,
+            in_place,
+        };
+        // Source tensors (no producer) are live from the start: weights are
+        // persistent, inputs are freed after their last consumer.
+        for t in graph.tensors() {
+            if graph.producer(t.id()).is_none() {
+                sim.alloc(t.id().index());
+            }
+        }
+        sim.peak = sim.mem;
+        Ok(sim)
+    }
+
+    fn alloc(&mut self, idx: usize) {
+        debug_assert!(!self.live[idx]);
+        self.live[idx] = true;
+        self.mem += self.size[idx];
+    }
+
+    fn free(&mut self, idx: usize) {
+        debug_assert!(self.live[idx]);
+        self.live[idx] = false;
+        self.mem -= self.size[idx];
+    }
+
+    fn persistent(&self, idx: usize) -> bool {
+        self.graph.tensors()[idx].kind.is_persistent()
+    }
+
+    /// Whether `op` executes in place under the active policy: a single
+    /// output whose bytes match a dying, non-persistent input.
+    fn runs_in_place(&self, op: OpId) -> bool {
+        if self.in_place != InPlacePolicy::Elementwise {
+            return false;
+        }
+        let op = self.graph.op(op);
+        if op.outputs.len() != 1 || !in_place_eligible(&op.kind) {
+            return false;
+        }
+        let out_size = self.size[op.outputs[0].index()];
+        op.inputs.iter().any(|&i| {
+            let idx = i.index();
+            self.size[idx] == out_size
+                && self.refcount[idx] == 1
+                && self.live[idx]
+                && !self.persistent(idx)
+        })
+    }
+
+    /// Bytes the op must allocate on execution (zero transient growth for
+    /// in-place ops).
+    fn alloc_bytes(&self, op_id: OpId) -> u64 {
+        if self.runs_in_place(op_id) {
+            return 0;
+        }
+        let op = self.graph.op(op_id);
+        op.outputs.iter().map(|&o| self.size[o.index()]).sum()
+    }
+
+    /// Net memory delta of running `op` now (allocations minus frees),
+    /// without mutating state.
+    fn delta(&self, op: OpId) -> i128 {
+        let alloc = self.alloc_bytes(op) as i128;
+        let op_ref = self.graph.op(op);
+        let mut d: i128 = alloc;
+        for &o in &op_ref.outputs {
+            // Outputs nobody consumes are freed right away unless persistent.
+            if self.graph.consumers(o).is_empty() && !self.persistent(o.index()) {
+                d -= self.size[o.index()] as i128;
+            }
+        }
+        let in_place = self.runs_in_place(op);
+        let mut reused = false;
+        let out_size = op_ref
+            .outputs
+            .first()
+            .map(|&o| self.size[o.index()])
+            .unwrap_or(0);
+        for &i in &op_ref.inputs {
+            let idx = i.index();
+            if self.refcount[idx] == 1 && !self.persistent(idx) && self.live[idx] {
+                // The reused input's storage becomes the output's: it is not
+                // freed (once).
+                if in_place && !reused && self.size[idx] == out_size {
+                    reused = true;
+                    continue;
+                }
+                d -= self.size[idx] as i128;
+            }
+        }
+        d
+    }
+
+    /// Peak memory reached *during* `op` (outputs allocated before inputs
+    /// can be released).
+    fn transient_peak(&self, op: OpId) -> u64 {
+        self.mem + self.alloc_bytes(op)
+    }
+
+    fn run(&mut self, op_id: OpId) {
+        self.peak = self.peak.max(self.transient_peak(op_id));
+        let in_place = self.runs_in_place(op_id);
+        let op = self.graph.op(op_id).clone();
+        let out_size = op
+            .outputs
+            .first()
+            .map(|&o| self.size[o.index()])
+            .unwrap_or(0);
+        for &o in &op.outputs {
+            self.alloc(o.index());
+        }
+        if in_place {
+            // The output storage is the reused input's: cancel the growth.
+            self.mem -= out_size;
+        }
+        let mut reused = false;
+        for &i in &op.inputs {
+            let idx = i.index();
+            debug_assert!(self.refcount[idx] > 0);
+            self.refcount[idx] -= 1;
+            if self.refcount[idx] == 0 && !self.persistent(idx) && self.live[idx] {
+                if in_place && !reused && self.size[idx] == out_size {
+                    // Its bytes live on as the output; mark dead without
+                    // releasing memory (already accounted above).
+                    reused = true;
+                    self.live[idx] = false;
+                    continue;
+                }
+                self.free(idx);
+            }
+        }
+        for &o in &op.outputs {
+            let idx = o.index();
+            if self.refcount[idx] == 0 && !self.persistent(idx) {
+                self.free(idx);
+            }
+        }
+        self.peak = self.peak.max(self.mem);
+    }
+}
+
+/// Simulate a traversal of `graph` under `bindings` and report the footprint
+/// (conservative: every op allocates fresh outputs).
+pub fn footprint(
+    graph: &Graph,
+    bindings: &Bindings,
+    scheduler: Scheduler,
+) -> Result<FootprintReport, UnboundSymbol> {
+    footprint_with(graph, bindings, scheduler, InPlacePolicy::Never)
+}
+
+/// [`footprint`] with an explicit in-place policy.
+pub fn footprint_with(
+    graph: &Graph,
+    bindings: &Bindings,
+    scheduler: Scheduler,
+    in_place: InPlacePolicy,
+) -> Result<FootprintReport, UnboundSymbol> {
+    let mut sim = Sim::new(graph, bindings, in_place)?;
+    let persistent_bytes: u64 = graph
+        .tensors()
+        .iter()
+        .filter(|t| t.kind.is_persistent())
+        .map(|t| sim.size[t.id().index()])
+        .sum();
+
+    let schedule = match scheduler {
+        Scheduler::ProgramOrder => {
+            let order: Vec<OpId> = graph.ops().iter().map(|o| o.id()).collect();
+            for &op in &order {
+                sim.run(op);
+            }
+            order
+        }
+        Scheduler::GreedyMinPeak => greedy_schedule(graph, &mut sim),
+        Scheduler::Best => {
+            let program = footprint_with(graph, bindings, Scheduler::ProgramOrder, in_place)?;
+            let greedy = footprint_with(graph, bindings, Scheduler::GreedyMinPeak, in_place)?;
+            return Ok(if greedy.peak_bytes <= program.peak_bytes {
+                greedy
+            } else {
+                program
+            });
+        }
+    };
+
+    Ok(FootprintReport {
+        peak_bytes: sim.peak,
+        persistent_bytes,
+        schedule,
+    })
+}
+
+fn greedy_schedule(graph: &Graph, sim: &mut Sim<'_>) -> Vec<OpId> {
+    let n_ops = graph.ops().len();
+    // Dependency counts: number of producer ops that must run first.
+    let mut deps = vec![0usize; n_ops];
+    for op in graph.ops() {
+        let mut count = 0;
+        for &i in &op.inputs {
+            if graph.producer(i).is_some() {
+                count += 1;
+            }
+        }
+        deps[op.id().index()] = count;
+    }
+    // dependents[o] = ops consuming any output of o (with multiplicity of
+    // distinct producer edges handled via dedup below).
+    let mut ready: Vec<OpId> = graph
+        .ops()
+        .iter()
+        .filter(|o| deps[o.id().index()] == 0)
+        .map(|o| o.id())
+        .collect();
+    let mut schedule = Vec::with_capacity(n_ops);
+    let mut done = vec![false; n_ops];
+
+    while !ready.is_empty() {
+        // Pick the ready op with the smallest net delta; break ties by the
+        // smaller transient peak, then by program order (stability).
+        let mut best = 0;
+        let mut best_key = (i128::MAX, u64::MAX, u32::MAX);
+        for (pos, &op) in ready.iter().enumerate() {
+            let key = (sim.delta(op), sim.transient_peak(op), op.0);
+            if key < best_key {
+                best_key = key;
+                best = pos;
+            }
+        }
+        let op = ready.swap_remove(best);
+        sim.run(op);
+        done[op.index()] = true;
+        schedule.push(op);
+        // Unlock dependents: an op becomes ready when all producer-backed
+        // inputs are done.
+        for &out in &graph.op(op).outputs {
+            for &consumer in graph.consumers(out) {
+                if done[consumer.index()] {
+                    continue;
+                }
+                let c = graph.op(consumer);
+                let all_ready = c.inputs.iter().all(|&i| match graph.producer(i) {
+                    None => true,
+                    Some(p) => done[p.index()],
+                });
+                if all_ready && !ready.contains(&consumer) {
+                    ready.push(consumer);
+                }
+            }
+        }
+    }
+    assert_eq!(
+        schedule.len(),
+        n_ops,
+        "greedy scheduler failed to schedule every op (cycle?)"
+    );
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autodiff::build_training_step;
+    use crate::graph::Graph;
+    use crate::op::PointwiseFn;
+    use crate::tensor::DType;
+    use symath::Expr;
+
+    fn chain_graph() -> Graph {
+        // x(1MB) -> relu -> relu -> relu ; all activations 1MB
+        let mut g = Graph::new("chain");
+        let x = g
+            .input("x", [Expr::int(256), Expr::int(1024)], DType::F32)
+            .unwrap();
+        let mut t = x;
+        for i in 0..3 {
+            t = g.unary(&format!("relu{i}"), PointwiseFn::Relu, t).unwrap();
+        }
+        g
+    }
+
+    const MB: u64 = 256 * 1024 * 4;
+
+    #[test]
+    fn chain_peak_is_two_tensors() {
+        let g = chain_graph();
+        let r = footprint(&g, &Bindings::new(), Scheduler::ProgramOrder).unwrap();
+        // At any point: one live input + one output being produced.
+        assert_eq!(r.peak_bytes, 2 * MB);
+        assert_eq!(r.persistent_bytes, 0);
+        assert_eq!(r.schedule.len(), 3);
+    }
+
+    #[test]
+    fn weights_are_persistent() {
+        let mut g = Graph::new("wp");
+        let x = g.input("x", [Expr::int(4), Expr::int(8)], DType::F32).unwrap();
+        let w = g.weight("w", [Expr::int(8), Expr::int(8)]).unwrap();
+        let _y = g.matmul("mm", x, w, false, false).unwrap();
+        let r = footprint(&g, &Bindings::new(), Scheduler::ProgramOrder).unwrap();
+        assert_eq!(r.persistent_bytes, 8 * 8 * 4);
+        // Peak: w (persistent) + x + y live simultaneously.
+        assert_eq!(r.peak_bytes, (8 * 8 + 4 * 8 + 4 * 8) * 4);
+    }
+
+    #[test]
+    fn greedy_never_beats_validity_and_not_worse_than_double() {
+        // Diamond: x -> (a, b) -> join. Greedy and program order both valid.
+        let mut g = Graph::new("diamond");
+        let x = g
+            .input("x", [Expr::int(128), Expr::int(128)], DType::F32)
+            .unwrap();
+        let a = g.unary("a", PointwiseFn::Relu, x).unwrap();
+        let b = g.unary("b", PointwiseFn::Tanh, x).unwrap();
+        let _j = g.binary("join", PointwiseFn::Add, a, b).unwrap();
+        let po = footprint(&g, &Bindings::new(), Scheduler::ProgramOrder).unwrap();
+        let gr = footprint(&g, &Bindings::new(), Scheduler::GreedyMinPeak).unwrap();
+        assert!(gr.peak_bytes <= po.peak_bytes);
+        assert_eq!(gr.schedule.len(), 3);
+    }
+
+    #[test]
+    fn activations_held_for_backward_raise_footprint() {
+        // Training graph must keep forward activations live until backward.
+        let mut g = Graph::new("train");
+        let bsym = Expr::int(32);
+        let x = g.input("x", [bsym.clone(), Expr::int(64)], DType::F32).unwrap();
+        let mut t = x;
+        for i in 0..4 {
+            let w = g.weight(format!("w{i}"), [Expr::int(64), Expr::int(64)]).unwrap();
+            t = g.matmul(&format!("fc{i}"), t, w, false, false).unwrap();
+            t = g.unary(&format!("relu{i}"), PointwiseFn::Relu, t).unwrap();
+        }
+        let labels = g.input("labels", [bsym], DType::I32).unwrap();
+        let fwd_only = footprint(&g, &Bindings::new(), Scheduler::ProgramOrder).unwrap();
+        let loss = g.cross_entropy("loss", t, labels).unwrap();
+        build_training_step(&mut g, loss).unwrap();
+        let train = footprint(&g, &Bindings::new(), Scheduler::ProgramOrder).unwrap();
+        assert!(
+            train.peak_bytes > fwd_only.peak_bytes,
+            "training footprint {} must exceed inference footprint {}",
+            train.peak_bytes,
+            fwd_only.peak_bytes
+        );
+        // Weight gradients are freed after their updates, so they do not add
+        // to the persistent set — only the weights persist.
+        assert_eq!(train.persistent_bytes, fwd_only.persistent_bytes);
+        // But the peak must cover weights plus at least one full gradient.
+        assert!(train.peak_bytes > 2 * train.persistent_bytes);
+    }
+
+    #[test]
+    fn greedy_schedules_all_ops_of_training_graph() {
+        let mut g = Graph::new("train2");
+        let x = g.input("x", [Expr::int(8), Expr::int(16)], DType::F32).unwrap();
+        let w1 = g.weight("w1", [Expr::int(16), Expr::int(16)]).unwrap();
+        let h = g.matmul("fc1", x, w1, false, false).unwrap();
+        let h = g.unary("tanh", PointwiseFn::Tanh, h).unwrap();
+        let labels = g.input("labels", [Expr::int(8)], DType::I32).unwrap();
+        let loss = g.cross_entropy("loss", h, labels).unwrap();
+        build_training_step(&mut g, loss).unwrap();
+        let r = footprint(&g, &Bindings::new(), Scheduler::GreedyMinPeak).unwrap();
+        assert_eq!(r.schedule.len(), g.ops().len());
+    }
+
+    #[test]
+    fn best_scheduler_dominates_both_heuristics() {
+        let mut g = Graph::new("best");
+        let x = g
+            .input("x", [Expr::int(64), Expr::int(64)], DType::F32)
+            .unwrap();
+        let a = g.unary("a", PointwiseFn::Relu, x).unwrap();
+        let b = g.unary("b", PointwiseFn::Tanh, x).unwrap();
+        let _j = g.binary("join", PointwiseFn::Add, a, b).unwrap();
+        let po = footprint(&g, &Bindings::new(), Scheduler::ProgramOrder).unwrap();
+        let gr = footprint(&g, &Bindings::new(), Scheduler::GreedyMinPeak).unwrap();
+        let best = footprint(&g, &Bindings::new(), Scheduler::Best).unwrap();
+        assert_eq!(best.peak_bytes, po.peak_bytes.min(gr.peak_bytes));
+    }
+
+    #[test]
+    fn footprint_scales_with_batch_binding() {
+        let mut g = Graph::new("scale");
+        let b = Expr::sym("fp_b");
+        let x = g.input("x", [b, Expr::int(1024)], DType::F32).unwrap();
+        let _y = g.unary("relu", PointwiseFn::Relu, x).unwrap();
+        let r1 = footprint(&g, &Bindings::new().with("fp_b", 1.0), Scheduler::ProgramOrder).unwrap();
+        let r4 = footprint(&g, &Bindings::new().with("fp_b", 4.0), Scheduler::ProgramOrder).unwrap();
+        assert_eq!(r4.peak_bytes, 4 * r1.peak_bytes);
+    }
+}
+
+#[cfg(test)]
+mod in_place_tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::op::PointwiseFn;
+    use crate::tensor::DType;
+    use symath::Expr;
+
+    const MB: u64 = 256 * 1024 * 4;
+
+    #[test]
+    fn relu_chain_runs_in_one_buffer() {
+        // x -> relu -> relu -> relu: with in-place execution the whole chain
+        // needs a single 1 MB buffer; the conservative model needs two.
+        let mut g = Graph::new("ipchain");
+        let x = g
+            .input("x", [Expr::int(256), Expr::int(1024)], DType::F32)
+            .unwrap();
+        let mut t = x;
+        for i in 0..3 {
+            t = g.unary(&format!("relu{i}"), PointwiseFn::Relu, t).unwrap();
+        }
+        let never = footprint_with(&g, &Bindings::new(), Scheduler::ProgramOrder, InPlacePolicy::Never)
+            .unwrap();
+        let ip = footprint_with(
+            &g,
+            &Bindings::new(),
+            Scheduler::ProgramOrder,
+            InPlacePolicy::Elementwise,
+        )
+        .unwrap();
+        assert_eq!(never.peak_bytes, 2 * MB);
+        assert_eq!(ip.peak_bytes, MB);
+    }
+
+    #[test]
+    fn fanout_blocks_in_place_reuse() {
+        // x feeds two consumers: the first cannot overwrite it.
+        let mut g = Graph::new("ipfan");
+        let x = g
+            .input("x", [Expr::int(256), Expr::int(1024)], DType::F32)
+            .unwrap();
+        let a = g.unary("a", PointwiseFn::Relu, x).unwrap();
+        let _b = g.binary("join", PointwiseFn::Add, a, x).unwrap();
+        let ip = footprint_with(
+            &g,
+            &Bindings::new(),
+            Scheduler::ProgramOrder,
+            InPlacePolicy::Elementwise,
+        )
+        .unwrap();
+        // `a` must allocate (x still live for join); join may reuse.
+        assert_eq!(ip.peak_bytes, 2 * MB);
+    }
+
+    #[test]
+    fn matmul_never_runs_in_place() {
+        let mut g = Graph::new("ipmm");
+        let x = g
+            .input("x", [Expr::int(512), Expr::int(512)], DType::F32)
+            .unwrap();
+        let w = g.weight("w", [Expr::int(512), Expr::int(512)]).unwrap();
+        let _y = g.matmul("mm", x, w, false, false).unwrap();
+        let never =
+            footprint_with(&g, &Bindings::new(), Scheduler::ProgramOrder, InPlacePolicy::Never)
+                .unwrap();
+        let ip = footprint_with(
+            &g,
+            &Bindings::new(),
+            Scheduler::ProgramOrder,
+            InPlacePolicy::Elementwise,
+        )
+        .unwrap();
+        assert_eq!(never.peak_bytes, ip.peak_bytes);
+    }
+
+    #[test]
+    fn in_place_never_exceeds_conservative_on_training_graphs() {
+        use crate::autodiff::build_training_step;
+        let mut g = Graph::new("iptrain");
+        let b = Expr::sym("ip_b");
+        let mut t = g.input("x", [b.clone(), Expr::int(64)], DType::F32).unwrap();
+        for i in 0..3 {
+            let w = g.weight(format!("w{i}"), [Expr::int(64), Expr::int(64)]).unwrap();
+            t = g.matmul(&format!("fc{i}"), t, w, false, false).unwrap();
+            t = g.unary(&format!("act{i}"), PointwiseFn::Tanh, t).unwrap();
+        }
+        let labels = g.input("y", [b], DType::I32).unwrap();
+        let loss = g.cross_entropy("loss", t, labels).unwrap();
+        build_training_step(&mut g, loss).unwrap();
+        let bind = Bindings::new().with("ip_b", 32.0);
+        let never = footprint_with(&g, &bind, Scheduler::Best, InPlacePolicy::Never).unwrap();
+        let ip =
+            footprint_with(&g, &bind, Scheduler::Best, InPlacePolicy::Elementwise).unwrap();
+        assert!(ip.peak_bytes <= never.peak_bytes);
+        assert!(ip.peak_bytes > 0);
+    }
+}

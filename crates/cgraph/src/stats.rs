@@ -1,0 +1,223 @@
+//! Whole-graph algorithmic cost queries.
+//!
+//! These implement the paper's §2.1 quantities for an entire training-step
+//! graph: algorithmic FLOPs, algorithmic bytes accessed, algorithmic IO, and
+//! the derived operational intensity. Everything is symbolic; bind a
+//! [`symath::Bindings`] to obtain numbers.
+
+use symath::{Bindings, Expr, UnboundSymbol};
+
+use crate::graph::Graph;
+use crate::op::{op_bytes, op_flops, Op, Phase};
+use crate::tensor::{Tensor, TensorKind};
+
+/// Symbolic cost summary of a graph.
+#[derive(Clone, Debug)]
+pub struct GraphStats {
+    /// Algorithmic FLOPs per training step (all phases).
+    pub flops: Expr,
+    /// Forward-phase FLOPs only.
+    pub flops_forward: Expr,
+    /// Backward-phase FLOPs only.
+    pub flops_backward: Expr,
+    /// Algorithmic bytes read + written per training step.
+    pub bytes: Expr,
+    /// Bytes read only.
+    pub bytes_read: Expr,
+    /// Bytes written only.
+    pub bytes_written: Expr,
+    /// Trainable parameter count.
+    pub params: Expr,
+    /// Algorithmic IO: bytes of training data consumed per step.
+    pub io: Expr,
+}
+
+impl GraphStats {
+    /// Operational intensity `flops / bytes` as a symbolic expression.
+    pub fn operational_intensity(&self) -> Expr {
+        self.flops.clone() / self.bytes.clone()
+    }
+
+    /// Evaluate all quantities under `bindings`.
+    pub fn eval(&self, bindings: &Bindings) -> Result<NumericStats, UnboundSymbol> {
+        Ok(NumericStats {
+            flops: self.flops.eval(bindings)?,
+            flops_forward: self.flops_forward.eval(bindings)?,
+            flops_backward: self.flops_backward.eval(bindings)?,
+            bytes: self.bytes.eval(bindings)?,
+            bytes_read: self.bytes_read.eval(bindings)?,
+            bytes_written: self.bytes_written.eval(bindings)?,
+            params: self.params.eval(bindings)?,
+            io: self.io.eval(bindings)?,
+        })
+    }
+}
+
+/// Numeric cost summary (see [`GraphStats`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NumericStats {
+    /// Algorithmic FLOPs per training step.
+    pub flops: f64,
+    /// Forward-phase FLOPs.
+    pub flops_forward: f64,
+    /// Backward-phase FLOPs.
+    pub flops_backward: f64,
+    /// Algorithmic bytes accessed per step.
+    pub bytes: f64,
+    /// Bytes read.
+    pub bytes_read: f64,
+    /// Bytes written.
+    pub bytes_written: f64,
+    /// Trainable parameters.
+    pub params: f64,
+    /// Training-data bytes per step.
+    pub io: f64,
+}
+
+impl NumericStats {
+    /// Operational intensity `flops / bytes` (FLOP/B).
+    pub fn operational_intensity(&self) -> f64 {
+        self.flops / self.bytes
+    }
+}
+
+impl Graph {
+    fn resolve<'a>(&'a self, op: &Op) -> (Vec<&'a Tensor>, Vec<&'a Tensor>) {
+        let ins = op.inputs.iter().map(|&t| self.tensor(t)).collect();
+        let outs = op.outputs.iter().map(|&t| self.tensor(t)).collect();
+        (ins, outs)
+    }
+
+    /// Algorithmic FLOPs of a single op.
+    pub fn op_flops(&self, op: &Op) -> Expr {
+        let (ins, outs) = self.resolve(op);
+        op_flops(&op.kind, &ins, &outs)
+    }
+
+    /// Algorithmic bytes `(read, written)` of a single op.
+    pub fn op_bytes(&self, op: &Op) -> (Expr, Expr) {
+        let (ins, outs) = self.resolve(op);
+        op_bytes(&op.kind, &ins, &outs)
+    }
+
+    /// Trainable parameter count (elements of all `Weight` tensors).
+    pub fn params(&self) -> Expr {
+        self.tensors()
+            .iter()
+            .filter(|t| t.kind == TensorKind::Weight)
+            .map(|t| t.shape.elements())
+            .sum()
+    }
+
+    /// Algorithmic IO: bytes of `Input` tensors consumed per step.
+    pub fn io_bytes(&self) -> Expr {
+        self.tensors()
+            .iter()
+            .filter(|t| t.kind == TensorKind::Input)
+            .map(|t| t.bytes())
+            .sum()
+    }
+
+    /// Compute the full symbolic cost summary.
+    pub fn stats(&self) -> GraphStats {
+        let mut flops = Expr::zero();
+        let mut flops_forward = Expr::zero();
+        let mut flops_backward = Expr::zero();
+        let mut bytes_read = Expr::zero();
+        let mut bytes_written = Expr::zero();
+        for op in self.ops() {
+            let f = self.op_flops(op);
+            match op.phase {
+                Phase::Forward => flops_forward = flops_forward + &f,
+                Phase::Backward => flops_backward = flops_backward + &f,
+                Phase::Update => {}
+            }
+            flops = flops + f;
+            let (r, w) = self.op_bytes(op);
+            bytes_read = bytes_read + r;
+            bytes_written = bytes_written + w;
+        }
+        GraphStats {
+            flops,
+            flops_forward,
+            flops_backward,
+            bytes: bytes_read.clone() + bytes_written.clone(),
+            bytes_read,
+            bytes_written,
+            params: self.params(),
+            io: self.io_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::PointwiseFn;
+    use crate::tensor::DType;
+    use symath::Bindings;
+
+    fn mlp() -> Graph {
+        let mut g = Graph::new("mlp");
+        let b = Expr::sym("st_b");
+        let x = g.input("x", [b.clone(), Expr::int(64)], DType::F32).unwrap();
+        let w1 = g.weight("w1", [Expr::int(64), Expr::int(128)]).unwrap();
+        let h = g.matmul("fc1", x, w1, false, false).unwrap();
+        let h = g.unary("relu", PointwiseFn::Relu, h).unwrap();
+        let w2 = g.weight("w2", [Expr::int(128), Expr::int(10)]).unwrap();
+        let _ = g.matmul("fc2", h, w2, false, false).unwrap();
+        g
+    }
+
+    #[test]
+    fn params_count_weight_elements() {
+        let g = mlp();
+        assert_eq!(g.params(), Expr::int(64 * 128 + 128 * 10));
+    }
+
+    #[test]
+    fn flops_scale_with_batch() {
+        let g = mlp();
+        let stats = g.stats();
+        let n1 = stats.eval(&Bindings::new().with("st_b", 1.0)).unwrap();
+        let n2 = stats.eval(&Bindings::new().with("st_b", 2.0)).unwrap();
+        assert!((n2.flops - 2.0 * n1.flops).abs() < 1e-9);
+        // fc1: 2·b·64·128, relu: b·128, fc2: 2·b·128·10
+        assert_eq!(n1.flops, (2 * 64 * 128 + 128 + 2 * 128 * 10) as f64);
+    }
+
+    #[test]
+    fn io_counts_only_inputs() {
+        let g = mlp();
+        let io = g.io_bytes().eval(&Bindings::new().with("st_b", 4.0)).unwrap();
+        assert_eq!(io, (4 * 64 * 4) as f64);
+    }
+
+    #[test]
+    fn bytes_split_into_read_write() {
+        let g = mlp();
+        let n = g.stats().eval(&Bindings::new().with("st_b", 1.0)).unwrap();
+        assert!(n.bytes_read > 0.0 && n.bytes_written > 0.0);
+        assert_eq!(n.bytes, n.bytes_read + n.bytes_written);
+        // fc1 reads x (64) + w1 (64·128), writes h (128)...
+        let expected_read = (64 + 64 * 128) + 128 + (128 + 128 * 10);
+        let expected_write = 128 + 128 + 10;
+        assert_eq!(n.bytes_read, (expected_read * 4) as f64);
+        assert_eq!(n.bytes_written, (expected_write * 4) as f64);
+    }
+
+    #[test]
+    fn operational_intensity_is_ratio() {
+        let g = mlp();
+        let n = g.stats().eval(&Bindings::new().with("st_b", 8.0)).unwrap();
+        assert!((n.operational_intensity() - n.flops / n.bytes).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_only_graph_has_zero_backward_flops() {
+        let g = mlp();
+        let n = g.stats().eval(&Bindings::new().with("st_b", 1.0)).unwrap();
+        assert_eq!(n.flops_backward, 0.0);
+        assert_eq!(n.flops, n.flops_forward);
+    }
+}

@@ -1,0 +1,233 @@
+//! Whole-graph transformations: training-precision casting and optimizer
+//! selection (paper §6.2.3: "model compression or distillation, and
+//! low-precision or sparse computation may reduce model or activation
+//! tensor size ... by 1.5–10×").
+
+use crate::autodiff::TrainingStep;
+use crate::graph::{Graph, GraphError};
+use crate::op::{OpKind, Phase};
+use crate::tensor::{DType, TensorKind};
+
+/// Cast every floating-point tensor of the graph to `dtype` in place
+/// (integer index tensors are untouched). FLOP counts are unchanged;
+/// algorithmic bytes, IO, and footprint shrink with the element width —
+/// the paper's low-precision lever.
+///
+/// # Panics
+/// Panics if `dtype` is not a floating-point type.
+pub fn cast_float_precision(graph: &mut Graph, dtype: DType) {
+    assert!(
+        matches!(dtype, DType::F16 | DType::F32 | DType::F64),
+        "cast_float_precision expects a float dtype, got {dtype}"
+    );
+    for t in &mut graph.tensors {
+        if matches!(t.dtype, DType::F16 | DType::F32 | DType::F64) {
+            t.dtype = dtype;
+        }
+    }
+}
+
+/// First-order optimizers with their per-parameter state and update costs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Optimizer {
+    /// Plain SGD: no state; `w ← w − lr·g`.
+    Sgd,
+    /// SGD with momentum: one velocity tensor per weight.
+    Momentum,
+    /// Adam: first- and second-moment tensors per weight.
+    Adam,
+}
+
+impl Optimizer {
+    /// Persistent optimizer-state tensors per weight.
+    pub fn state_slots(&self) -> usize {
+        match self {
+            Optimizer::Sgd => 0,
+            Optimizer::Momentum => 1,
+            Optimizer::Adam => 2,
+        }
+    }
+
+    fn state_names(&self) -> &'static [&'static str] {
+        match self {
+            Optimizer::Sgd => &[],
+            Optimizer::Momentum => &["velocity"],
+            Optimizer::Adam => &["moment1", "moment2"],
+        }
+    }
+}
+
+/// Replace every `SgdUpdate` of a built training graph with the update of
+/// `optimizer`, materializing its persistent state tensors. Returns the
+/// number of updates rewritten.
+///
+/// The update ops' cost model: momentum reads `w, g, v` and writes `w, v`
+/// (4 FLOPs/param); Adam reads `w, g, m, v` and writes `w, m, v`
+/// (10 FLOPs/param) — see [`OpKind::MomentumUpdate`] / [`OpKind::AdamUpdate`].
+pub fn apply_optimizer(
+    graph: &mut Graph,
+    step: &TrainingStep,
+    optimizer: Optimizer,
+) -> Result<usize, GraphError> {
+    if optimizer == Optimizer::Sgd {
+        return Ok(0); // build_training_step already emitted SgdUpdate ops
+    }
+    let mut rewritten = 0;
+    for (w, gw) in &step.weight_grads {
+        // Create the persistent state tensors.
+        let wname = graph.tensor(*w).name.clone();
+        let shape = graph.tensor(*w).shape.clone();
+        let mut state = Vec::new();
+        for sname in optimizer.state_names() {
+            let t = graph.optimizer_state(format!("{wname}.{sname}"), shape.clone())?;
+            state.push(t);
+        }
+        // Find and rewrite the SgdUpdate consuming this weight's gradient.
+        let op_id = graph
+            .ops
+            .iter()
+            .find(|o| matches!(o.kind, OpKind::SgdUpdate) && o.inputs == vec![*w, *gw])
+            .map(|o| o.id())
+            .expect("every weight_grad pair has an update op");
+        let kind = match optimizer {
+            Optimizer::Momentum => OpKind::MomentumUpdate,
+            Optimizer::Adam => OpKind::AdamUpdate,
+            Optimizer::Sgd => unreachable!(),
+        };
+        let op = &mut graph.ops[op_id.index()];
+        op.kind = kind;
+        debug_assert_eq!(op.phase, Phase::Update);
+        for &s in &state {
+            op.inputs.push(s);
+        }
+        // Maintain the consumer index for the new operands.
+        for s in state {
+            graph.consumers[s.index()].push(op_id);
+        }
+        rewritten += 1;
+    }
+    Ok(rewritten)
+}
+
+/// Bytes of persistent optimizer state per training step.
+pub fn optimizer_state_bytes(graph: &Graph) -> symath::Expr {
+    graph
+        .tensors()
+        .iter()
+        .filter(|t| t.kind == TensorKind::OptimizerState)
+        .map(|t| t.bytes())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autodiff::build_training_step;
+    use crate::footprint::{footprint, Scheduler};
+    use crate::op::PointwiseFn;
+    use symath::{Bindings, Expr};
+
+    fn training_mlp() -> (Graph, TrainingStep) {
+        let mut g = Graph::new("opt_mlp");
+        let b = Expr::sym("tr_b");
+        let x = g.input("x", [b.clone(), Expr::int(64)], DType::F32).unwrap();
+        let w1 = g.weight("w1", [Expr::int(64), Expr::int(64)]).unwrap();
+        let h = g.matmul("fc1", x, w1, false, false).unwrap();
+        let h = g.unary("relu", PointwiseFn::Relu, h).unwrap();
+        let labels = g.input("labels", [b], DType::I32).unwrap();
+        let loss = g.cross_entropy("loss", h, labels).unwrap();
+        let step = build_training_step(&mut g, loss).unwrap();
+        (g, step)
+    }
+
+    #[test]
+    fn f16_halves_bytes_keeps_flops() {
+        let (mut g, _) = training_mlp();
+        let before = g.stats().eval(&Bindings::new().with("tr_b", 32.0)).unwrap();
+        cast_float_precision(&mut g, DType::F16);
+        let after = g.stats().eval(&Bindings::new().with("tr_b", 32.0)).unwrap();
+        assert_eq!(after.flops, before.flops);
+        // Index tensors stay 32-bit, so the reduction is just under 2×.
+        assert!(after.bytes < 0.55 * before.bytes && after.bytes > 0.45 * before.bytes);
+    }
+
+    #[test]
+    fn f16_roughly_halves_footprint() {
+        let (mut g, _) = training_mlp();
+        let bindings = Bindings::new().with("tr_b", 32.0);
+        let before = footprint(&g, &bindings, Scheduler::Best).unwrap().peak_bytes;
+        cast_float_precision(&mut g, DType::F16);
+        let after = footprint(&g, &bindings, Scheduler::Best).unwrap().peak_bytes;
+        assert!(after < before);
+        assert!(after as f64 > 0.4 * before as f64);
+    }
+
+    #[test]
+    fn adam_triples_persistent_memory() {
+        let (mut g, step) = training_mlp();
+        let rewritten = apply_optimizer(&mut g, &step, Optimizer::Adam).unwrap();
+        assert_eq!(rewritten, 1);
+        g.validate().unwrap();
+        let bindings = Bindings::new().with("tr_b", 1.0);
+        let fp = footprint(&g, &bindings, Scheduler::Best).unwrap();
+        let weights = g.params().eval(&bindings).unwrap() * 4.0;
+        assert!(
+            (fp.persistent_bytes as f64 - 3.0 * weights).abs() < 1.0,
+            "persistent {} vs 3×weights {}",
+            fp.persistent_bytes,
+            3.0 * weights
+        );
+    }
+
+    #[test]
+    fn momentum_update_costs_more_than_sgd() {
+        let (mut g_sgd, _) = training_mlp();
+        let (mut g_mom, step) = training_mlp_named("opt_mlp2");
+        apply_optimizer(&mut g_mom, &step, Optimizer::Momentum).unwrap();
+        let b = Bindings::new().with("tr_b", 1.0);
+        let s = g_sgd.stats().eval(&b).unwrap();
+        let m = g_mom.stats().eval(&b).unwrap();
+        assert!(m.flops > s.flops);
+        assert!(m.bytes > s.bytes);
+        let _ = &mut g_sgd;
+    }
+
+    fn training_mlp_named(name: &str) -> (Graph, TrainingStep) {
+        let mut g = Graph::new(name);
+        let b = Expr::sym("tr_b");
+        let x = g.input("x", [b.clone(), Expr::int(64)], DType::F32).unwrap();
+        let w1 = g.weight("w1", [Expr::int(64), Expr::int(64)]).unwrap();
+        let h = g.matmul("fc1", x, w1, false, false).unwrap();
+        let h = g.unary("relu", PointwiseFn::Relu, h).unwrap();
+        let labels = g.input("labels", [b], DType::I32).unwrap();
+        let loss = g.cross_entropy("loss", h, labels).unwrap();
+        let step = build_training_step(&mut g, loss).unwrap();
+        (g, step)
+    }
+
+    #[test]
+    fn sgd_is_a_no_op() {
+        let (mut g, step) = training_mlp();
+        let before_ops = g.ops().len();
+        assert_eq!(apply_optimizer(&mut g, &step, Optimizer::Sgd).unwrap(), 0);
+        assert_eq!(g.ops().len(), before_ops);
+    }
+
+    #[test]
+    fn state_bytes_query_counts_only_state() {
+        let (mut g, step) = training_mlp();
+        apply_optimizer(&mut g, &step, Optimizer::Adam).unwrap();
+        let state = optimizer_state_bytes(&g)
+            .eval(&Bindings::new())
+            .unwrap();
+        let weights = g.params().eval(&Bindings::new()).unwrap() * 4.0;
+        assert_eq!(state, 2.0 * weights);
+    }
+
+    #[test]
+    #[should_panic(expected = "float dtype")]
+    fn cast_rejects_integer_targets() {
+        let (mut g, _) = training_mlp();
+        cast_float_precision(&mut g, DType::I32);
+    }
+}

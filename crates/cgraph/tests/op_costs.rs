@@ -1,0 +1,258 @@
+//! Hand-checked algorithmic cost rules for every op kind (paper §2.1):
+//! each test computes the expected FLOPs/bytes from the op's definition and
+//! compares against the cost model through a real graph.
+
+use cgraph::{
+    build_training_step, DType, Graph, OpKind, PointwiseFn, PoolKind, ReduceKind, TensorId,
+};
+use symath::{Bindings, Expr};
+
+fn flops_of(g: &Graph, name: &str) -> f64 {
+    let op = g
+        .ops()
+        .iter()
+        .find(|o| o.name == name)
+        .unwrap_or_else(|| panic!("op `{name}` not found"));
+    g.op_flops(op).eval(&Bindings::new()).expect("constant shapes")
+}
+
+fn bytes_of(g: &Graph, name: &str) -> (f64, f64) {
+    let op = g
+        .ops()
+        .iter()
+        .find(|o| o.name == name)
+        .unwrap_or_else(|| panic!("op `{name}` not found"));
+    let (r, w) = g.op_bytes(op);
+    (
+        r.eval(&Bindings::new()).expect("constant"),
+        w.eval(&Bindings::new()).expect("constant"),
+    )
+}
+
+#[test]
+fn softmax_and_cross_entropy_costs() {
+    let mut g = Graph::new("sm");
+    let x = g.input("x", [Expr::int(4), Expr::int(10)], DType::F32).unwrap();
+    let s = g.softmax("softmax", x).unwrap();
+    let labels = g.input("y", [Expr::int(4)], DType::I32).unwrap();
+    let _ = g.cross_entropy("ce", s, labels).unwrap();
+    assert_eq!(flops_of(&g, "softmax"), 5.0 * 40.0);
+    assert_eq!(flops_of(&g, "ce"), 5.0 * 40.0);
+    let (r, w) = bytes_of(&g, "softmax");
+    assert_eq!(r, 160.0);
+    assert_eq!(w, 160.0);
+}
+
+#[test]
+fn batch_norm_forward_and_backward_costs() {
+    let mut g = Graph::new("bn");
+    let x = g
+        .input("x", [Expr::int(2), Expr::int(3), Expr::int(4), Expr::int(4)], DType::F32)
+        .unwrap();
+    let gamma = g.weight("gamma", [Expr::int(6)]).unwrap();
+    let y = g.batch_norm("bn", x, gamma).unwrap();
+    let pooled = g.pool("gap", PoolKind::Avg, y, 4, 4, 0).unwrap();
+    let flat = g.reshape("flat", pooled, [Expr::int(2), Expr::int(3)]).unwrap();
+    let labels = g.input("y_lbl", [Expr::int(2)], DType::I32).unwrap();
+    let loss = g.cross_entropy("loss", flat, labels).unwrap();
+    build_training_step(&mut g, loss).unwrap();
+    let elems = 2.0 * 3.0 * 4.0 * 4.0;
+    assert_eq!(flops_of(&g, "bn"), 8.0 * elems);
+    // BatchNormGrad: 11 FLOPs per dX element.
+    let grad_name = g
+        .ops()
+        .iter()
+        .find(|o| matches!(o.kind, OpKind::BatchNormGrad))
+        .map(|o| o.name.clone())
+        .expect("bn grad present");
+    assert_eq!(flops_of(&g, &grad_name), 11.0 * elems);
+}
+
+#[test]
+fn pooling_costs_count_window_volume() {
+    let mut g = Graph::new("pool");
+    let x = g
+        .input("x", [Expr::int(1), Expr::int(2), Expr::int(8), Expr::int(8)], DType::F32)
+        .unwrap();
+    let y = g.pool("maxpool", PoolKind::Max, x, 2, 2, 0).unwrap();
+    // Output 1×2×4×4; 2×2 window per output element.
+    assert_eq!(flops_of(&g, "maxpool"), 4.0 * (2.0 * 16.0));
+    assert_eq!(g.tensor(y).shape.dim(2), &Expr::int(4));
+}
+
+#[test]
+fn conv_backward_ops_match_forward_flops() {
+    let mut g = Graph::new("convb");
+    let x = g
+        .input("x", [Expr::int(2), Expr::int(4), Expr::int(8), Expr::int(8)], DType::F32)
+        .unwrap();
+    let w = g.weight("w", [Expr::int(8), Expr::int(4), Expr::int(3), Expr::int(3)]).unwrap();
+    let y = g.conv2d("conv", x, w, 1, 1).unwrap();
+    let w2 = g.weight("w2", [Expr::int(8), Expr::int(8), Expr::int(3), Expr::int(3)]).unwrap();
+    let y2 = g.conv2d("conv2", y, w2, 1, 1).unwrap();
+    let gap = g.pool("gap", PoolKind::Avg, y2, 8, 8, 0).unwrap();
+    let flat = g.reshape("flat", gap, [Expr::int(2), Expr::int(8)]).unwrap();
+    let labels = g.input("lbl", [Expr::int(2)], DType::I32).unwrap();
+    let loss = g.cross_entropy("loss", flat, labels).unwrap();
+    build_training_step(&mut g, loss).unwrap();
+    // conv2's dX and dW each cost exactly the forward conv2 FLOPs.
+    let fwd = flops_of(&g, "conv2");
+    let dx = g
+        .ops()
+        .iter()
+        .find(|o| matches!(o.kind, OpKind::Conv2dBackpropInput { .. }))
+        .map(|o| o.name.clone())
+        .expect("dX present");
+    let dw_names: Vec<String> = g
+        .ops()
+        .iter()
+        .filter(|o| matches!(o.kind, OpKind::Conv2dBackpropFilter { .. }))
+        .map(|o| o.name.clone())
+        .collect();
+    assert_eq!(flops_of(&g, &dx), fwd);
+    assert_eq!(dw_names.len(), 2); // one per conv
+    assert_eq!(flops_of(&g, &dw_names[0]), fwd);
+}
+
+#[test]
+fn reduce_and_broadcast_costs() {
+    let mut g = Graph::new("red");
+    let x = g.input("x", [Expr::int(6), Expr::int(7)], DType::F32).unwrap();
+    let w = g.weight("w", [Expr::int(7), Expr::int(7)]).unwrap();
+    let h = g.matmul("mm", x, w, false, false).unwrap();
+    let r = g.reduce("sum", ReduceKind::Sum, h).unwrap();
+    assert_eq!(flops_of(&g, "sum"), 42.0);
+    assert_eq!(g.tensor(r).shape.rank(), 0);
+}
+
+#[test]
+fn transpose_moves_bytes_without_flops() {
+    let mut g = Graph::new("tr");
+    let x = g.input("x", [Expr::int(3), Expr::int(5)], DType::F32).unwrap();
+    let t = g
+        .add_op(
+            "transpose",
+            OpKind::Transpose,
+            vec![x],
+            vec![(
+                "xT".into(),
+                [Expr::int(5), Expr::int(3)].into(),
+                DType::F32,
+                cgraph::TensorKind::Activation,
+            )],
+            cgraph::Phase::Forward,
+        )
+        .unwrap();
+    assert_eq!(flops_of(&g, "transpose"), 0.0);
+    let (r, w) = bytes_of(&g, "transpose");
+    assert_eq!(r, 60.0);
+    assert_eq!(w, 60.0);
+    let _ = t;
+}
+
+#[test]
+fn pointwise_grad_costs_one_more_flop_than_forward() {
+    let mut g = Graph::new("pwg");
+    let x = g.input("x", [Expr::int(8), Expr::int(8)], DType::F32).unwrap();
+    let w = g.weight("w", [Expr::int(8), Expr::int(8)]).unwrap();
+    let h = g.matmul("mm", x, w, false, false).unwrap();
+    let h = g.unary("tanh", PointwiseFn::Tanh, h).unwrap();
+    let labels = g.input("lbl", [Expr::int(8)], DType::I32).unwrap();
+    let loss = g.cross_entropy("loss", h, labels).unwrap();
+    build_training_step(&mut g, loss).unwrap();
+    let fwd = flops_of(&g, "tanh"); // 4 per element
+    let grad = g
+        .ops()
+        .iter()
+        .find(|o| matches!(o.kind, OpKind::PointwiseGrad(PointwiseFn::Tanh)))
+        .map(|o| o.name.clone())
+        .expect("tanh grad present");
+    assert_eq!(flops_of(&g, &grad), fwd / 4.0 * 5.0); // (4 + 1) per element
+}
+
+#[test]
+fn scatter_add_touches_rows_not_table() {
+    let mut g = Graph::new("scat");
+    let table = g.weight("table", [Expr::int(100_000), Expr::int(8)]).unwrap();
+    let idx = g.input("idx", [Expr::int(4)], DType::I32).unwrap();
+    let e = g.gather("lookup", table, idx).unwrap();
+    let w = g.weight("w", [Expr::int(8), Expr::int(4)]).unwrap();
+    let h = g.matmul("mm", e, w, false, false).unwrap();
+    let labels = g.input("lbl", [Expr::int(4)], DType::I32).unwrap();
+    let loss = g.cross_entropy("loss", h, labels).unwrap();
+    build_training_step(&mut g, loss).unwrap();
+    let scatter = g
+        .ops()
+        .iter()
+        .find(|o| matches!(o.kind, OpKind::EmbeddingScatterAdd))
+        .map(|o| o.name.clone())
+        .expect("scatter present");
+    // 4 rows × 8 wide: one accumulate per gathered element.
+    assert_eq!(flops_of(&g, &scatter), 32.0);
+    let (r, _w) = bytes_of(&g, &scatter);
+    // Reads grad rows twice (accumulator + incoming) + indices; far below
+    // the 3.2 MB table.
+    assert!(r < 1000.0, "scatter read {r} bytes");
+}
+
+#[test]
+fn update_op_costs_for_all_optimizers() {
+    use cgraph::{apply_optimizer, Optimizer};
+    for (opt, flops_per_param, read_x, write_x) in [
+        (Optimizer::Sgd, 2.0, 2.0, 1.0),
+        (Optimizer::Momentum, 4.0, 3.0, 2.0),
+        (Optimizer::Adam, 10.0, 4.0, 3.0),
+    ] {
+        let mut g = Graph::new(format!("upd_{opt:?}"));
+        let x = g.input("x", [Expr::int(4), Expr::int(16)], DType::F32).unwrap();
+        let w = g.weight("w", [Expr::int(16), Expr::int(16)]).unwrap();
+        let h = g.matmul("mm", x, w, false, false).unwrap();
+        let labels = g.input("lbl", [Expr::int(4)], DType::I32).unwrap();
+        let loss = g.cross_entropy("loss", h, labels).unwrap();
+        let step = build_training_step(&mut g, loss).unwrap();
+        apply_optimizer(&mut g, &step, opt).unwrap();
+        let update = g
+            .ops()
+            .iter()
+            .find(|o| {
+                matches!(
+                    o.kind,
+                    OpKind::SgdUpdate | OpKind::MomentumUpdate | OpKind::AdamUpdate
+                )
+            })
+            .map(|o| o.name.clone())
+            .expect("update present");
+        let p = 256.0;
+        assert_eq!(flops_of(&g, &update), flops_per_param * p, "{opt:?}");
+        let (r, wbytes) = bytes_of(&g, &update);
+        assert_eq!(r, read_x * 4.0 * p, "{opt:?} reads");
+        assert_eq!(wbytes, write_x * 4.0 * p, "{opt:?} writes");
+    }
+}
+
+#[test]
+fn addn_generalizes_to_many_operands() {
+    let mut g = Graph::new("addn");
+    let parts: Vec<TensorId> = (0..5)
+        .map(|i| {
+            g.input(format!("p{i}"), [Expr::int(10)], DType::F32)
+                .unwrap()
+        })
+        .collect();
+    let out = g
+        .add_op(
+            "addn",
+            OpKind::AddN,
+            parts,
+            vec![(
+                "sum".into(),
+                [Expr::int(10)].into(),
+                DType::F32,
+                cgraph::TensorKind::Activation,
+            )],
+            cgraph::Phase::Backward,
+        )
+        .unwrap();
+    assert_eq!(flops_of(&g, "addn"), 40.0); // (5-1) × 10
+    let _ = out;
+}

@@ -1,0 +1,158 @@
+//! Dot-product attention machinery shared by NMT and speech (Figs 4, 5).
+
+use cgraph::{Graph, GraphError, PointwiseFn, TensorId};
+use symath::Expr;
+
+/// Stack `q` per-timestep tensors `[b, d]` into one `[b, q, d]` tensor.
+pub fn stack_timesteps(
+    g: &mut Graph,
+    name: &str,
+    xs: &[TensorId],
+) -> Result<TensorId, GraphError> {
+    let shape = g.tensor(xs[0]).shape.clone();
+    let (b, d) = (shape.dim(0).clone(), shape.dim(1).clone());
+    let expanded: Vec<TensorId> = xs
+        .iter()
+        .enumerate()
+        .map(|(t, &x)| {
+            g.reshape(
+                &format!("{name}.unsq{t}"),
+                x,
+                [b.clone(), Expr::one(), d.clone()],
+            )
+        })
+        .collect::<Result<_, _>>()?;
+    g.concat(&format!("{name}.stack"), &expanded, 1)
+}
+
+/// One Luong-style dot-attention step.
+///
+/// `query` is the decoder hidden `[b, d]`; `memory` is the stacked encoder
+/// output `[b, q_src, d]`. Returns the context vector `[b, d]`:
+/// `softmax(query · memoryᵀ) · memory`.
+pub fn attention_step(
+    g: &mut Graph,
+    name: &str,
+    query: TensorId,
+    memory: TensorId,
+) -> Result<TensorId, GraphError> {
+    let qshape = g.tensor(query).shape.clone();
+    let (b, d) = (qshape.dim(0).clone(), qshape.dim(1).clone());
+    let q3 = g.reshape(
+        &format!("{name}.q3"),
+        query,
+        [b.clone(), Expr::one(), d.clone()],
+    )?;
+    // scores [b, 1, q_src] = q3 · memoryᵀ
+    let scores = g.batch_matmul(&format!("{name}.scores"), q3, memory, false, true)?;
+    let weights = g.softmax(&format!("{name}.softmax"), scores)?;
+    // context [b, 1, d] = weights · memory
+    let ctx = g.batch_matmul(&format!("{name}.ctx"), weights, memory, false, false)?;
+    g.reshape(&format!("{name}.squeeze"), ctx, [b, d])
+}
+
+/// Attentional output: `attn_out = tanh(W_c · [context; hidden])`,
+/// returning `[b, out_dim]`. Creates (or reuses) the combiner weight named
+/// `{wname}` of shape `[ctx_dim + hidden_dim, out_dim]`.
+pub fn attention_combine(
+    g: &mut Graph,
+    name: &str,
+    wname: &str,
+    context: TensorId,
+    hidden: TensorId,
+    out_dim: u64,
+) -> Result<TensorId, GraphError> {
+    let cat = g.concat(&format!("{name}.cat"), &[context, hidden], 1)?;
+    let w = match g.find(wname) {
+        Some(w) => w,
+        None => {
+            let in_dim = g.tensor(cat).shape.dim(1).clone();
+            g.weight(wname, [in_dim, Expr::from(out_dim)])?
+        }
+    };
+    let mixed = g.matmul(&format!("{name}.mix"), cat, w, false, false)?;
+    g.unary(&format!("{name}.tanh"), PointwiseFn::Tanh, mixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::batch;
+    use cgraph::{DType, Shape};
+    use symath::Bindings;
+
+    #[test]
+    fn stack_round_trips_shapes() {
+        let mut g = Graph::new("stack");
+        let b = batch();
+        let xs: Vec<TensorId> = (0..5)
+            .map(|t| {
+                g.input(format!("x{t}"), [b.clone(), Expr::int(16)], DType::F32)
+                    .unwrap()
+            })
+            .collect();
+        let s = stack_timesteps(&mut g, "st", &xs).unwrap();
+        assert_eq!(
+            g.tensor(s).shape,
+            Shape::from([b, Expr::int(5), Expr::int(16)])
+        );
+    }
+
+    #[test]
+    fn attention_step_shapes_and_flops() {
+        let mut g = Graph::new("attn");
+        let b = batch();
+        let (q_src, d) = (7u64, 32u64);
+        let query = g.input("q", [b.clone(), Expr::from(d)], DType::F32).unwrap();
+        let memory = g
+            .input("m", [b.clone(), Expr::from(q_src), Expr::from(d)], DType::F32)
+            .unwrap();
+        let ctx = attention_step(&mut g, "a", query, memory).unwrap();
+        assert_eq!(g.tensor(ctx).shape, Shape::from([b, Expr::from(d)]));
+        g.validate().unwrap();
+        // FLOPs: scores 2·q·d + softmax 5·q + ctx 2·q·d per sample.
+        let flops = g
+            .stats()
+            .flops
+            .eval(&Bindings::new().with("b", 1.0))
+            .unwrap();
+        let expected = (2 * q_src * d + 5 * q_src + 2 * q_src * d) as f64;
+        assert_eq!(flops, expected);
+    }
+
+    #[test]
+    fn combine_creates_weight_once() {
+        let mut g = Graph::new("comb");
+        let b = batch();
+        let h = g.input("h", [b.clone(), Expr::int(8)], DType::F32).unwrap();
+        let c = g.input("c", [b.clone(), Expr::int(8)], DType::F32).unwrap();
+        let o1 = attention_combine(&mut g, "s0", "wc", c, h, 8).unwrap();
+        let o2 = attention_combine(&mut g, "s1", "wc", c, h, 8).unwrap();
+        assert_eq!(g.tensor(o1).shape, g.tensor(o2).shape);
+        // Only one combiner weight exists.
+        let weights = g
+            .tensors()
+            .iter()
+            .filter(|t| t.kind == cgraph::TensorKind::Weight)
+            .count();
+        assert_eq!(weights, 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn attention_backward_builds() {
+        let mut g = Graph::new("attn_bwd");
+        let b = batch();
+        let query = g.input("q", [b.clone(), Expr::int(16)], DType::F32).unwrap();
+        let w0 = g.weight("w0", [Expr::int(16), Expr::int(16)]).unwrap();
+        let query = g.matmul("qproj", query, w0, false, false).unwrap();
+        let memw = g.weight("mw", [Expr::int(16), Expr::int(16)]).unwrap();
+        let mem0 = g.matmul("mproj", query, memw, false, false).unwrap();
+        let mem = stack_timesteps(&mut g, "mem", &[mem0, mem0, mem0]).unwrap();
+        let ctx = attention_step(&mut g, "a", query, mem).unwrap();
+        let labels = g.input("y", [b], DType::I32).unwrap();
+        let loss = g.cross_entropy("loss", ctx, labels).unwrap();
+        cgraph::build_training_step(&mut g, loss).unwrap();
+        g.validate().unwrap();
+    }
+}

@@ -1,0 +1,42 @@
+//! `modelzoo` — builders for the five deep-learning training workloads
+//! characterized in Hestness et al., *Beyond Human-Level Accuracy* (PPoPP
+//! 2019): word LM (LSTM), character LM (RHN), NMT and speech recognition
+//! (encoder/decoder with attention), and ResNet image classification.
+//!
+//! Each builder produces a [`cgraph::Graph`] with the paper's layer
+//! structure (Figs 1–5), parameterized over a symbolic subbatch size
+//! ([`BATCH_SYM`]) and scalable to a target parameter count via
+//! `with_target_params` — the knobs the paper turns in §4.1 (hidden width
+//! for recurrent models; depth and channels for ResNets).
+//!
+//! ```
+//! use modelzoo::{ModelConfig, Domain};
+//!
+//! let cfg = ModelConfig::default_for(Domain::WordLm).with_target_params(50_000_000);
+//! let model = cfg.build_training();
+//! let n = model.graph.stats().eval(&model.bindings_with_batch(32)).unwrap();
+//! assert!(n.flops > 0.0 && n.params > 4.0e7);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod attention;
+mod charlm;
+mod common;
+pub mod lstm;
+mod nmt;
+mod resnet;
+mod speech;
+mod sweep;
+mod transformer;
+mod wordlm;
+
+pub use charlm::{build_char_lm, CharLmConfig};
+pub use common::{batch, Domain, ModelGraph, BATCH_SYM};
+pub use nmt::{build_nmt, NmtConfig};
+pub use resnet::{build_resnet, ResNetConfig, ResNetDepth};
+pub use speech::{build_speech, SpeechConfig};
+pub use sweep::{log_spaced_targets, sweep_configs, ModelConfig};
+pub use transformer::{build_transformer, TransformerConfig};
+pub use wordlm::{build_word_lm, WordLmConfig};

@@ -1,0 +1,402 @@
+//! LSTM building blocks shared by the word-LM, NMT, and speech models.
+//!
+//! The cell follows the standard formulation the paper's §4.2 analysis
+//! assumes: two `[in,4h]`/`[h,4h]` matmuls per step (`16h²` FLOPs when
+//! `in = h`), gate nonlinearities, and elementwise state updates — `8h²`
+//! recurrent parameters per layer at `in = h`.
+
+use cgraph::{Graph, GraphError, PointwiseFn, TensorId};
+use symath::Expr;
+
+/// Weights of one LSTM layer.
+#[derive(Clone, Copy, Debug)]
+pub struct LstmWeights {
+    /// Input projection `[in_dim, 4h]`.
+    pub wx: TensorId,
+    /// Recurrent projection `[h, 4h]`.
+    pub wh: TensorId,
+    /// Gate bias `[4h]`.
+    pub bias: TensorId,
+}
+
+/// Create the weights for one LSTM layer.
+pub fn lstm_weights(
+    g: &mut Graph,
+    name: &str,
+    in_dim: u64,
+    hidden: u64,
+) -> Result<LstmWeights, GraphError> {
+    let wx = g.weight(
+        format!("{name}.wx"),
+        [Expr::from(in_dim), Expr::from(4 * hidden)],
+    )?;
+    let wh = g.weight(
+        format!("{name}.wh"),
+        [Expr::from(hidden), Expr::from(4 * hidden)],
+    )?;
+    let bias = g.weight(format!("{name}.bias"), [Expr::from(4 * hidden)])?;
+    Ok(LstmWeights { wx, wh, bias })
+}
+
+/// One LSTM step. `state` is `None` at `t = 0` (zero initial state: the
+/// recurrent matmul and state blends are skipped, matching a framework that
+/// constant-folds zeros).
+///
+/// Returns `(h_t, c_t)`.
+pub fn lstm_cell(
+    g: &mut Graph,
+    name: &str,
+    x: TensorId,
+    state: Option<(TensorId, TensorId)>,
+    w: &LstmWeights,
+) -> Result<(TensorId, TensorId), GraphError> {
+    let gx = g.matmul(&format!("{name}.gx"), x, w.wx, false, false)?;
+    let gates = match state {
+        Some((h_prev, _)) => {
+            let gh = g.matmul(&format!("{name}.gh"), h_prev, w.wh, false, false)?;
+            g.binary(&format!("{name}.gsum"), PointwiseFn::Add, gx, gh)?
+        }
+        None => gx,
+    };
+    let gates = g.bias_add(&format!("{name}.gbias"), gates, w.bias)?;
+    let parts = g.split(&format!("{name}.gsplit"), gates, 1, 4)?;
+    let i = g.unary(&format!("{name}.i"), PointwiseFn::Sigmoid, parts[0])?;
+    let f = g.unary(&format!("{name}.f"), PointwiseFn::Sigmoid, parts[1])?;
+    let cc = g.unary(&format!("{name}.cc"), PointwiseFn::Tanh, parts[2])?;
+    let o = g.unary(&format!("{name}.o"), PointwiseFn::Sigmoid, parts[3])?;
+    let ig = g.binary(&format!("{name}.ig"), PointwiseFn::Mul, i, cc)?;
+    let c = match state {
+        Some((_, c_prev)) => {
+            let fc = g.binary(&format!("{name}.fc"), PointwiseFn::Mul, f, c_prev)?;
+            g.binary(&format!("{name}.c"), PointwiseFn::Add, fc, ig)?
+        }
+        None => {
+            // Zero initial cell: c = i⊙ĉ; still run the forget gate through a
+            // consumer so its activations participate in backward.
+            let _ = f;
+            ig
+        }
+    };
+    let ct = g.unary(&format!("{name}.ct"), PointwiseFn::Tanh, c)?;
+    let h = g.binary(&format!("{name}.h"), PointwiseFn::Mul, o, ct)?;
+    Ok((h, c))
+}
+
+/// Unroll one LSTM layer over a sequence of per-timestep inputs `[b, in]`.
+/// Returns the hidden state at each timestep.
+pub fn lstm_layer(
+    g: &mut Graph,
+    name: &str,
+    xs: &[TensorId],
+    in_dim: u64,
+    hidden: u64,
+    reverse: bool,
+) -> Result<Vec<TensorId>, GraphError> {
+    let w = lstm_weights(g, name, in_dim, hidden)?;
+    let mut outputs = vec![None; xs.len()];
+    let mut state: Option<(TensorId, TensorId)> = None;
+    let order: Vec<usize> = if reverse {
+        (0..xs.len()).rev().collect()
+    } else {
+        (0..xs.len()).collect()
+    };
+    for t in order {
+        let (h, c) = lstm_cell(g, &format!("{name}.t{t}"), xs[t], state, &w)?;
+        state = Some((h, c));
+        outputs[t] = Some(h);
+    }
+    Ok(outputs.into_iter().map(|o| o.expect("every step ran")).collect())
+}
+
+/// A bi-directional LSTM layer: forward and backward passes, concatenated
+/// per timestep to `[b, 2h]`.
+pub fn bilstm_layer(
+    g: &mut Graph,
+    name: &str,
+    xs: &[TensorId],
+    in_dim: u64,
+    hidden: u64,
+) -> Result<Vec<TensorId>, GraphError> {
+    let fwd = lstm_layer(g, &format!("{name}.fwd"), xs, in_dim, hidden, false)?;
+    let bwd = lstm_layer(g, &format!("{name}.bwd"), xs, in_dim, hidden, true)?;
+    let mut out = Vec::with_capacity(xs.len());
+    for t in 0..xs.len() {
+        out.push(g.concat(&format!("{name}.cat{t}"), &[fwd[t], bwd[t]], 1)?);
+    }
+    Ok(out)
+}
+
+/// Weights of one GRU layer: fused `[in,3h]` / `[h,3h]` projections.
+#[derive(Clone, Copy, Debug)]
+pub struct GruWeights {
+    /// Input projection `[in_dim, 3h]` (update/reset/candidate gates).
+    pub wx: TensorId,
+    /// Recurrent projection `[h, 3h]`.
+    pub wh: TensorId,
+    /// Gate bias `[3h]`.
+    pub bias: TensorId,
+}
+
+/// Create the weights for one GRU layer (`6h²` parameters at `in = h` —
+/// 25% fewer than an LSTM layer).
+pub fn gru_weights(
+    g: &mut Graph,
+    name: &str,
+    in_dim: u64,
+    hidden: u64,
+) -> Result<GruWeights, GraphError> {
+    Ok(GruWeights {
+        wx: g.weight(
+            format!("{name}.wx"),
+            [Expr::from(in_dim), Expr::from(3 * hidden)],
+        )?,
+        wh: g.weight(
+            format!("{name}.wh"),
+            [Expr::from(hidden), Expr::from(3 * hidden)],
+        )?,
+        bias: g.weight(format!("{name}.bias"), [Expr::from(3 * hidden)])?,
+    })
+}
+
+/// One GRU step (Cho et al. 2014 formulation):
+/// `z = σ(..)`, `r = σ(..)`, `n = tanh(x·Wn + r ⊙ h·Un)`,
+/// `h' = h + z ⊙ (n − h)`. `state = None` at `t = 0` folds the zero state.
+pub fn gru_cell(
+    g: &mut Graph,
+    name: &str,
+    x: TensorId,
+    state: Option<TensorId>,
+    w: &GruWeights,
+) -> Result<TensorId, GraphError> {
+    let gx = g.matmul(&format!("{name}.gx"), x, w.wx, false, false)?;
+    let gx = g.bias_add(&format!("{name}.gbias"), gx, w.bias)?;
+    let xparts = g.split(&format!("{name}.gxsplit"), gx, 1, 3)?;
+    match state {
+        Some(h_prev) => {
+            let gh = g.matmul(&format!("{name}.gh"), h_prev, w.wh, false, false)?;
+            let hparts = g.split(&format!("{name}.ghsplit"), gh, 1, 3)?;
+            let z_pre = g.binary(&format!("{name}.zsum"), PointwiseFn::Add, xparts[0], hparts[0])?;
+            let r_pre = g.binary(&format!("{name}.rsum"), PointwiseFn::Add, xparts[1], hparts[1])?;
+            let z = g.unary(&format!("{name}.z"), PointwiseFn::Sigmoid, z_pre)?;
+            let r = g.unary(&format!("{name}.r"), PointwiseFn::Sigmoid, r_pre)?;
+            let gated = g.binary(&format!("{name}.rn"), PointwiseFn::Mul, r, hparts[2])?;
+            let n_pre = g.binary(&format!("{name}.nsum"), PointwiseFn::Add, xparts[2], gated)?;
+            let n = g.unary(&format!("{name}.n"), PointwiseFn::Tanh, n_pre)?;
+            let diff = g.binary(&format!("{name}.diff"), PointwiseFn::Sub, n, h_prev)?;
+            let step = g.binary(&format!("{name}.step"), PointwiseFn::Mul, z, diff)?;
+            g.binary(&format!("{name}.h"), PointwiseFn::Add, h_prev, step)
+        }
+        None => {
+            let z = g.unary(&format!("{name}.z"), PointwiseFn::Sigmoid, xparts[0])?;
+            let n = g.unary(&format!("{name}.n"), PointwiseFn::Tanh, xparts[2])?;
+            let _ = xparts[1]; // reset gate has nothing to reset at t = 0
+            g.binary(&format!("{name}.h"), PointwiseFn::Mul, z, n)
+        }
+    }
+}
+
+/// Unroll one GRU layer; returns the hidden state at each timestep.
+pub fn gru_layer(
+    g: &mut Graph,
+    name: &str,
+    xs: &[TensorId],
+    in_dim: u64,
+    hidden: u64,
+) -> Result<Vec<TensorId>, GraphError> {
+    let w = gru_weights(g, name, in_dim, hidden)?;
+    let mut state: Option<TensorId> = None;
+    let mut out = Vec::with_capacity(xs.len());
+    for (t, &x) in xs.iter().enumerate() {
+        let h = gru_cell(g, &format!("{name}.t{t}"), x, state, &w)?;
+        state = Some(h);
+        out.push(h);
+    }
+    Ok(out)
+}
+
+/// Split an embedded sequence `[b, q, e]` into `q` per-timestep tensors
+/// `[b, e]`.
+pub fn split_timesteps(
+    g: &mut Graph,
+    name: &str,
+    seq: TensorId,
+    q: u64,
+) -> Result<Vec<TensorId>, GraphError> {
+    let shape = g.tensor(seq).shape.clone();
+    let b = shape.dim(0).clone();
+    let e = shape.dim(2).clone();
+    let slices = g.split(name, seq, 1, q)?;
+    slices
+        .into_iter()
+        .enumerate()
+        .map(|(t, s)| g.reshape(&format!("{name}.squeeze{t}"), s, [b.clone(), e.clone()]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::batch;
+    use cgraph::DType;
+    use symath::Bindings;
+
+    #[test]
+    fn lstm_layer_has_8h2_params() {
+        let mut g = Graph::new("lstm");
+        let b = batch();
+        let h = 32u64;
+        let xs: Vec<TensorId> = (0..4)
+            .map(|t| {
+                g.input(format!("x{t}"), [b.clone(), Expr::from(h)], DType::F32)
+                    .unwrap()
+            })
+            .collect();
+        let _ = lstm_layer(&mut g, "l0", &xs, h, h, false).unwrap();
+        let params = g.params().eval_u64(&Bindings::new()).unwrap();
+        assert_eq!(params, 8 * h * h + 4 * h);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn lstm_forward_flops_are_16h2_per_step() {
+        // With in = h, matmuls dominate: 2·(h·4h)·2 = 16h² per step per
+        // sample, plus small pointwise terms.
+        let mut g = Graph::new("lstm_flops");
+        let b = batch();
+        let h = 64u64;
+        let q = 5usize;
+        let xs: Vec<TensorId> = (0..q)
+            .map(|t| {
+                g.input(format!("x{t}"), [b.clone(), Expr::from(h)], DType::F32)
+                    .unwrap()
+            })
+            .collect();
+        let _ = lstm_layer(&mut g, "l0", &xs, h, h, false).unwrap();
+        let flops = g
+            .stats()
+            .flops
+            .eval(&Bindings::new().with("b", 1.0))
+            .unwrap();
+        let matmul_flops = (16 * h * h * (q as u64)) as f64 - (8 * h * h) as f64; // t=0 skips Wh
+        assert!(
+            flops > matmul_flops && flops < matmul_flops * 1.1,
+            "flops {flops} vs matmul baseline {matmul_flops}"
+        );
+    }
+
+    #[test]
+    fn bilstm_concat_doubles_width() {
+        let mut g = Graph::new("bilstm");
+        let b = batch();
+        let h = 16u64;
+        let xs: Vec<TensorId> = (0..3)
+            .map(|t| {
+                g.input(format!("x{t}"), [b.clone(), Expr::from(h)], DType::F32)
+                    .unwrap()
+            })
+            .collect();
+        let out = bilstm_layer(&mut g, "bi", &xs, h, h, ).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(
+            g.tensor(out[0]).shape.dim(1),
+            &Expr::from(2 * h)
+        );
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn split_timesteps_produces_rank2_slices() {
+        let mut g = Graph::new("split_ts");
+        let b = batch();
+        let seq = g
+            .input("seq", [b.clone(), Expr::int(6), Expr::int(8)], DType::F32)
+            .unwrap();
+        let steps = split_timesteps(&mut g, "ts", seq, 6).unwrap();
+        assert_eq!(steps.len(), 6);
+        for &s in &steps {
+            assert_eq!(g.tensor(s).shape.rank(), 2);
+        }
+    }
+
+    #[test]
+    fn gru_layer_has_6h2_params() {
+        let mut g = Graph::new("gru");
+        let b = batch();
+        let h = 32u64;
+        let xs: Vec<TensorId> = (0..4)
+            .map(|t| {
+                g.input(format!("x{t}"), [b.clone(), Expr::from(h)], DType::F32)
+                    .unwrap()
+            })
+            .collect();
+        let _ = gru_layer(&mut g, "g0", &xs, h, h).unwrap();
+        assert_eq!(
+            g.params().eval(&Bindings::new()).unwrap(),
+            (6 * h * h + 3 * h) as f64
+        );
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn gru_uses_three_quarters_of_lstm_flops() {
+        let h = 64u64;
+        let q = 6usize;
+        let build = |gru: bool| -> f64 {
+            let mut g = Graph::new(if gru { "cmp_gru" } else { "cmp_lstm" });
+            let b = batch();
+            let xs: Vec<TensorId> = (0..q)
+                .map(|t| {
+                    g.input(format!("x{t}"), [b.clone(), Expr::from(h)], DType::F32)
+                        .unwrap()
+                })
+                .collect();
+            if gru {
+                gru_layer(&mut g, "l", &xs, h, h).unwrap();
+            } else {
+                lstm_layer(&mut g, "l", &xs, h, h, false).unwrap();
+            }
+            g.stats()
+                .flops
+                .eval(&Bindings::new().with("b", 1.0))
+                .unwrap()
+        };
+        let ratio = build(true) / build(false);
+        // Matmul FLOPs scale 6h²/8h² = 0.75; pointwise work nudges it.
+        assert!((ratio - 0.75).abs() < 0.07, "GRU/LSTM flops ratio {ratio}");
+    }
+
+    #[test]
+    fn gru_training_graph_differentiates() {
+        let mut g = Graph::new("gru_train");
+        let b = batch();
+        let h = 16u64;
+        let xs: Vec<TensorId> = (0..3)
+            .map(|t| {
+                g.input(format!("x{t}"), [b.clone(), Expr::from(h)], DType::F32)
+                    .unwrap()
+            })
+            .collect();
+        let outs = gru_layer(&mut g, "l", &xs, h, h).unwrap();
+        let labels = g.input("y", [b], DType::I32).unwrap();
+        let loss = g
+            .cross_entropy("loss", *outs.last().unwrap(), labels)
+            .unwrap();
+        cgraph::build_training_step(&mut g, loss).unwrap();
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn reverse_layer_still_topological() {
+        let mut g = Graph::new("rev");
+        let b = batch();
+        let h = 8u64;
+        let xs: Vec<TensorId> = (0..4)
+            .map(|t| {
+                g.input(format!("x{t}"), [b.clone(), Expr::from(h)], DType::F32)
+                    .unwrap()
+            })
+            .collect();
+        let _ = lstm_layer(&mut g, "bwd", &xs, h, h, true).unwrap();
+        g.validate().unwrap();
+    }
+}

@@ -1,0 +1,269 @@
+//! Decoder-only Transformer language model — a post-paper architecture
+//! (Vaswani et al. 2017) added to test the paper's framework on the model
+//! family that ultimately dominated. The paper's own caveat motivates it:
+//! "it is very difficult to predict the model structures that will be
+//! important for future DL applications" (§1).
+//!
+//! Per layer: fused QKV + output projections (`4d²` parameters), a
+//! 4×-wide MLP (`8d²`), and two pre-norms. Attention is batched per
+//! sequence (`[b, q, q]` score tensors), so its FLOPs carry the
+//! quadratic-in-`q` term that distinguishes Transformers from the paper's
+//! recurrent models: training FLOPs/param ≈ `6q + q²/d` with tying.
+
+use cgraph::{DType, Graph, GraphError, PointwiseFn, TensorId};
+use serde::{Deserialize, Serialize};
+use symath::Expr;
+
+use crate::common::{batch, Domain, ModelGraph};
+
+/// Hyperparameters of the Transformer LM.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TransformerConfig {
+    /// Vocabulary size.
+    pub vocab: u64,
+    /// Model width `d`.
+    pub d_model: u64,
+    /// Decoder layers.
+    pub layers: u64,
+    /// Sequence length `q`.
+    pub seq_len: u64,
+    /// MLP expansion factor (canonically 4).
+    pub ff_mult: u64,
+    /// Tie the embedding with the output projection.
+    pub tied_embedding: bool,
+}
+
+impl Default for TransformerConfig {
+    fn default() -> TransformerConfig {
+        TransformerConfig {
+            vocab: 40_000,
+            d_model: 1024,
+            layers: 12,
+            seq_len: 80,
+            ff_mult: 4,
+            tied_embedding: true,
+        }
+    }
+}
+
+impl TransformerConfig {
+    /// Closed-form parameter count mirroring the builder.
+    pub fn param_formula(&self) -> u64 {
+        let d = self.d_model;
+        let per_layer = 4 * d * d               // Wq, Wk, Wv, Wo
+            + 2 * self.ff_mult * d * d          // MLP in/out
+            + 2 * (2 * d);                      // two norms (scale+shift)
+        let out = if self.tied_embedding { 0 } else { d * self.vocab };
+        self.vocab * d + self.layers * per_layer + out + self.vocab // + out bias
+    }
+
+    /// Solve the parameter formula for `d_model` (quadratic).
+    pub fn with_target_params(mut self, target: u64) -> TransformerConfig {
+        let a = (self.layers * (4 + 2 * self.ff_mult)) as f64;
+        let c1 = if self.tied_embedding {
+            self.vocab as f64
+        } else {
+            2.0 * self.vocab as f64
+        } + (4 * self.layers) as f64;
+        let t = target.saturating_sub(self.vocab) as f64;
+        let d = ((c1 * c1 + 4.0 * a * t).sqrt() - c1) / (2.0 * a);
+        self.d_model = (d.round() as u64).max(8);
+        self
+    }
+}
+
+fn norm(g: &mut Graph, name: &str, x: TensorId, d: u64) -> Result<TensorId, GraphError> {
+    // Modeled with the BatchNorm op (same algorithmic shape: statistics +
+    // normalize + affine, 8 FLOPs/element).
+    let gamma = g.weight(format!("{name}.ln"), [Expr::from(2 * d)])?;
+    g.batch_norm(&format!("{name}.ln_op"), x, gamma)
+}
+
+/// Build the forward graph for `cfg`.
+pub fn build_transformer(cfg: &TransformerConfig) -> ModelGraph {
+    let mut g = Graph::new(format!("transformer_d{}", cfg.d_model));
+    let b = batch();
+    let (v, d, q) = (cfg.vocab, cfg.d_model, cfg.seq_len);
+    let bq = b.clone() * Expr::from(q);
+
+    let tokens = g.input("tokens", [bq.clone()], DType::I32).expect("fresh graph");
+    let table = g
+        .weight("embedding", [Expr::from(v), Expr::from(d)])
+        .expect("weight");
+    let emb = g.gather("embed", table, tokens).expect("gather");
+    let mut x = g
+        .reshape("flat0", emb, [bq.clone(), Expr::from(d)])
+        .expect("reshape");
+
+    for layer in 0..cfg.layers {
+        let name = |s: &str| format!("l{layer}.{s}");
+        // --- attention block (pre-norm) ---
+        let normed = norm(&mut g, &name("attn"), x, d).expect("norm");
+        let wqkv = g
+            .weight(name("wqkv"), [Expr::from(d), Expr::from(3 * d)])
+            .expect("w");
+        let qkv = g.matmul(&name("qkv"), normed, wqkv, false, false).expect("mm");
+        let parts = g.split(&name("qkv_split"), qkv, 1, 3).expect("split");
+        // Per-sequence attention: reshape to [b, q, d].
+        let seq = |g: &mut Graph, t: TensorId, nm: String| {
+            g.reshape(&nm, t, [b.clone(), Expr::from(q), Expr::from(d)])
+        };
+        let q3 = seq(&mut g, parts[0], name("q3")).expect("reshape");
+        let k3 = seq(&mut g, parts[1], name("k3")).expect("reshape");
+        let v3 = seq(&mut g, parts[2], name("v3")).expect("reshape");
+        let scores = g.batch_matmul(&name("scores"), q3, k3, false, true).expect("bmm");
+        let probs = g.softmax(&name("softmax"), scores).expect("softmax");
+        let ctx = g.batch_matmul(&name("ctx"), probs, v3, false, false).expect("bmm");
+        let ctx = g
+            .reshape(&name("ctx_flat"), ctx, [bq.clone(), Expr::from(d)])
+            .expect("reshape");
+        let wo = g.weight(name("wo"), [Expr::from(d), Expr::from(d)]).expect("w");
+        let proj = g.matmul(&name("proj"), ctx, wo, false, false).expect("mm");
+        x = g.binary(&name("resid1"), PointwiseFn::Add, proj, x).expect("add");
+
+        // --- MLP block (pre-norm) ---
+        let normed = norm(&mut g, &name("mlp"), x, d).expect("norm");
+        let w1 = g
+            .weight(name("w1"), [Expr::from(d), Expr::from(cfg.ff_mult * d)])
+            .expect("w");
+        let w2 = g
+            .weight(name("w2"), [Expr::from(cfg.ff_mult * d), Expr::from(d)])
+            .expect("w");
+        let h = g.matmul(&name("mlp1"), normed, w1, false, false).expect("mm");
+        let h = g.unary(&name("gelu"), PointwiseFn::Tanh, h).expect("act");
+        let h = g.matmul(&name("mlp2"), h, w2, false, false).expect("mm");
+        x = g.binary(&name("resid2"), PointwiseFn::Add, h, x).expect("add");
+    }
+
+    let bo = g.weight("out.b", [Expr::from(v)]).expect("bias");
+    let logits = if cfg.tied_embedding {
+        g.matmul("out", x, table, false, true).expect("tied out")
+    } else {
+        let wo = g.weight("out.w", [Expr::from(d), Expr::from(v)]).expect("w");
+        g.matmul("out", x, wo, false, false).expect("out")
+    };
+    let logits = g.bias_add("out_bias", logits, bo).expect("bias");
+    let labels = g.input("labels", [bq], DType::I32).expect("labels");
+    let loss = g.cross_entropy("loss", logits, labels).expect("loss");
+
+    ModelGraph {
+        graph: g,
+        loss,
+        domain: Domain::WordLm, // same task family; not part of Domain::ALL
+        is_training: false,
+        seq_len: q,
+        labels_per_sample: q,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wordlm::{build_word_lm, WordLmConfig};
+
+    fn small() -> TransformerConfig {
+        TransformerConfig {
+            vocab: 1000,
+            d_model: 64,
+            layers: 3,
+            seq_len: 8,
+            ff_mult: 4,
+            tied_embedding: true,
+        }
+    }
+
+    #[test]
+    fn param_count_matches_closed_form() {
+        for tied in [true, false] {
+            let cfg = TransformerConfig { tied_embedding: tied, ..small() };
+            let m = build_transformer(&cfg);
+            assert_eq!(m.param_count(), cfg.param_formula(), "tied = {tied}");
+            m.graph.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn training_graph_validates() {
+        let m = build_transformer(&small()).into_training();
+        m.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn with_target_params_inverts_formula() {
+        for target in [10_000_000u64, 300_000_000] {
+            let cfg = TransformerConfig::default().with_target_params(target);
+            let rel = (cfg.param_formula() as f64 - target as f64).abs() / target as f64;
+            assert!(rel < 0.05, "target {target}: rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn flops_per_param_is_6q_plus_attention_term() {
+        // Training FLOPs/param ≈ 6q + O(q²/d): with d ≫ q it approaches the
+        // LSTM's 6q; the attention surcharge is the architectural signature.
+        let cfg = TransformerConfig {
+            vocab: 1000,
+            d_model: 512,
+            layers: 4,
+            seq_len: 16,
+            ff_mult: 4,
+            tied_embedding: true,
+        };
+        let m = build_transformer(&cfg).into_training();
+        let n = m.graph.stats().eval(&m.bindings_with_batch(1)).unwrap();
+        let ratio = n.flops / n.params;
+        let floor = 6.0 * cfg.seq_len as f64;
+        assert!(
+            ratio > floor && ratio < 1.35 * floor,
+            "flops/param {ratio} vs 6q = {floor}"
+        );
+    }
+
+    #[test]
+    fn attention_flops_grow_quadratically_in_sequence_length() {
+        let flops_at = |q: u64| {
+            let cfg = TransformerConfig { seq_len: q, ..small() };
+            let m = build_transformer(&cfg).into_training();
+            m.graph
+                .stats()
+                .eval(&m.bindings_with_batch(1))
+                .unwrap()
+                .flops
+        };
+        // Subtract the linear-in-q part measured at two small lengths; what
+        // remains must scale ~4× when q doubles.
+        let (f8, f16, f32_) = (flops_at(8), flops_at(16), flops_at(32));
+        let linear = f16 - f8; // ≈ slope · 8 (plus small quadratic residue)
+        let growth_16_32 = f32_ - f16;
+        assert!(
+            growth_16_32 > 2.0 * linear,
+            "expected superlinear growth: {growth_16_32} vs linear {linear}"
+        );
+    }
+
+    #[test]
+    fn matches_lstm_cost_family_at_equal_params_and_tokens() {
+        // At the same parameter budget, token budget, and d ≫ q, the
+        // Transformer and the tied LSTM cost within ~25% of each other per
+        // step — the architectures differ, the paper's FLOPs/param logic
+        // carries over.
+        let target = 30_000_000u64;
+        let q = 16u64;
+        let tf = build_transformer(
+            &TransformerConfig { seq_len: q, ..TransformerConfig::default() }
+                .with_target_params(target),
+        )
+        .into_training();
+        let lstm = build_word_lm(
+            &WordLmConfig { seq_len: q, ..WordLmConfig::default() }.with_target_params(target),
+        )
+        .into_training();
+        let ntf = tf.graph.stats().eval(&tf.bindings_with_batch(8)).unwrap();
+        let nlstm = lstm.graph.stats().eval(&lstm.bindings_with_batch(8)).unwrap();
+        let ratio = ntf.flops / nlstm.flops;
+        assert!(
+            (0.75..1.35).contains(&ratio),
+            "transformer/LSTM step FLOPs ratio {ratio}"
+        );
+    }
+}

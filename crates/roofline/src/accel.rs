@@ -1,0 +1,92 @@
+//! Target accelerator description (paper Table 4).
+
+use serde::{Deserialize, Serialize};
+
+/// An accelerator configuration for roofline projections.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Accelerator {
+    /// Human-readable name.
+    pub name: String,
+    /// Peak 32-bit compute throughput, FLOP/s (`x_c`).
+    pub peak_flops: f64,
+    /// Peak off-chip memory bandwidth, B/s (`x_a`).
+    pub peak_mem_bw: f64,
+    /// On-chip cache capacity, bytes.
+    pub cache_bytes: f64,
+    /// Off-chip memory capacity, bytes.
+    pub mem_capacity: f64,
+    /// Inter-device link bandwidth, B/s.
+    pub interconnect_bw: f64,
+    /// Fraction of peak FLOP/s that is achievable (paper: 0.8).
+    pub achievable_flops_frac: f64,
+    /// Fraction of peak bandwidth that is achievable (paper: 0.7).
+    pub achievable_bw_frac: f64,
+}
+
+impl Accelerator {
+    /// The paper's Table 4 configuration (similar to an NVIDIA V100v2).
+    pub fn v100_like() -> Accelerator {
+        Accelerator {
+            name: "V100-like (Table 4)".into(),
+            peak_flops: 15.67e12,
+            peak_mem_bw: 898e9,
+            cache_bytes: 6.0 * 1024.0 * 1024.0,
+            mem_capacity: 32.0 * (1u64 << 30) as f64,
+            interconnect_bw: 56e9,
+            achievable_flops_frac: 0.8,
+            achievable_bw_frac: 0.7,
+        }
+    }
+
+    /// Achievable compute throughput `0.8·x_c`.
+    pub fn achievable_flops(&self) -> f64 {
+        self.achievable_flops_frac * self.peak_flops
+    }
+
+    /// Achievable memory bandwidth `0.7·x_a`.
+    pub fn achievable_bw(&self) -> f64 {
+        self.achievable_bw_frac * self.peak_mem_bw
+    }
+
+    /// Peak roofline ridge point `x_c / x_a` (FLOP/B).
+    pub fn ridge_point(&self) -> f64 {
+        self.peak_flops / self.peak_mem_bw
+    }
+
+    /// Achievable-throughput ridge point `0.8·x_c / 0.7·x_a` (FLOP/B) — the
+    /// operational intensity above which a kernel is compute-bound in
+    /// practice.
+    pub fn achievable_ridge_point(&self) -> f64 {
+        self.achievable_flops() / self.achievable_bw()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_ridge_points() {
+        let a = Accelerator::v100_like();
+        // Paper: ridge 17.4 FLOP/B, rising to 19.9 at achievable throughput.
+        assert!((a.ridge_point() - 17.45).abs() < 0.1, "{}", a.ridge_point());
+        assert!(
+            (a.achievable_ridge_point() - 19.94).abs() < 0.1,
+            "{}",
+            a.achievable_ridge_point()
+        );
+    }
+
+    #[test]
+    fn achievable_fractions_apply() {
+        let a = Accelerator::v100_like();
+        assert!((a.achievable_flops() - 0.8 * 15.67e12).abs() < 1.0);
+        assert!((a.achievable_bw() - 0.7 * 898e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn capacity_is_32_gib() {
+        let a = Accelerator::v100_like();
+        assert_eq!(a.mem_capacity, 32.0 * 1073741824.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! `roofline` — the paper's hardware performance model: the Table 4 target
+//! accelerator, roofline step-time estimation (§5.2), and the
+//! cache-hierarchy-aware matmul traffic model of the §6 case study.
+//!
+//! ```
+//! use roofline::{Accelerator, roofline_time, Bound};
+//!
+//! let accel = Accelerator::v100_like();
+//! // Table 3, word LM row: 1444 TFLOPs and 41.5 TB per step.
+//! let t = roofline_time(1444e12, 41.5e12, &accel);
+//! assert_eq!(t.bound, Bound::Compute);
+//! assert!((t.seconds - 115.0).abs() < 3.0); // paper: 115 s/step
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod accel;
+mod cache;
+mod swap;
+mod timing;
+
+pub use accel::Accelerator;
+pub use cache::{
+    cache_aware_stats, matmul_traffic, matmul_traffic_panel, matmul_traffic_square,
+    op_bytes_with_cache, per_op_step_time, CacheModel,
+};
+pub use swap::{min_shards_to_fit, swap_report, HostLink, SwapReport};
+pub use timing::{epoch_seconds, roofline_time, step_time, to_days, Bound, RooflineTime};

@@ -1,0 +1,192 @@
+//! Least-squares fitting of the paper's first-order trend models
+//! (`c_t ≈ γ·p`, `a_t ≈ λ·p + µ·b·√p`, `f_t ≈ δ·p`, and log-log power laws).
+
+/// Result of a straight-line fit `y = slope·x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// Slope.
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+/// Ordinary least squares for `y = slope·x + intercept`.
+///
+/// # Panics
+/// Panics on fewer than two points or zero variance in `x`.
+pub fn fit_linear(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "mismatched sample lengths");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    assert!(sxx > 0.0, "x values must not be constant");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (slope * x + intercept);
+            e * e
+        })
+        .sum();
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    LinearFit { slope, intercept, r2 }
+}
+
+/// Least-squares fit of a proportional law `y = k·x` (no intercept) — the
+/// form of the paper's `ct(p) ≈ γp` and `ft(p) ≈ δp` models.
+pub fn fit_proportional(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "mismatched sample lengths");
+    assert!(!xs.is_empty(), "need at least one point");
+    let num: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let den: f64 = xs.iter().map(|x| x * x).sum();
+    assert!(den > 0.0, "x values must not all be zero");
+    num / den
+}
+
+/// Result of a power-law fit `y = a·x^b`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerLawFit {
+    /// Scale `a`.
+    pub a: f64,
+    /// Exponent `b`.
+    pub b: f64,
+    /// R² in log-log space.
+    pub r2: f64,
+}
+
+/// Fit `y = a·x^b` by linear regression in log-log space. All values must be
+/// strictly positive.
+pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> PowerLawFit {
+    assert!(
+        xs.iter().chain(ys).all(|v| *v > 0.0),
+        "power-law fit requires positive data"
+    );
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let f = fit_linear(&lx, &ly);
+    PowerLawFit {
+        a: f.intercept.exp(),
+        b: f.slope,
+        r2: f.r2,
+    }
+}
+
+/// Fit the paper's two-term memory-access model `a(p, b) = λ·p + µ·b·√p`
+/// given samples of `(params, batch, bytes)`.
+///
+/// Rather than a joint two-basis regression — which lets misfit in one
+/// basis (e.g. a mild regime change in bytes/param across the sweep) drive
+/// the other coefficient negative — this exploits the model's structure:
+/// at fixed `p`, `∂a/∂b = µ·√p` exactly, so `µ` is estimated from the
+/// batch slope at each model size and `λ` from the per-parameter remainder.
+/// Both estimates are non-negative whenever traffic is monotone in `b`.
+pub fn fit_access_model(samples: &[(f64, f64, f64)]) -> (f64, f64) {
+    assert!(samples.len() >= 2, "need at least two samples");
+    // Group by distinct p (exact match: sweeps reuse identical configs).
+    let mut groups: Vec<(f64, Vec<(f64, f64)>)> = Vec::new();
+    for &(p, b, y) in samples {
+        match groups.iter_mut().find(|(gp, _)| *gp == p) {
+            Some((_, v)) => v.push((b, y)),
+            None => groups.push((p, vec![(b, y)])),
+        }
+    }
+    let multi_batch = groups.iter().any(|(_, v)| v.len() >= 2);
+    assert!(
+        multi_batch,
+        "access-model fit needs at least two batch sizes at some model size"
+    );
+    let mut mus = Vec::new();
+    for (p, v) in &groups {
+        if v.len() < 2 {
+            continue;
+        }
+        let bs: Vec<f64> = v.iter().map(|(b, _)| *b).collect();
+        let ys: Vec<f64> = v.iter().map(|(_, y)| *y).collect();
+        let slope = fit_linear(&bs, &ys).slope;
+        mus.push(slope / p.sqrt());
+    }
+    let mu = (mus.iter().sum::<f64>() / mus.len() as f64).max(0.0);
+    let mut lambdas = Vec::new();
+    for &(p, b, y) in samples {
+        lambdas.push((y - mu * b * p.sqrt()) / p);
+    }
+    let lambda = (lambdas.iter().sum::<f64>() / lambdas.len() as f64).max(0.0);
+    (lambda, mu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 0.5).collect();
+        let f = fit_linear(&xs, &ys);
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!((f.intercept - 0.5).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportional_fit_recovers_slope() {
+        let xs = [1.0, 10.0, 100.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 481.0 * x).collect();
+        assert!((fit_proportional(&xs, &ys) - 481.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_law_fit_recovers_exponent() {
+        let xs = [1e3, 1e4, 1e5, 1e6];
+        let ys: Vec<f64> = xs.iter().map(|x: &f64| 13.0 * x.powf(-0.066)).collect();
+        let f = fit_power_law(&xs, &ys);
+        assert!((f.a - 13.0).abs() < 1e-6);
+        assert!((f.b + 0.066).abs() < 1e-9);
+    }
+
+    #[test]
+    fn access_model_recovers_lambda_mu() {
+        let mut samples = Vec::new();
+        for &p in &[1e6_f64, 1e7, 1e8] {
+            for &b in &[1.0_f64, 32.0, 128.0] {
+                samples.push((p, b, 1755.0 * p + 30784.0 * b * p.sqrt()));
+            }
+        }
+        let (l, m) = fit_access_model(&samples);
+        assert!((l - 1755.0).abs() / 1755.0 < 1e-9);
+        assert!((m - 30784.0).abs() / 30784.0 < 1e-9);
+    }
+
+    #[test]
+    fn noisy_power_law_still_close() {
+        let xs: Vec<f64> = (1..=20).map(|i| 1000.0 * i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x.powf(0.7) * (1.0 + 0.01 * ((i % 3) as f64 - 1.0)))
+            .collect();
+        let f = fit_power_law(&xs, &ys);
+        assert!((f.b - 0.7).abs() < 0.02);
+        assert!(f.r2 > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn linear_fit_rejects_single_point() {
+        let _ = fit_linear(&[1.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn power_law_rejects_nonpositive() {
+        let _ = fit_power_law(&[1.0, -2.0], &[1.0, 2.0]);
+    }
+}

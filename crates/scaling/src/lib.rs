@@ -1,0 +1,31 @@
+//! `scaling` — power-law accuracy/capacity scaling and frontier projection
+//! (paper §3, Table 1, Figure 6).
+//!
+//! Implements the analytical models of Hestness et al. 2017 that the paper
+//! builds on: learning curves `ε(m) = α·m^βg`, model-size curves
+//! `p(m) = σ·m^βp`, the transcribed Table 1 constants for the five domains,
+//! and the inversion that turns an expert accuracy target into required data
+//! and model growth. Also provides the least-squares fitting used by the
+//! characterization pipeline (γ, λ, µ, δ of §4).
+//!
+//! ```
+//! use scaling::{scaling_for};
+//! use modelzoo::Domain;
+//!
+//! let word_lm = scaling_for(Domain::WordLm).project();
+//! assert!(word_lm.data_scale > 90.0);          // ≈ 100× more words
+//! assert!(word_lm.target_params > 20e9);       // ≈ 23.8B parameters
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod fit;
+mod laws;
+mod table1;
+
+pub use fit::{
+    fit_access_model, fit_linear, fit_power_law, fit_proportional, LinearFit, PowerLawFit,
+};
+pub use laws::{LearningCurve, ModelSizeCurve, SketchCurve};
+pub use table1::{scaling_for, table1, DomainScaling, Projection};

@@ -1,0 +1,112 @@
+//! Human-readable rendering of expressions.
+
+use std::fmt;
+
+use crate::expr::{Atom, Expr, Func};
+use crate::rat::Rat;
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms().is_empty() {
+            return write!(f, "0");
+        }
+        for (i, t) in self.terms().iter().enumerate() {
+            let coeff = t.coeff;
+            if i == 0 {
+                if coeff.is_negative() {
+                    write!(f, "-")?;
+                }
+            } else if coeff.is_negative() {
+                write!(f, " - ")?;
+            } else {
+                write!(f, " + ")?;
+            }
+            let mag = coeff.abs();
+            if t.factors.is_empty() {
+                write!(f, "{mag}")?;
+            } else {
+                let mut wrote = false;
+                if !mag.is_one() {
+                    write!(f, "{mag}")?;
+                    wrote = true;
+                }
+                for (a, e) in &t.factors {
+                    if wrote {
+                        write!(f, "·")?;
+                    }
+                    fmt_factor(f, a, *e)?;
+                    wrote = true;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn fmt_factor(f: &mut fmt::Formatter<'_>, atom: &Atom, exp: Rat) -> fmt::Result {
+    match atom {
+        Atom::Sym(s) => write!(f, "{s}")?,
+        Atom::Expr(e) => write!(f, "({e})")?,
+        Atom::Func(func) => match func {
+            Func::Max(args) => fmt_call(f, "max", args)?,
+            Func::Min(args) => fmt_call(f, "min", args)?,
+            Func::Ceil(a) => write!(f, "ceil({a})")?,
+        },
+    }
+    if !exp.is_one() {
+        if exp.is_integer() && !exp.is_negative() {
+            write!(f, "^{exp}")?;
+        } else {
+            write!(f, "^({exp})")?;
+        }
+    }
+    Ok(())
+}
+
+fn fmt_call(f: &mut fmt::Formatter<'_>, name: &str, args: &[Expr]) -> fmt::Result {
+    write!(f, "{name}(")?;
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{a}")?;
+    }
+    write!(f, ")")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Expr;
+
+    #[test]
+    fn renders_zero() {
+        assert_eq!(Expr::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn renders_polynomial() {
+        let h = Expr::sym("disp_h");
+        let e = h.pow(2) * Expr::int(3) + &h - Expr::int(7);
+        // Canonical term order puts the constant first.
+        assert_eq!(e.to_string(), "-7 + disp_h + 3·disp_h^2");
+    }
+
+    #[test]
+    fn renders_fractional_power() {
+        let p = Expr::sym("disp_p");
+        assert_eq!(p.sqrt().to_string(), "disp_p^(1/2)");
+        assert_eq!(p.recip().to_string(), "disp_p^(-1)");
+    }
+
+    #[test]
+    fn renders_composite_and_funcs() {
+        let a = Expr::sym("disp_a");
+        let b = Expr::sym("disp_b");
+        let e = (a.clone() + b.clone()).recip();
+        assert_eq!(e.to_string(), "(disp_a + disp_b)^(-1)");
+        let m = Expr::max(vec![a.clone(), b.clone()]);
+        assert_eq!(m.to_string(), "max(disp_a, disp_b)");
+        let c = Expr::ceil(a / Expr::int(2));
+        assert_eq!(c.to_string(), "ceil(1/2·disp_a)");
+    }
+}

@@ -1,0 +1,43 @@
+//! `symath` — a small exact symbolic-algebra engine.
+//!
+//! This crate is the algebraic substrate for the `frontier` workspace: it
+//! represents the polynomial-with-fractional-powers expressions that arise
+//! when propagating symbolic tensor dimensions through deep-learning compute
+//! graphs (the role sympy plays in the original Catamount artifact of
+//! Hestness et al., PPoPP 2019).
+//!
+//! # Model
+//!
+//! * [`Expr`] — canonical sum-of-products expressions with exact [`Rat`]
+//!   coefficients and exponents, plus `max`, `min`, and `ceil`.
+//! * [`Symbol`] — interned names; all symbols denote **positive** reals
+//!   (tensor dimensions), which licenses exponent distribution.
+//! * [`Bindings`] — symbol → value maps for numeric [`Expr::eval`].
+//!
+//! # Example
+//!
+//! ```
+//! use symath::{Expr, Bindings};
+//!
+//! // FLOPs of one LSTM layer forward step: 16·q·h² (paper §4.2, l = 1).
+//! let h = Expr::sym("h");
+//! let q = Expr::sym("q");
+//! let flops = Expr::int(16) * &q * h.pow(2);
+//!
+//! let b = Bindings::new().with("h", 1024.0).with("q", 80.0);
+//! assert_eq!(flops.eval(&b).unwrap(), 16.0 * 80.0 * 1024.0 * 1024.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod display;
+mod eval;
+mod expr;
+mod rat;
+mod symbol;
+
+pub use eval::{Bindings, UnboundSymbol};
+pub use expr::{Atom, Expr, Func};
+pub use rat::Rat;
+pub use symbol::Symbol;

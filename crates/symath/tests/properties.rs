@@ -1,0 +1,126 @@
+//! Property-based tests: algebraic laws of `Expr` checked both structurally
+//! and against numeric evaluation.
+
+use proptest::prelude::*;
+use symath::{Bindings, Expr, Rat, Symbol};
+
+const SYMS: [&str; 4] = ["pp_a", "pp_b", "pp_c", "pp_d"];
+
+/// A small recursive expression generator over four fixed symbols with
+/// integer coefficients. Depth-limited so test cases stay tractable.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20i128..=20).prop_map(Expr::int),
+        (0usize..SYMS.len()).prop_map(|i| Expr::sym(SYMS[i])),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), 2i128..=3).prop_map(|(a, k)| a.pow(Rat::int(k))),
+        ]
+    })
+}
+
+fn bindings() -> Bindings {
+    // Positive values per the crate's positivity convention.
+    Bindings::new()
+        .with("pp_a", 2.0)
+        .with("pp_b", 3.0)
+        .with("pp_c", 5.0)
+        .with("pp_d", 7.0)
+}
+
+fn close(x: f64, y: f64) -> bool {
+    let scale = x.abs().max(y.abs()).max(1.0);
+    (x - y).abs() <= 1e-6 * scale
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in arb_expr(), b in arb_expr()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn multiplication_commutes(a in arb_expr(), b in arb_expr()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn addition_associates(a in arb_expr(), b in arb_expr(), c in arb_expr()) {
+        prop_assert_eq!((&a + &b) + &c, &a + (&b + &c));
+    }
+
+    #[test]
+    fn multiplication_distributes(a in arb_expr(), b in arb_expr(), c in arb_expr()) {
+        prop_assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
+    }
+
+    #[test]
+    fn subtraction_of_self_is_zero(a in arb_expr()) {
+        prop_assert!((&a - &a).is_zero());
+    }
+
+    #[test]
+    fn structural_ops_match_numeric_eval(a in arb_expr(), b in arb_expr()) {
+        let env = bindings();
+        let (va, vb) = (a.eval(&env).unwrap(), b.eval(&env).unwrap());
+        prop_assert!(close((&a + &b).eval(&env).unwrap(), va + vb));
+        prop_assert!(close((&a * &b).eval(&env).unwrap(), va * vb));
+        prop_assert!(close((&a - &b).eval(&env).unwrap(), va - vb));
+    }
+
+    #[test]
+    fn square_matches_eval(a in arb_expr()) {
+        let env = bindings();
+        let v = a.eval(&env).unwrap();
+        prop_assert!(close(a.pow(Rat::TWO).eval(&env).unwrap(), v * v));
+    }
+
+    #[test]
+    fn subst_then_eval_equals_eval_with_binding(a in arb_expr(), val in 1i128..50) {
+        let env = bindings();
+        let target = Symbol::new("pp_a");
+        let substituted = a.subst(target, &Expr::int(val));
+        let mut env2 = env.clone();
+        env2.set("pp_a", val as f64);
+        prop_assert!(close(
+            substituted.eval(&env2).unwrap(),
+            a.eval(&env2).unwrap()
+        ));
+        // The substituted expression must no longer mention pp_a.
+        prop_assert!(!substituted.free_symbols().contains(&target));
+    }
+
+    #[test]
+    fn free_symbols_subset_of_universe(a in arb_expr()) {
+        let universe: std::collections::BTreeSet<Symbol> =
+            SYMS.iter().map(|s| Symbol::new(s)).collect();
+        prop_assert!(a.free_symbols().is_subset(&universe));
+    }
+
+    #[test]
+    fn canonical_form_has_unique_terms(a in arb_expr(), b in arb_expr()) {
+        // Adding then subtracting must return to the original expression —
+        // normalization is stable.
+        let roundtrip = (&a + &b) - &b;
+        prop_assert_eq!(roundtrip, a);
+    }
+
+    #[test]
+    fn max_is_idempotent_and_bounded(a in arb_expr(), b in arb_expr()) {
+        let env = bindings();
+        let m = Expr::max(vec![a.clone(), b.clone()]);
+        let (va, vb) = (a.eval(&env).unwrap(), b.eval(&env).unwrap());
+        let vm = m.eval(&env).unwrap();
+        prop_assert!(close(vm, va.max(vb)));
+    }
+
+    #[test]
+    fn display_is_reparseable_length(a in arb_expr()) {
+        // Smoke property: rendering never panics and yields nonempty text.
+        prop_assert!(!a.to_string().is_empty());
+    }
+}

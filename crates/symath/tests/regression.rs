@@ -1,0 +1,148 @@
+//! Targeted regression and edge-case tests for the symbolic engine: the
+//! exact expression shapes the compute-graph analyses produce.
+
+use symath::{Bindings, Expr, Rat, Symbol};
+
+#[test]
+fn word_lm_cost_form_evaluates_exactly() {
+    // c_fwd = q(16h²l + 2hv), the paper's §4.2 closed form.
+    let (h, v, q, l) = (
+        Expr::sym("rg_h"),
+        Expr::sym("rg_v"),
+        Expr::sym("rg_q"),
+        Expr::sym("rg_l"),
+    );
+    let c = q.clone() * (Expr::int(16) * h.pow(Rat::TWO) * l.clone() + Expr::int(2) * &h * &v);
+    let bind = Bindings::new()
+        .with("rg_h", 8192.0)
+        .with("rg_v", 793_471.0)
+        .with("rg_q", 80.0)
+        .with("rg_l", 2.0);
+    let expected = 80.0 * (16.0 * 8192.0f64.powi(2) * 2.0 + 2.0 * 8192.0 * 793_471.0);
+    assert_eq!(c.eval(&bind).unwrap(), expected);
+}
+
+#[test]
+fn table2_intensity_form_builds_and_evaluates() {
+    // b·√p / (3.65·√p + 64·b) — a non-polynomial quotient kept composite.
+    let (b, p) = (Expr::sym("rg_b"), Expr::sym("rg_p"));
+    let numer = b.clone() * p.sqrt();
+    let denom = Expr::rat(365, 100) * p.sqrt() + Expr::int(64) * &b;
+    let intensity = numer / denom;
+    let bind = Bindings::new().with("rg_b", 128.0).with("rg_p", 23.8e9);
+    let sp = 23.8e9f64.sqrt();
+    let expected = 128.0 * sp / (3.65 * sp + 64.0 * 128.0);
+    let got = intensity.eval(&bind).unwrap();
+    assert!((got - expected).abs() < 1e-9 * expected);
+}
+
+#[test]
+fn fractional_exponent_arithmetic() {
+    let p = Expr::sym("rg_p2");
+    // √p · √p = p and p^(3/2) / √p = p.
+    assert_eq!(p.sqrt() * p.sqrt(), p);
+    assert_eq!(p.pow(Rat::new(3, 2)) / p.sqrt(), p);
+    // (4p)^(1/2) pulls the 4 out exactly.
+    assert_eq!((Expr::int(4) * &p).sqrt(), Expr::int(2) * p.sqrt());
+}
+
+#[test]
+fn nested_composite_substitution() {
+    let (a, b) = (Expr::sym("rg_a"), Expr::sym("rg_b2"));
+    // max(a, b) / (a + b), then substitute a := 2b.
+    let e = Expr::max(vec![a.clone(), b.clone()]) / (a.clone() + b.clone());
+    let subbed = e.subst(Symbol::new("rg_a"), &(Expr::int(2) * &b));
+    let bind = Bindings::new().with("rg_b2", 5.0);
+    // max(10, 5) / 15 = 2/3.
+    assert!((subbed.eval(&bind).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn ceil_interacts_with_arithmetic() {
+    let x = Expr::sym("rg_x");
+    let e = Expr::ceil(x.clone() / Expr::int(3)) * Expr::int(3);
+    let bind = Bindings::new().with("rg_x", 10.0);
+    assert_eq!(e.eval(&bind).unwrap(), 12.0);
+    // Constant folding happens at construction.
+    assert_eq!(Expr::ceil(Expr::rat(10, 3)), Expr::int(4));
+}
+
+#[test]
+fn large_coefficients_stay_exact() {
+    // A char-LM frontier-scale coefficient: 2·h²·(d+1) at h = 81_500.
+    let e = Expr::int(2) * Expr::int(81_500).pow(Rat::TWO) * Expr::int(11);
+    assert_eq!(
+        e.as_const().unwrap().num(),
+        2 * 81_500i128 * 81_500 * 11
+    );
+}
+
+#[test]
+fn bind_all_then_as_const_roundtrip() {
+    let (h, b) = (Expr::sym("rg_h3"), Expr::sym("rg_b3"));
+    let e = Expr::int(16) * h.pow(Rat::TWO) + Expr::int(2) * &h * &b;
+    let bound = e.bind_all(&Bindings::new().with("rg_h3", 100.0).with("rg_b3", 32.0));
+    assert_eq!(bound.as_const().unwrap().num(), 160_000 + 6_400);
+}
+
+#[test]
+#[should_panic(expected = "integer-valued")]
+fn bind_all_rejects_fractional_values() {
+    let h = Expr::sym("rg_h4");
+    let _ = h.bind_all(&Bindings::new().with("rg_h4", 1.5));
+}
+
+#[test]
+fn min_and_max_compose() {
+    let (a, b) = (Expr::sym("rg_a5"), Expr::sym("rg_b5"));
+    let clamp = Expr::min(vec![
+        Expr::max(vec![a.clone(), Expr::int(0)]),
+        b.clone(),
+    ]);
+    let eval = |av: f64, bv: f64| {
+        clamp
+            .eval(&Bindings::new().with("rg_a5", av).with("rg_b5", bv))
+            .unwrap()
+    };
+    assert_eq!(eval(5.0, 10.0), 5.0);
+    assert_eq!(eval(5.0, 3.0), 3.0);
+    // Positivity convention means symbols are > 0, but eval itself is
+    // agnostic; max with 0 still clips.
+    assert_eq!(eval(0.5, 2.0), 0.5);
+}
+
+#[test]
+fn display_roundtrips_representative_forms() {
+    let p = Expr::sym("rg_p6");
+    let b = Expr::sym("rg_b6");
+    let forms = [
+        Expr::int(1755) * &p + Expr::int(30784) * &b * p.sqrt(),
+        (p.clone() + b.clone()).recip(),
+        Expr::max(vec![p.clone() / Expr::int(2), b.clone()]),
+    ];
+    for f in &forms {
+        let s = f.to_string();
+        assert!(!s.is_empty());
+        // Canonical form is deterministic: printing twice is identical.
+        assert_eq!(s, f.to_string());
+    }
+}
+
+#[test]
+fn degree_guides_asymptotics() {
+    let (h, b) = (Expr::sym("rg_h7"), Expr::sym("rg_b7"));
+    let flops = Expr::int(16) * h.pow(Rat::TWO) * &b + Expr::int(2) * &h * &b;
+    assert_eq!(flops.degree_in(Symbol::new("rg_h7")), Rat::TWO);
+    assert_eq!(flops.degree_in(Symbol::new("rg_b7")), Rat::ONE);
+}
+
+#[test]
+fn subtracting_composite_atoms_cancels() {
+    let (a, b) = (Expr::sym("rg_a8"), Expr::sym("rg_b8"));
+    let inv = (a.clone() + b.clone()).recip();
+    let diff = inv.clone() * Expr::int(3) - inv.clone() * Expr::int(3);
+    assert!(diff.is_zero());
+    let partial = inv.clone() * Expr::int(3) - inv;
+    let bind = Bindings::new().with("rg_a8", 1.0).with("rg_b8", 1.0);
+    assert_eq!(partial.eval(&bind).unwrap(), 1.0);
+}

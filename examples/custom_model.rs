@@ -1,0 +1,101 @@
+//! Building a custom architecture against the raw graph API — the workflow
+//! for analyzing a model the zoo does not ship (here: a small Transformer-
+//! style block, an architecture the paper's methodology extends to).
+//!
+//! ```sh
+//! cargo run --release --example custom_model
+//! ```
+
+use frontier::prelude::*;
+
+/// One pre-norm self-attention + MLP block over `[b, q, d]` activations,
+/// unrolled at sequence length `q` with `heads = 1` for clarity.
+fn transformer_block(
+    g: &mut Graph,
+    layer: usize,
+    x: frontier::cgraph::TensorId, // [b·q, d]
+    bq: Expr,
+    d: u64,
+) -> frontier::cgraph::TensorId {
+    let de = Expr::from(d);
+    let name = |s: &str| format!("l{layer}.{s}");
+
+    // Q, K, V projections.
+    let wq = g.weight(name("wq"), [de.clone(), de.clone()]).unwrap();
+    let wk = g.weight(name("wk"), [de.clone(), de.clone()]).unwrap();
+    let wv = g.weight(name("wv"), [de.clone(), de.clone()]).unwrap();
+    let q = g.matmul(&name("q"), x, wq, false, false).unwrap();
+    let k = g.matmul(&name("k"), x, wk, false, false).unwrap();
+    let v = g.matmul(&name("v"), x, wv, false, false).unwrap();
+
+    // Attention scores over the flattened sequence (single head):
+    // scores[bq, bq'] = q·kᵀ — the quadratic-in-sequence-length term that
+    // distinguishes attention from the paper's recurrent models.
+    let scores = g.matmul(&name("scores"), q, k, false, true).unwrap();
+    let probs = g.softmax(&name("softmax"), scores).unwrap();
+    let ctx = g.matmul(&name("ctx"), probs, v, false, false).unwrap();
+
+    // Output projection + residual.
+    let wo = g.weight(name("wo"), [de.clone(), de.clone()]).unwrap();
+    let proj = g.matmul(&name("proj"), ctx, wo, false, false).unwrap();
+    let attn_out = g.binary(&name("residual1"), PointwiseFn::Add, proj, x).unwrap();
+
+    // 4×-wide MLP.
+    let w1 = g.weight(name("w1"), [de.clone(), Expr::from(4 * d)]).unwrap();
+    let w2 = g.weight(name("w2"), [Expr::from(4 * d), de]).unwrap();
+    let h = g.matmul(&name("mlp1"), attn_out, w1, false, false).unwrap();
+    let h = g.unary(&name("gelu"), PointwiseFn::Tanh, h).unwrap();
+    let h = g.matmul(&name("mlp2"), h, w2, false, false).unwrap();
+    let _ = bq;
+    g.binary(&name("residual2"), PointwiseFn::Add, h, attn_out).unwrap()
+}
+
+fn main() {
+    let (d, q, vocab, layers) = (512u64, 128u64, 32_000u64, 4usize);
+    let mut g = Graph::new("tiny-transformer");
+    let b = Expr::sym("b");
+    let bq = b.clone() * Expr::from(q);
+
+    let tokens = g.input("tokens", [bq.clone()], DType::I32).unwrap();
+    let table = g.weight("embedding", [Expr::from(vocab), Expr::from(d)]).unwrap();
+    let mut x = g.gather("embed", table, tokens).unwrap();
+    x = g.reshape("flat", x, [bq.clone(), Expr::from(d)]).unwrap();
+
+    for layer in 0..layers {
+        x = transformer_block(&mut g, layer, x, bq.clone(), d);
+    }
+
+    // Tied output projection + loss.
+    let logits = g.matmul("logits", x, table, false, true).unwrap();
+    let labels = g.input("labels", [bq], DType::I32).unwrap();
+    let loss = g.cross_entropy("loss", logits, labels).unwrap();
+    build_training_step(&mut g, loss).expect("differentiable");
+    g.validate().expect("well-formed graph");
+
+    println!("custom graph `{}`: {} ops, {} tensors", g.name, g.ops().len(), g.tensors().len());
+    let params = g.params().eval(&Bindings::new()).unwrap();
+    println!("parameters: {params:.3e}");
+
+    // Characterize across subbatch sizes, exactly like the paper's models.
+    let accel = Accelerator::v100_like();
+    println!("\n{:>6} {:>12} {:>12} {:>10} {:>10}", "batch", "TFLOPs/step", "GB/step", "FLOP/B", "step (s)");
+    for batch in [1u64, 8, 32, 128] {
+        let bindings = Bindings::new().with("b", batch as f64);
+        let n = g.stats().eval(&bindings).unwrap();
+        let t = roofline_time(n.flops, n.bytes, &accel);
+        println!(
+            "{:>6} {:>12.3} {:>12.2} {:>10.1} {:>10.4}",
+            batch,
+            n.flops / 1e12,
+            n.bytes / 1e9,
+            n.operational_intensity(),
+            t.seconds
+        );
+    }
+
+    let fp = footprint(&g, &Bindings::new().with("b", 32.0), Scheduler::Best).unwrap();
+    println!("\nfootprint at b=32: {:.2} GB", fp.peak_bytes as f64 / 1e9);
+    println!("\nNote the attention scores grow with (b·q)², so operational intensity");
+    println!("rises faster with batch than the paper's recurrent models — the same");
+    println!("methodology, applied to a post-paper architecture.");
+}

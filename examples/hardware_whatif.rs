@@ -1,0 +1,112 @@
+//! Hardware what-if analysis (paper §6.2.3): which accelerator resource
+//! actually helps the frontier word LM — and how far the paper's proposed
+//! mitigations (low precision, gradient compression, better model
+//! parallelism) close the gap.
+//!
+//! ```sh
+//! cargo run --release --example hardware_whatif
+//! ```
+
+use frontier::analysis::lstm_p_config;
+use frontier::prelude::*;
+
+fn main() {
+    // The §6 case-study model: LSTM-p word LM, subbatch 128.
+    let model = ModelConfig::WordLm(lstm_p_config()).build_training();
+    let batch = 128;
+    println!(
+        "LSTM-p word LM: {:.2e} params, training-step graph of {} ops\n",
+        model.param_count() as f64,
+        model.graph.ops().len()
+    );
+
+    // --- 1. Single-axis hardware upgrades -------------------------------
+    println!("hardware design space (cache-aware per-op roofline):");
+    println!(
+        "{:<14} {:>10} {:>8} {:>9} {:>11} {:>14}",
+        "variant", "step (s)", "util", "speedup", "min shards", "swap slowdown"
+    );
+    for p in hardware_sensitivity(&model, batch, &hardware_variants()) {
+        println!(
+            "{:<14} {:>10.2} {:>7.1}% {:>8.2}x {:>11} {:>13.2}x",
+            p.label,
+            p.step_seconds,
+            100.0 * p.flop_utilization,
+            p.speedup,
+            p.min_shards,
+            p.swap_slowdown
+        );
+    }
+    println!("\n→ capacity and cache upgrades are what an RNN needs (shards, swap);");
+    println!("  compute-centric upgrades mostly help CNNs — the paper's conclusion.\n");
+
+    // --- 2. Low-precision training ---------------------------------------
+    let bindings = model.bindings_with_batch(batch);
+    let fp32 = footprint(&model.graph, &bindings, Scheduler::Best).unwrap();
+    let mut half = model.graph.clone();
+    cast_float_precision(&mut half, DType::F16);
+    let fp16 = footprint(&half, &bindings, Scheduler::Best).unwrap();
+    println!(
+        "precision: f32 footprint {:.1} GB -> f16 {:.1} GB ({:.2}x reduction; paper: 1.5-10x band)",
+        fp32.peak_bytes as f64 / 1e9,
+        fp16.peak_bytes as f64 / 1e9,
+        fp32.peak_bytes as f64 / fp16.peak_bytes as f64
+    );
+
+    // --- 3. Optimizer state pressure -------------------------------------
+    let mut adam = ModelConfig::WordLm(lstm_p_config()).build();
+    let step = cgraph::build_training_step(&mut adam.graph, adam.loss).unwrap();
+    apply_optimizer(&mut adam.graph, &step, Optimizer::Adam).unwrap();
+    let adam_fp = footprint(&adam.graph, &bindings, Scheduler::Best).unwrap();
+    println!(
+        "optimizer: SGD persistent {:.1} GB -> Adam {:.1} GB (state doubles weight memory)\n",
+        fp32.persistent_bytes as f64 / 1e9,
+        adam_fp.persistent_bytes as f64 / 1e9
+    );
+
+    // --- 4. Gradient compression at scale --------------------------------
+    let accel = Accelerator::v100_like();
+    let comm = CommConfig::default();
+    let worker = WorkerStep {
+        compute_seconds: 11.5, // cache-aware step
+        alg_flops: 1.16e14,
+        gradient_bytes: 4.0 * model.param_count() as f64,
+        samples_per_step: model.samples_per_step(batch),
+    };
+    println!("gradient compression at 2048 data-parallel workers (77B-word epoch):");
+    println!("(the ring is hop-latency bound at this fleet size, so payload");
+    println!(" compression saves little here — its wins are at moderate fleets)");
+    println!("{:<22} {:>12} {:>12}", "scheme", "comm (s)", "days/epoch");
+    for (name, scheme) in [
+        ("f32 (baseline)", GradCompression::None),
+        ("f16", GradCompression::Fp16),
+        ("int8 (QSGD)", GradCompression::Int8),
+        ("ternary (TernGrad)", GradCompression::Ternary),
+        ("top-1% (DGC)", GradCompression::TopK { ratio: 100 }),
+    ] {
+        let p = data_parallel_point_compressed(&worker, 2048, 77e9, &accel, &comm, scheme);
+        println!("{:<22} {:>12.2} {:>12.2}", name, p.comm_seconds, p.epoch_days);
+    }
+
+    // --- 5. Tensor vs layer parallelism ----------------------------------
+    println!("\nmodel parallelism at 4 ways (fitting the 32 GB accelerator):");
+    let tp = tensor_parallel_plan(
+        11.5,
+        2.0 * 4.0 * model.param_count() as f64,
+        &TensorParallelConfig {
+            ways: 4,
+            sync_points: 2 * 2 * 80,
+            bytes_per_sync: 128.0 * 8192.0 * 4.0,
+        },
+        &comm,
+    );
+    println!(
+        "tensor parallel: step {:.2} s, efficiency {:.0}% (layer parallel: ~40%)",
+        tp.step_seconds,
+        100.0 * tp.efficiency
+    );
+    println!("→ comparable to layer parallelism on this step: the 320 per-timestep");
+    println!("  activation syncs are hop-latency bound. Recovering the lost ~23%");
+    println!("  needs cheaper synchronization, not just a different split — the");
+    println!("  framework innovation the paper calls for.");
+}

@@ -1,0 +1,63 @@
+//! The §6 word-LM case study (paper Table 5): step-by-step parallelization
+//! of a frontier word LM — algorithmic optimization, cache-aware modeling,
+//! data parallelism, layer parallelism, and embedding sharding.
+//!
+//! ```sh
+//! cargo run --release --example parallelism_case_study
+//! ```
+
+use frontier::prelude::*;
+
+fn main() {
+    let accel = Accelerator::v100_like();
+    let comm = CommConfig::default();
+    let study = word_lm_case_study(&accel, &comm);
+
+    println!("Word LM at the frontier (LSTM with projection, paper §6)");
+    println!(
+        "  model: v={} h={} proj={:?}  ->  {:.2e} parameters",
+        study.config.vocab, study.config.hidden, study.config.projection, study.params
+    );
+    println!("  dataset: {:.1e} words\n", study.dataset_words);
+
+    println!(
+        "{:<34} {:>6} {:>9} {:>10} {:>12} {:>8}",
+        "optimization stage", "accels", "batch", "mem (GB)", "days/epoch", "util"
+    );
+    for row in &study.rows {
+        println!(
+            "{:<34} {:>6} {:>9} {:>10.1} {:>12.1} {:>7.1}%",
+            row.stage,
+            row.accelerators,
+            row.global_batch,
+            row.mem_per_accel_gb,
+            row.days_per_epoch,
+            100.0 * row.flop_utilization,
+        );
+        if row.stage_footprints_gb.len() > 1 {
+            let parts: Vec<String> = row
+                .stage_footprints_gb
+                .iter()
+                .map(|g| format!("{g:.0}"))
+                .collect();
+            println!("{:<34} per-stage footprints: {{{}}} GB", "", parts.join(", "));
+        }
+    }
+
+    println!("\nThe Figure 12 sweep — data-parallel scaling of the cache-aware step:");
+    let aware = &study.rows[1];
+    let worker = WorkerStep {
+        compute_seconds: aware.days_per_epoch * 86_400.0
+            / (study.dataset_words / (128.0 * study.config.seq_len as f64)),
+        alg_flops: study.params * 0.0, // recomputed below for display only
+        gradient_bytes: 4.0 * study.params,
+        samples_per_step: 128.0 * study.config.seq_len as f64,
+    };
+    let counts: Vec<u64> = (0..=14).map(|i| 1u64 << i).collect();
+    println!("{:>8} {:>14} {:>12}", "workers", "days/epoch", "comm (s)");
+    for p in data_parallel_sweep(&worker, &counts, study.dataset_words, &accel, &comm) {
+        println!("{:>8} {:>14.1} {:>12.2}", p.workers, p.epoch_days, p.comm_seconds);
+    }
+    println!("\nEpoch time saturates as ring-allreduce overhead grows with the fleet —");
+    println!("the paper's motivation for communication-efficient training research.");
+}

@@ -1,0 +1,262 @@
+//! Integration tests for the §6.2.3 extension features: precision casting,
+//! optimizer state, gradient compression, swapping, tensor parallelism, and
+//! the hardware design-space exploration — exercised together on real
+//! model graphs.
+
+use frontier::analysis::lstm_p_config;
+use frontier::prelude::*;
+
+#[test]
+fn f16_training_roughly_halves_frontier_footprint() {
+    let model = ModelConfig::default_for(Domain::WordLm)
+        .with_target_params(500_000_000)
+        .build_training();
+    let bindings = model.bindings_with_batch(64);
+    let full = footprint(&model.graph, &bindings, Scheduler::Best).unwrap();
+    let mut half_graph = model.graph.clone();
+    cast_float_precision(&mut half_graph, DType::F16);
+    half_graph.validate().unwrap();
+    let half = footprint(&half_graph, &bindings, Scheduler::Best).unwrap();
+    let reduction = full.peak_bytes as f64 / half.peak_bytes as f64;
+    // Paper: low precision "may reduce ... by 1.5–10×". Pure f16 sits at
+    // the bottom of that band.
+    assert!(
+        reduction > 1.7 && reduction < 2.1,
+        "f16 reduction {reduction}"
+    );
+}
+
+#[test]
+fn adam_pushes_models_over_the_capacity_cliff_sooner() {
+    // A model that fits with SGD can stop fitting once optimizer state is
+    // accounted — the memory-capacity argument sharpened.
+    let accel = Accelerator::v100_like();
+    let link = HostLink::default();
+    let cfg = ModelConfig::default_for(Domain::WordLm).with_target_params(2_000_000_000);
+    let sgd = cfg.build_training();
+    let bindings = sgd.bindings_with_batch(64);
+    let sgd_fp = footprint(&sgd.graph, &bindings, Scheduler::Best).unwrap();
+
+    let mut adam = cfg.build();
+    let step = cgraph::build_training_step(&mut adam.graph, adam.loss).unwrap();
+    apply_optimizer(&mut adam.graph, &step, Optimizer::Adam).unwrap();
+    adam.graph.validate().unwrap();
+    let adam_fp = footprint(&adam.graph, &bindings, Scheduler::Best).unwrap();
+
+    let weights = 4.0 * sgd.param_count() as f64;
+    assert!((adam_fp.persistent_bytes as f64 - 3.0 * weights).abs() < 1.0);
+    assert!(adam_fp.peak_bytes > sgd_fp.peak_bytes);
+    assert!(
+        min_shards_to_fit(adam_fp.peak_bytes as f64, &accel, &link)
+            >= min_shards_to_fit(sgd_fp.peak_bytes as f64, &accel, &link)
+    );
+}
+
+#[test]
+fn compression_and_workers_trade_off_for_a_fixed_epoch_target() {
+    // Reaching a 7-day epoch needs fewer workers once gradients travel at
+    // int8 — quantifying the paper's communication-reduction citations.
+    let accel = Accelerator::v100_like();
+    let comm = CommConfig::default();
+    let worker = WorkerStep {
+        compute_seconds: 17.0,
+        alg_flops: 1.16e14,
+        gradient_bytes: 33.6e9,
+        samples_per_step: 128.0 * 80.0,
+    };
+    let dataset = 77e9;
+    let target_days = 7.0;
+    let first_fit = |scheme: GradCompression| -> u64 {
+        (0..=16)
+            .map(|i| 1u64 << i)
+            .find(|&n| {
+                data_parallel_point_compressed(&worker, n, dataset, &accel, &comm, scheme)
+                    .epoch_days
+                    <= target_days
+            })
+            .expect("some worker count meets the target")
+    };
+    let plain = first_fit(GradCompression::None);
+    let int8 = first_fit(GradCompression::Int8);
+    assert!(int8 <= plain, "int8 {int8} vs f32 {plain}");
+    // And at the plain count, int8 strictly improves the epoch.
+    let a = data_parallel_point_compressed(&worker, plain, dataset, &accel, &comm, GradCompression::None);
+    let b = data_parallel_point_compressed(&worker, plain, dataset, &accel, &comm, GradCompression::Int8);
+    assert!(b.epoch_days < a.epoch_days);
+}
+
+#[test]
+fn swap_vs_shard_decision_matches_case_study() {
+    // For the LSTM-p the paper chose 4-way model parallelism over swapping.
+    // Our models agree: swapping more than doubles the step, while 4-way
+    // sharding (per the footprint) fits and costs far less.
+    let model = ModelConfig::WordLm(lstm_p_config()).build_training();
+    let bindings = model.bindings_with_batch(128);
+    let fp = footprint(&model.graph, &bindings, Scheduler::Best).unwrap();
+    let accel = Accelerator::v100_like();
+    let link = HostLink::default();
+    let compute = 11.5;
+    let swap = swap_report(fp.peak_bytes as f64, compute, &accel, &link);
+    assert!(swap.slowdown > 1.5, "swap slowdown {}", swap.slowdown);
+    let shards = min_shards_to_fit(fp.peak_bytes as f64, &accel, &link);
+    assert!((4..=5).contains(&shards), "shards {shards}");
+    // Tensor parallelism at that width beats swapping outright.
+    let tp = tensor_parallel_plan(
+        compute,
+        2.0 * 4.0 * model.param_count() as f64,
+        &TensorParallelConfig {
+            ways: shards,
+            sync_points: 2 * 2 * 80,
+            bytes_per_sync: 128.0 * 8192.0 * 4.0,
+        },
+        &CommConfig::default(),
+    );
+    assert!(tp.step_seconds < swap.serialized_step_seconds);
+}
+
+#[test]
+fn sensitivity_story_matches_paper_conclusion() {
+    // "large-scale RNN training characteristics suggest designs with
+    // significantly larger memory capacity and on-chip caches" — check the
+    // capacity axis moves the RNN's fit requirement while the compute axis
+    // moves the CNN's step time.
+    let variants = hardware_variants();
+    let rnn = ModelConfig::WordLm(lstm_p_config()).build_training();
+    let pts = hardware_sensitivity(&rnn, 128, &variants);
+    let get = |label: &str| pts.iter().find(|p| p.label == label).unwrap();
+    assert!(get("4x capacity").min_shards < get("baseline").min_shards);
+    assert!(get("2x compute").min_shards == get("baseline").min_shards);
+    assert!(get("2x compute").speedup > 1.0);
+}
+
+#[test]
+fn precision_and_sharding_compose() {
+    // f16 + 4-way sharding brings the LSTM-p under the 32 GB ceiling —
+    // the combined mitigation path the paper sketches.
+    let model = ModelConfig::WordLm(lstm_p_config()).build_training();
+    let mut half = model.graph.clone();
+    cast_float_precision(&mut half, DType::F16);
+    let bindings = model.bindings_with_batch(128);
+    let fp = footprint(&half, &bindings, Scheduler::Best).unwrap();
+    let per_shard_gb = fp.peak_bytes as f64 / 4.0 / 1e9;
+    assert!(
+        per_shard_gb < 32.0,
+        "f16 + 4-way sharding leaves {per_shard_gb} GB per accelerator"
+    );
+}
+
+#[test]
+fn transformer_extends_the_framework_beyond_the_paper() {
+    use frontier::modelzoo::{build_transformer, TransformerConfig};
+    // A Transformer at word-LM frontier scale characterizes through the
+    // same pipeline and lands in the same cost family as the tied LSTM.
+    let cfg = TransformerConfig::default().with_target_params(1_000_000_000);
+    let model = build_transformer(&cfg).into_training();
+    model.graph.validate().unwrap();
+    let batch = 32u64;
+    let n = model
+        .graph
+        .stats()
+        .eval(&model.bindings_with_batch(batch))
+        .unwrap();
+    let ratio = n.flops / batch as f64 / n.params;
+    let q = cfg.seq_len as f64;
+    assert!(
+        ratio > 6.0 * q && ratio < 8.0 * q,
+        "transformer flops/param/sample {ratio} vs 6q = {}",
+        6.0 * q
+    );
+    // Same roofline machinery applies.
+    let t = roofline_time(n.flops, n.bytes, &Accelerator::v100_like());
+    assert!(t.seconds > 0.0);
+}
+
+#[test]
+fn planner_automates_the_case_study_decision() {
+    use frontier::parsim::{plan, PlanRequest, Stage};
+    let gb = |x: f64| x * 1e9;
+    let step = WorkerStep {
+        compute_seconds: 17.07,
+        alg_flops: 123e12,
+        gradient_bytes: 33.6e9,
+        samples_per_step: 128.0 * 25.45,
+    };
+    let stages = vec![
+        Stage { name: "embedding".into(), weight_bytes: gb(59.5), activation_bytes: gb(0.5) },
+        Stage { name: "lstm0".into(), weight_bytes: gb(4.3), activation_bytes: gb(12.7) },
+        Stage { name: "lstm1".into(), weight_bytes: gb(4.3), activation_bytes: gb(12.7) },
+        Stage { name: "out".into(), weight_bytes: gb(13.0), activation_bytes: gb(19.0) },
+    ];
+    let dataset = 4671.0 * 86_400.0 / 17.07 * 128.0 * 25.45;
+    let mut req = PlanRequest::new(step, gb(113.8), stages, dataset, 7.5);
+    req.usable_mem_fraction = 1.0; // the paper places against full capacity
+    let plan = plan(&req, &Accelerator::v100_like(), &CommConfig::default())
+        .expect("the case study is feasible");
+    // The hand-derived answer: 4-way model parallel, hundreds-to-thousands
+    // of data-parallel workers, footprints at the 32 GB level.
+    assert_eq!(plan.mp_ways, 4);
+    assert!(plan.mem_per_accel_gb <= 32.1);
+    assert!(plan.epoch_days <= 7.5);
+}
+
+#[test]
+fn in_place_execution_shaves_footprint_like_tensorflow() {
+    use frontier::cgraph::{footprint_with, InPlacePolicy};
+    // Paper §4.5: "our models tend to slightly overestimate ... Tensorflow
+    // optimizes to perform some ops on tensors in-place."
+    let model = ModelConfig::default_for(Domain::CharLm)
+        .with_target_params(50_000_000)
+        .build_training();
+    let bindings = model.bindings_with_batch(32);
+    let conservative =
+        footprint_with(&model.graph, &bindings, Scheduler::Best, InPlacePolicy::Never).unwrap();
+    let in_place = footprint_with(
+        &model.graph,
+        &bindings,
+        Scheduler::Best,
+        InPlacePolicy::Elementwise,
+    )
+    .unwrap();
+    // The char LM's peak sits at the output-layer window, which in-place
+    // execution cannot shrink — the policy is a refinement that never hurts.
+    assert!(in_place.peak_bytes <= conservative.peak_bytes);
+    // Where the peak *is* elementwise-dominated, the reduction is real: a
+    // deep activation tower halves.
+    let mut g = frontier::cgraph::Graph::new("ip_tower");
+    let x = g
+        .input("x", [Expr::int(1024), Expr::int(1024)], DType::F32)
+        .unwrap();
+    let mut t = x;
+    for i in 0..6 {
+        t = g.unary(&format!("act{i}"), PointwiseFn::Tanh, t).unwrap();
+    }
+    let tower_plain =
+        footprint_with(&g, &Bindings::new(), Scheduler::Best, InPlacePolicy::Never).unwrap();
+    let tower_ip = footprint_with(
+        &g,
+        &Bindings::new(),
+        Scheduler::Best,
+        InPlacePolicy::Elementwise,
+    )
+    .unwrap();
+    assert_eq!(tower_ip.peak_bytes * 2, tower_plain.peak_bytes);
+}
+
+#[test]
+fn first_order_models_verify_against_high_fidelity_graphs() {
+    // Appendix A's loop, end to end: fit trends, verify on unseen models.
+    let trends = fit_trends(&frontier::analysis::sweep_domain_batches(
+        Domain::CharLm,
+        100_000_000,
+        800_000_000,
+        3,
+        &[16, 96],
+    ));
+    let report = frontier::analysis::verify_first_order(
+        Domain::CharLm,
+        &trends,
+        &[(1_500_000_000, 48), (2_500_000_000, 96)],
+    );
+    assert!(report.flops.max_rel < 0.10, "{:?}", report.flops);
+    assert!(report.bytes.max_rel < 0.25, "{:?}", report.bytes);
+}

@@ -1,0 +1,119 @@
+//! Property-based integration tests: invariants of the analysis pipeline
+//! under randomized configurations.
+
+use frontier::prelude::*;
+use proptest::prelude::*;
+
+fn arb_domain() -> impl Strategy<Value = Domain> {
+    prop_oneof![
+        Just(Domain::WordLm),
+        Just(Domain::CharLm),
+        Just(Domain::Nmt),
+        Just(Domain::Speech),
+        Just(Domain::ImageClassification),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Costs are monotone in batch size for every domain.
+    #[test]
+    fn costs_monotone_in_batch(domain in arb_domain(), b in 1u64..64) {
+        let cfg = ModelConfig::default_for(domain).with_target_params(5_000_000);
+        let model = cfg.build_training();
+        let stats = model.graph.stats();
+        let n1 = stats.eval(&model.bindings_with_batch(b)).unwrap();
+        let n2 = stats.eval(&model.bindings_with_batch(b + 1)).unwrap();
+        prop_assert!(n2.flops > n1.flops);
+        prop_assert!(n2.bytes > n1.bytes);
+        prop_assert!(n2.io > n1.io);
+        prop_assert_eq!(n1.params, n2.params);
+    }
+
+    /// `with_target_params` is monotone: more target params ⇒ at least as
+    /// many actual params.
+    #[test]
+    fn param_inversion_monotone(domain in arb_domain(), lo in 2_000_000u64..20_000_000, mult in 2u64..10) {
+        let small = ModelConfig::default_for(domain).with_target_params(lo);
+        let large = ModelConfig::default_for(domain).with_target_params(lo * mult);
+        prop_assert!(large.param_formula() >= small.param_formula());
+    }
+
+    /// The training graph always validates, regardless of scale knob.
+    #[test]
+    fn training_graphs_always_validate(domain in arb_domain(), target in 1_000_000u64..20_000_000) {
+        let cfg = ModelConfig::default_for(domain).with_target_params(target);
+        let model = cfg.build_training();
+        prop_assert!(model.graph.validate().is_ok());
+    }
+
+    /// Roofline time is monotone in both flops and bytes and scale-covariant.
+    #[test]
+    fn roofline_monotone(flops in 1e9f64..1e15, bytes in 1e6f64..1e13, k in 1.1f64..10.0) {
+        let a = Accelerator::v100_like();
+        let t = roofline_time(flops, bytes, &a);
+        let tf = roofline_time(flops * k, bytes, &a);
+        let tb = roofline_time(flops, bytes * k, &a);
+        prop_assert!(tf.seconds >= t.seconds);
+        prop_assert!(tb.seconds >= t.seconds);
+        // Scaling both scales the time exactly.
+        let tk = roofline_time(flops * k, bytes * k, &a);
+        prop_assert!((tk.seconds - k * t.seconds).abs() < 1e-9 * tk.seconds.max(1e-12));
+    }
+
+    /// Ring allreduce time is monotone in bytes; discrete-event simulation
+    /// always matches the closed form.
+    #[test]
+    fn allreduce_des_matches(bytes in 1e3f64..1e11, workers in 2u64..512) {
+        let c = CommConfig::default();
+        let analytic = frontier::parsim::ring_allreduce_seconds(bytes, workers, &c);
+        let des = frontier::parsim::ring_allreduce_discrete_event(bytes, workers, &c);
+        prop_assert!((analytic - des).abs() < 1e-9 * analytic.max(1e-12));
+    }
+
+    /// Learning-curve inversion round-trips for any valid constants.
+    #[test]
+    fn learning_curve_roundtrip(alpha in 0.5f64..50.0, beta in -0.45f64..-0.05, err_frac in 0.1f64..0.9) {
+        let c = LearningCurve::new(alpha, beta);
+        let m0 = 1e8;
+        let e0 = c.error_at(m0);
+        let target = e0 * err_frac;
+        let m1 = c.data_for_error(target);
+        prop_assert!(m1 > m0);
+        prop_assert!((c.error_at(m1) - target).abs() < 1e-9 * target);
+        // Scale form agrees with absolute inversion when anchored on the
+        // curve itself.
+        let scale = c.data_scale(e0, target);
+        prop_assert!((scale - m1 / m0).abs() < 1e-6 * scale);
+    }
+
+    /// Footprint is monotone in batch for training graphs under a fixed
+    /// traversal (the Best estimate may pick different schedules per batch).
+    #[test]
+    fn footprint_monotone_in_batch(domain in arb_domain(), b in 1u64..16) {
+        let cfg = ModelConfig::default_for(domain).with_target_params(3_000_000);
+        let model = cfg.build_training();
+        let f1 = footprint(&model.graph, &model.bindings_with_batch(b), Scheduler::ProgramOrder)
+            .unwrap()
+            .peak_bytes;
+        let f2 = footprint(&model.graph, &model.bindings_with_batch(2 * b), Scheduler::ProgramOrder)
+            .unwrap()
+            .peak_bytes;
+        prop_assert!(f2 >= f1);
+    }
+
+    /// Cache-aware traffic is bounded below by algorithmic traffic and
+    /// decreases (weakly) with cache size, for all models and shapes.
+    #[test]
+    fn cache_traffic_bounds(m in 1f64..20000.0, k in 1f64..20000.0, n in 1f64..20000.0) {
+        use frontier::roofline::{matmul_traffic, CacheModel};
+        let alg = matmul_traffic(m, k, n, 6e6, 4.0, CacheModel::Algorithmic);
+        for model in [CacheModel::SquareTile, CacheModel::PanelStream] {
+            let small = matmul_traffic(m, k, n, 6e6, 4.0, model);
+            let large = matmul_traffic(m, k, n, 48e6, 4.0, model);
+            prop_assert!(small >= alg);
+            prop_assert!(large <= small * 1.0001);
+        }
+    }
+}
