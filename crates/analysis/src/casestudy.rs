@@ -102,9 +102,12 @@ fn stages_from_graph(model: &ModelGraph, batch: u64) -> Vec<Stage> {
 
 /// Run the full Table 5 pipeline.
 pub fn word_lm_case_study(accel: &Accelerator, comm: &CommConfig) -> CaseStudy {
+    let _span = obs::span("analysis.case_study").with_arg("model", "lstm-p");
     let cfg = lstm_p_config();
     let subbatch = 128u64;
-    let model = build_word_lm(&cfg).into_training();
+    let model = obs::time("modelzoo.build_training", || {
+        build_word_lm(&cfg).into_training()
+    });
     let bindings = model.bindings_with_batch(subbatch);
     let stats = model.graph.stats().eval(&bindings).expect("bound");
     let fp = footprint(&model.graph, &bindings, Scheduler::Best).expect("bound");
@@ -115,10 +118,9 @@ pub fn word_lm_case_study(accel: &Accelerator, comm: &CommConfig) -> CaseStudy {
         .project()
         .target_data_samples;
     let samples_per_step = model.samples_per_step(subbatch);
-    let epoch_days =
-        |step_seconds: f64, workers: u64| -> f64 {
-            to_days(dataset_words / (workers as f64 * samples_per_step) * step_seconds)
-        };
+    let epoch_days = |step_seconds: f64, workers: u64| -> f64 {
+        to_days(dataset_words / (workers as f64 * samples_per_step) * step_seconds)
+    };
 
     let mut rows = Vec::new();
 
@@ -135,8 +137,8 @@ pub fn word_lm_case_study(accel: &Accelerator, comm: &CommConfig) -> CaseStudy {
     });
 
     // Row 2: cache-hierarchy-aware per-op timing.
-    let aware = per_op_step_time(&model.graph, &bindings, accel, CacheModel::PanelStream)
-        .expect("bound");
+    let aware =
+        per_op_step_time(&model.graph, &bindings, accel, CacheModel::PanelStream).expect("bound");
     rows.push(CaseStudyRow {
         stage: "Cache-hierarchy-aware Baseline",
         accelerators: 1,
@@ -173,6 +175,14 @@ pub fn word_lm_case_study(accel: &Accelerator, comm: &CommConfig) -> CaseStudy {
     // Row 5: add 4-way layer parallelism on top of the 512-worker option.
     let stages = stages_from_graph(&model, subbatch);
     let plan = layer_parallel_plan(&stages, aware.seconds, 2);
+    // Emit the GPipe-style schedule into the trace so the Chrome export
+    // shows the per-stage microbatch timeline in simulated time.
+    let per_stage = aware.seconds / stages.len() as f64;
+    let (_, pipe_events) = parsim::simulate_pipeline_traced(&vec![per_stage; stages.len()], 2);
+    let rec = obs::recorder();
+    for ev in parsim::pipeline_trace_events(&pipe_events) {
+        rec.record_raw(ev);
+    }
     // Each stage allreduces its own weights with its 512 peers concurrently;
     // the step pays the slowest stage's reduction.
     let comm_seconds = stages
@@ -307,7 +317,10 @@ mod tests {
         // all stages up to the fill level, so the residual spread comes only
         // from any stage whose base already exceeds the level.
         assert!(after < 1.35, "post-shard spread {after}");
-        assert!(after < before, "sharding should even footprints: {before} -> {after}");
+        assert!(
+            after < before,
+            "sharding should even footprints: {before} -> {after}"
+        );
         // Same schedule, same time.
         assert_eq!(sharded.days_per_epoch, lp.days_per_epoch);
     }

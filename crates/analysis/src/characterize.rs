@@ -32,15 +32,17 @@ pub struct CharacterizationPoint {
 
 /// Characterize one configuration at one subbatch size.
 pub fn characterize(cfg: &ModelConfig, subbatch: u64) -> CharacterizationPoint {
-    let model = cfg.build_training();
+    let _span = obs::span("analysis.characterize")
+        .with_arg("domain", cfg.domain().key())
+        .with_arg("subbatch", subbatch);
+    let model = obs::time("modelzoo.build_training", || cfg.build_training());
     let bindings = model.bindings_with_batch(subbatch);
     let n = model
         .graph
         .stats()
         .eval(&bindings)
         .expect("all symbols bound");
-    let fp = footprint(&model.graph, &bindings, Scheduler::Best)
-        .expect("all symbols bound");
+    let fp = footprint(&model.graph, &bindings, Scheduler::Best).expect("all symbols bound");
     CharacterizationPoint {
         params: n.params,
         subbatch,
@@ -105,6 +107,9 @@ pub fn sweep_domain(
     hi_params: u64,
     n_points: usize,
 ) -> Vec<CharacterizationPoint> {
+    let _span = obs::span("analysis.sweep_domain")
+        .with_arg("domain", domain.key())
+        .with_arg("points", n_points);
     let subbatch = domain.default_subbatch();
     let configs = modelzoo::sweep_configs(domain, lo_params, hi_params, n_points);
     let mut points: Vec<CharacterizationPoint> = configs
@@ -112,6 +117,7 @@ pub fn sweep_domain(
         .map(|cfg| characterize(cfg, subbatch))
         .collect();
     points.sort_by(|a, b| a.params.partial_cmp(&b.params).expect("finite"));
+    obs::recorder().counter("analysis.sweep_points", points.len() as f64);
     points
 }
 
@@ -124,6 +130,10 @@ pub fn sweep_domain_batches(
     n_points: usize,
     subbatches: &[u64],
 ) -> Vec<CharacterizationPoint> {
+    let _span = obs::span("analysis.sweep_domain_batches")
+        .with_arg("domain", domain.key())
+        .with_arg("points", n_points)
+        .with_arg("subbatches", subbatches.len());
     let configs = modelzoo::sweep_configs(domain, lo_params, hi_params, n_points);
     let jobs: Vec<(ModelConfig, u64)> = configs
         .iter()
@@ -146,10 +156,7 @@ mod tests {
         let ratio0 = points[0].flops_per_sample / points[0].params;
         let ratio2 = points[2].flops_per_sample / points[2].params;
         // FLOPs/param approaches a constant: within 35% across a 10× sweep.
-        assert!(
-            (ratio0 / ratio2 - 1.0).abs() < 0.35,
-            "{ratio0} vs {ratio2}"
-        );
+        assert!((ratio0 / ratio2 - 1.0).abs() < 0.35, "{ratio0} vs {ratio2}");
     }
 
     #[test]
@@ -163,7 +170,9 @@ mod tests {
     #[test]
     fn footprint_grows_with_model_size() {
         let points = sweep_domain(Domain::CharLm, 10_000_000, 100_000_000, 3);
-        assert!(points.windows(2).all(|w| w[1].footprint_bytes > w[0].footprint_bytes));
+        assert!(points
+            .windows(2)
+            .all(|w| w[1].footprint_bytes > w[0].footprint_bytes));
     }
 
     #[test]
@@ -179,8 +188,8 @@ mod tests {
 
     #[test]
     fn resnet_ignores_length_sampling() {
-        let cfg = ModelConfig::default_for(Domain::ImageClassification)
-            .with_target_params(5_000_000);
+        let cfg =
+            ModelConfig::default_for(Domain::ImageClassification).with_target_params(5_000_000);
         let mut small = match cfg {
             ModelConfig::Resnet(c) => c,
             _ => unreachable!(),

@@ -66,7 +66,10 @@ pub fn frontier_row(domain: Domain, accel: &Accelerator) -> FrontierRow {
 
 /// All five Table 3 rows.
 pub fn table3(accel: &Accelerator) -> Vec<FrontierRow> {
-    Domain::ALL.iter().map(|&d| frontier_row(d, accel)).collect()
+    Domain::ALL
+        .iter()
+        .map(|&d| frontier_row(d, accel))
+        .collect()
 }
 
 #[cfg(test)]
@@ -84,13 +87,21 @@ mod tests {
             "tflops {}",
             row.tflops_per_step
         );
-        assert!(row.step.seconds > 1.0 && row.step.seconds < 5.0, "step {}", row.step.seconds);
+        assert!(
+            row.step.seconds > 1.0 && row.step.seconds < 5.0,
+            "step {}",
+            row.step.seconds
+        );
         assert!(
             row.epoch_days > 40.0 && row.epoch_days < 180.0,
             "epoch {}",
             row.epoch_days
         );
-        assert!(row.min_mem_gb > 10.0 && row.min_mem_gb < 80.0, "mem {}", row.min_mem_gb);
+        assert!(
+            row.min_mem_gb > 10.0 && row.min_mem_gb < 80.0,
+            "mem {}",
+            row.min_mem_gb
+        );
     }
 
     #[test]

@@ -26,8 +26,7 @@ mod verify;
 
 pub use casestudy::{lstm_p_config, word_lm_case_study, CaseStudy, CaseStudyRow};
 pub use characterize::{
-    characterize, characterize_averaged, sweep_domain, sweep_domain_batches,
-    CharacterizationPoint,
+    characterize, characterize_averaged, sweep_domain, sweep_domain_batches, CharacterizationPoint,
 };
 pub use frontier::{frontier_row, table3, FrontierRow};
 pub use sensitivity::{hardware_sensitivity, hardware_variants, HardwareVariant, SensitivityPoint};

@@ -28,11 +28,17 @@ pub struct HardwareVariant {
 /// The default single-axis upgrade sweep around the Table 4 baseline.
 pub fn hardware_variants() -> Vec<HardwareVariant> {
     let base = Accelerator::v100_like();
-    let mut v = vec![HardwareVariant { label: "baseline".into(), accel: base.clone() }];
+    let mut v = vec![HardwareVariant {
+        label: "baseline".into(),
+        accel: base.clone(),
+    }];
     let mut push = |label: &str, f: &dyn Fn(&mut Accelerator)| {
         let mut a = base.clone();
         f(&mut a);
-        v.push(HardwareVariant { label: label.into(), accel: a });
+        v.push(HardwareVariant {
+            label: label.into(),
+            accel: a,
+        });
     };
     push("2x compute", &|a| a.peak_flops *= 2.0);
     push("2x bandwidth", &|a| a.peak_mem_bw *= 2.0);
@@ -108,7 +114,9 @@ mod tests {
     }
 
     fn point<'a>(pts: &'a [SensitivityPoint], label: &str) -> &'a SensitivityPoint {
-        pts.iter().find(|p| p.label == label).expect("variant present")
+        pts.iter()
+            .find(|p| p.label == label)
+            .expect("variant present")
     }
 
     #[test]

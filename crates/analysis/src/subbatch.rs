@@ -223,8 +223,8 @@ mod tests {
         // §5: "Even small batch sizes can expose sufficient operational
         // intensity" for CNNs — ridge match at single-digit subbatch.
         let a = Accelerator::v100_like();
-        let cfg = ModelConfig::default_for(Domain::ImageClassification)
-            .with_target_params(732_000_000);
+        let cfg =
+            ModelConfig::default_for(Domain::ImageClassification).with_target_params(732_000_000);
         let r = subbatch_analysis(&cfg, &[1, 2, 4, 8, 16, 32], &a, false);
         assert!(
             r.chosen <= 8,

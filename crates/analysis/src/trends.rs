@@ -159,8 +159,7 @@ mod tests {
 
     #[test]
     fn predictions_interpolate_measurements() {
-        let pts =
-            sweep_domain_batches(Domain::WordLm, 300_000_000, 3_000_000_000, 3, &[16, 128]);
+        let pts = sweep_domain_batches(Domain::WordLm, 300_000_000, 3_000_000_000, 3, &[16, 128]);
         let t = fit_trends(&pts);
         for p in &pts {
             let pred = t.bytes(p.params, p.subbatch as f64);

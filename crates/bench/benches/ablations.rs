@@ -51,7 +51,13 @@ fn ablate_footprint_scheduler(c: &mut Criterion) {
         ("greedy_min_peak", Scheduler::GreedyMinPeak),
     ] {
         g.bench_function(name, |b| {
-            b.iter(|| black_box(footprint(&model.graph, &bindings, sched).unwrap().peak_bytes))
+            b.iter(|| {
+                black_box(
+                    footprint(&model.graph, &bindings, sched)
+                        .unwrap()
+                        .peak_bytes,
+                )
+            })
         });
     }
     g.finish();
@@ -65,7 +71,11 @@ fn ablate_cache_model(c: &mut Criterion) {
     let accel = Accelerator::v100_like();
     static REPORT: Once = Once::new();
     REPORT.call_once(|| {
-        for m in [CacheModel::Algorithmic, CacheModel::SquareTile, CacheModel::PanelStream] {
+        for m in [
+            CacheModel::Algorithmic,
+            CacheModel::SquareTile,
+            CacheModel::PanelStream,
+        ] {
             let t = per_op_step_time(&model.graph, &bindings, &accel, m).unwrap();
             let stats = roofline::cache_aware_stats(&model.graph, &bindings, &accel, m).unwrap();
             eprintln!(
@@ -89,7 +99,11 @@ fn ablate_cache_model(c: &mut Criterion) {
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                black_box(per_op_step_time(&model.graph, &bindings, &accel, m).unwrap().seconds)
+                black_box(
+                    per_op_step_time(&model.graph, &bindings, &accel, m)
+                        .unwrap()
+                        .seconds,
+                )
             })
         });
     }
@@ -121,7 +135,13 @@ fn ablate_symbolic_eval(c: &mut Criterion) {
         b.iter(|| {
             batch += 1;
             let m = cfg.build_training();
-            black_box(m.graph.stats().eval(&m.bindings_with_batch(batch)).unwrap().flops)
+            black_box(
+                m.graph
+                    .stats()
+                    .eval(&m.bindings_with_batch(batch))
+                    .unwrap()
+                    .flops,
+            )
         })
     });
     g.finish();

@@ -29,15 +29,18 @@ fn fig6_learning_curve(c: &mut Criterion) {
     });
 }
 
-fn sweep_bench(c: &mut Criterion, name: &str, extract: fn(&analysis::CharacterizationPoint) -> f64) {
+fn sweep_bench(
+    c: &mut Criterion,
+    name: &str,
+    extract: fn(&analysis::CharacterizationPoint) -> f64,
+) {
     let mut g = c.benchmark_group(name);
     g.sample_size(10).measurement_time(Duration::from_secs(15));
     for domain in [Domain::WordLm, Domain::ImageClassification] {
         g.bench_function(domain.key(), |b| {
             b.iter(|| {
                 let pts = sweep_domain(black_box(domain), 20_000_000, 200_000_000, 4);
-                let series: Vec<(f64, f64)> =
-                    pts.iter().map(|p| (p.params, extract(p))).collect();
+                let series: Vec<(f64, f64)> = pts.iter().map(|p| (p.params, extract(p))).collect();
                 black_box(series)
             })
         });

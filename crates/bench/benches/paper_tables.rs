@@ -31,13 +31,8 @@ fn table2_asymptotics(c: &mut Criterion) {
     for domain in [Domain::WordLm, Domain::ImageClassification] {
         g.bench_function(domain.key(), |b| {
             b.iter(|| {
-                let pts = sweep_domain_batches(
-                    black_box(domain),
-                    50_000_000,
-                    400_000_000,
-                    3,
-                    &[16, 128],
-                );
+                let pts =
+                    sweep_domain_batches(black_box(domain), 50_000_000, 400_000_000, 3, &[16, 128]);
                 black_box(fit_trends(&pts))
             })
         });

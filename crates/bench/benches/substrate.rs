@@ -18,8 +18,7 @@ fn symath_ops(c: &mut Criterion) {
     g.bench_function("polynomial_arith", |bch| {
         bch.iter(|| {
             // The word-LM cost form: q(16h²l + 2hv) per sample, batched.
-            let flops = (Expr::int(16) * h.pow(Rat::TWO) * Expr::int(2)
-                + Expr::int(2) * &h * &v)
+            let flops = (Expr::int(16) * h.pow(Rat::TWO) * Expr::int(2) + Expr::int(2) * &h * &v)
                 * Expr::int(80)
                 * &b;
             black_box(flops)
@@ -32,7 +31,9 @@ fn symath_ops(c: &mut Criterion) {
         .with("bench_h", 8192.0)
         .with("bench_v", 793471.0)
         .with("bench_b", 128.0);
-    g.bench_function("eval", |bch| bch.iter(|| black_box(expr.eval(&bind).unwrap())));
+    g.bench_function("eval", |bch| {
+        bch.iter(|| black_box(expr.eval(&bind).unwrap()))
+    });
     g.bench_function("subst", |bch| {
         bch.iter(|| black_box(expr.subst(symath::Symbol::new("bench_h"), &Expr::int(8192))))
     });
@@ -64,7 +65,9 @@ fn graph_construction(c: &mut Criterion) {
         )
     });
     let model = build_word_lm(&cfg).into_training();
-    g.bench_function("stats_symbolic", |b| b.iter(|| black_box(model.graph.stats())));
+    g.bench_function("stats_symbolic", |b| {
+        b.iter(|| black_box(model.graph.stats()))
+    });
     let stats = model.graph.stats();
     let bindings = model.bindings_with_batch(128);
     g.bench_function("stats_eval", |b| {
@@ -101,5 +104,10 @@ fn footprint_simulation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(substrate, symath_ops, graph_construction, footprint_simulation);
+criterion_group!(
+    substrate,
+    symath_ops,
+    graph_construction,
+    footprint_simulation
+);
 criterion_main!(substrate);

@@ -6,7 +6,7 @@
 //! ```
 
 use analysis::{fig11_batches, subbatch_analysis, sweep_domain};
-use bench::{eng, parse_selector, section, Table};
+use bench::{eng, finish_trace, parse_selector, section, Table};
 use modelzoo::{Domain, ModelConfig};
 use parsim::{data_parallel_sweep, CommConfig, WorkerStep};
 use roofline::{per_op_step_time, Accelerator, CacheModel};
@@ -44,18 +44,18 @@ fn fig6() {
     println!("{}", t.render());
 }
 
-fn domain_sweep_figure(title: &str, value: fn(&analysis::CharacterizationPoint) -> f64, unit: &str) {
+fn domain_sweep_figure(
+    title: &str,
+    value: fn(&analysis::CharacterizationPoint) -> f64,
+    unit: &str,
+) {
     section(title);
     println!("model-size sweep per domain at the paper's profiling subbatch\n");
     let mut t = Table::new(["domain", "params", unit]);
     for domain in Domain::ALL {
         let points = sweep_domain(domain, SWEEP_LO, SWEEP_HI, SWEEP_N);
         for p in &points {
-            t.row([
-                domain.key().to_string(),
-                eng(p.params, 2),
-                eng(value(p), 3),
-            ]);
+            t.row([domain.key().to_string(), eng(p.params, 2), eng(value(p), 3)]);
         }
     }
     println!("{}", t.render());
@@ -109,9 +109,15 @@ fn fig11() {
         ]);
     }
     println!("{}", t.render());
-    println!("accelerator ridge point: {:.1} FLOP/B", accel.achievable_ridge_point());
+    println!(
+        "accelerator ridge point: {:.1} FLOP/B",
+        accel.achievable_ridge_point()
+    );
     match r.ridge_match {
-        Some(b) => println!("ridge match at b = {b:.0}; chosen b = {} (paper: 128)", r.chosen),
+        Some(b) => println!(
+            "ridge match at b = {b:.0}; chosen b = {} (paper: 128)",
+            r.chosen
+        ),
         None => println!("chosen b = {}", r.chosen),
     }
 }
@@ -146,7 +152,12 @@ fn fig12() {
 }
 
 fn main() {
-    match parse_selector("--figure") {
+    let selector = parse_selector("--figure").unwrap_or_else(|e| {
+        eprintln!("{e}");
+        eprintln!("usage: figures [--figure N] [--trace PATH]");
+        std::process::exit(2);
+    });
+    match selector {
         Some(6) => fig6(),
         Some(7) => fig7(),
         Some(8) => fig8(),
@@ -168,4 +179,5 @@ fn main() {
             fig12();
         }
     }
+    finish_trace();
 }

@@ -6,11 +6,43 @@
 //! ```
 
 use analysis::{fit_domain_trends, table3, word_lm_case_study};
-use bench::{eng, parse_selector, section, times, Table};
-use modelzoo::Domain;
+use bench::{eng, finish_trace, parse_selector, section, times, Table};
+use modelzoo::{Domain, ModelConfig};
 use parsim::CommConfig;
 use roofline::Accelerator;
 use scaling::table1 as table1_rows;
+
+/// Print a TFprof-style per-op breakdown for one workload's training step
+/// and emit the top ops into the trace recorder.
+fn profile_workload(domain: Domain) {
+    let cfg = ModelConfig::default_for(domain);
+    let model = cfg.build_training();
+    let bindings = model.bindings_with_batch(domain.default_subbatch());
+    let prof = model.graph.profile(&bindings).expect("all symbols bound");
+    prof.check_consistency(1e-6)
+        .expect("per-op attribution sums to graph totals");
+    println!(
+        "-- {} per-op profile ({} ops, subbatch {}) --",
+        domain.label(),
+        prof.ops.len(),
+        domain.default_subbatch()
+    );
+    println!("{}", prof.render_top(8));
+    println!("{}", prof.render_groups("by phase", &prof.by_phase()));
+    let rec = obs::recorder();
+    for op in prof.top_by_flops(8) {
+        rec.instant(
+            "profile.op",
+            vec![
+                ("workload".into(), obs::JsonValue::from(domain.key())),
+                ("op".into(), obs::JsonValue::from(op.name.as_str())),
+                ("kind".into(), obs::JsonValue::from(op.kind)),
+                ("flops".into(), obs::JsonValue::from(op.flops)),
+                ("bytes".into(), obs::JsonValue::from(op.bytes())),
+            ],
+        );
+    }
+}
 
 fn table1() {
     section("Table 1: Learning Curve and Model Size Scaling Relationships");
@@ -77,6 +109,9 @@ fn table2() {
         ]);
     }
     println!("{}", t.render());
+    for (domain, ..) in paper {
+        profile_workload(domain);
+    }
 }
 
 fn table3_print() {
@@ -118,11 +153,26 @@ fn table4() {
     section("Table 4: Target Accelerator Configuration");
     let a = Accelerator::v100_like();
     let mut t = Table::new(["Component", "Configuration"]);
-    t.row(["Compute throughput, 32-bit", &format!("{:.2} TFLOP/s", a.peak_flops / 1e12)]);
-    t.row(["On-chip cache", &format!("{:.0} MB", a.cache_bytes / 1048576.0)]);
-    t.row(["Memory bandwidth", &format!("{:.0} GB/s", a.peak_mem_bw / 1e9)]);
-    t.row(["Memory capacity (off-chip)", &format!("{:.0} GB", a.mem_capacity / 1073741824.0)]);
-    t.row(["Inter-device bandwidth", &format!("{:.0} GB/s", a.interconnect_bw / 1e9)]);
+    t.row([
+        "Compute throughput, 32-bit",
+        &format!("{:.2} TFLOP/s", a.peak_flops / 1e12),
+    ]);
+    t.row([
+        "On-chip cache",
+        &format!("{:.0} MB", a.cache_bytes / 1048576.0),
+    ]);
+    t.row([
+        "Memory bandwidth",
+        &format!("{:.0} GB/s", a.peak_mem_bw / 1e9),
+    ]);
+    t.row([
+        "Memory capacity (off-chip)",
+        &format!("{:.0} GB", a.mem_capacity / 1073741824.0),
+    ]);
+    t.row([
+        "Inter-device bandwidth",
+        &format!("{:.0} GB/s", a.interconnect_bw / 1e9),
+    ]);
     t.row(["Ridge point", &format!("{:.1} FLOP/B", a.ridge_point())]);
     t.row([
         "Ridge point (achievable)",
@@ -167,7 +217,12 @@ fn table5() {
 }
 
 fn main() {
-    match parse_selector("--table") {
+    let selector = parse_selector("--table").unwrap_or_else(|e| {
+        eprintln!("{e}");
+        eprintln!("usage: tables [--table N] [--trace PATH]");
+        std::process::exit(2);
+    });
+    match selector {
         Some(1) => table1(),
         Some(2) => table2(),
         Some(3) => table3_print(),
@@ -185,4 +240,5 @@ fn main() {
             table5();
         }
     }
+    finish_trace();
 }

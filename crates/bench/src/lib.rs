@@ -2,7 +2,6 @@
 
 #![warn(missing_docs)]
 
-
 /// A simple fixed-width text table.
 pub struct Table {
     headers: Vec<String>,
@@ -29,6 +28,9 @@ impl Table {
     /// Render with per-column widths; first column left-aligned.
     pub fn render(&self) -> String {
         let cols = self.headers.len();
+        if cols == 0 {
+            return String::new();
+        }
         let mut widths = vec![0usize; cols];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.chars().count());
@@ -94,13 +96,67 @@ pub fn section(title: impl std::fmt::Display) {
     println!("\n=== {title} ===\n");
 }
 
-/// Parse a `--table N` / `--figure N` style CLI argument; `None` = all.
-pub fn parse_selector(flag: &str) -> Option<u32> {
+/// Parse a `--table N` / `--figure N` style CLI argument; `Ok(None)` = all.
+///
+/// A present flag with a missing or non-numeric value is reported as an
+/// `Err` so the binaries can print usage instead of panicking.
+pub fn parse_selector(flag: &str) -> Result<Option<u32>, String> {
+    let args: Vec<String> = std::env::args().collect();
+    parse_selector_from(flag, &args)
+}
+
+fn parse_selector_from(flag: &str, args: &[String]) -> Result<Option<u32>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    let Some(value) = args.get(i + 1) else {
+        return Err(format!("{flag} expects a number, got nothing"));
+    };
+    value
+        .parse()
+        .map(Some)
+        .map_err(|_| format!("{flag} expects a number, got {value:?}"))
+}
+
+/// Parse a `--trace PATH` argument, falling back to the `FRONTIER_TRACE`
+/// environment variable. `None` means tracing stays in memory only.
+pub fn parse_trace_path() -> Option<std::path::PathBuf> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
-        .position(|a| a == flag)
+        .position(|a| a == "--trace")
         .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse().unwrap_or_else(|_| panic!("{flag} expects a number")))
+        .map(std::path::PathBuf::from)
+        .or_else(|| obs::trace_path_from_env().map(std::path::PathBuf::from))
+}
+
+/// Flush the global recorder: write the JSONL trace to `path` and a
+/// Chrome-trace JSON array to `<path>.chrome.json`. Prints a short note so
+/// the user knows where the trace landed.
+pub fn export_trace(path: &std::path::Path) -> std::io::Result<()> {
+    let rec = obs::recorder();
+    rec.write_jsonl(path)?;
+    let chrome = path.with_extension(match path.extension().and_then(|e| e.to_str()) {
+        Some(ext) => format!("{ext}.chrome.json"),
+        None => "chrome.json".to_string(),
+    });
+    rec.write_chrome_trace(&chrome)?;
+    eprintln!(
+        "trace: {} events -> {} (+ {})",
+        rec.len(),
+        path.display(),
+        chrome.display()
+    );
+    Ok(())
+}
+
+/// Export the trace if the CLI/env selected a path; report failures to
+/// stderr without aborting the run.
+pub fn finish_trace() {
+    if let Some(path) = parse_trace_path() {
+        if let Err(e) = export_trace(&path) {
+            eprintln!("trace: failed to write {}: {e}", path.display());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -123,6 +179,43 @@ mod tests {
     fn table_rejects_ragged_rows() {
         let mut t = Table::new(["a", "b"]);
         t.row(["only-one"]);
+    }
+
+    #[test]
+    fn zero_column_table_renders_empty() {
+        let t = Table::new(Vec::<String>::new());
+        assert_eq!(t.render(), "");
+    }
+
+    #[test]
+    fn single_column_table_renders() {
+        let mut t = Table::new(["only"]);
+        t.row(["x"]);
+        let s = t.render();
+        assert!(s.starts_with("only\n----\n"));
+    }
+
+    #[test]
+    fn selector_parses_value_and_absence() {
+        let args: Vec<String> = ["bin", "--table", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_selector_from("--table", &args), Ok(Some(3)));
+        assert_eq!(parse_selector_from("--figure", &args), Ok(None));
+    }
+
+    #[test]
+    fn selector_rejects_garbage_without_panicking() {
+        let args: Vec<String> = ["bin", "--table", "two"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = parse_selector_from("--table", &args).unwrap_err();
+        assert!(err.contains("--table"), "{err}");
+        assert!(err.contains("two"), "{err}");
+        let args: Vec<String> = ["bin", "--table"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_selector_from("--table", &args).is_err());
     }
 
     #[test]

@@ -76,8 +76,7 @@ impl<'g> Diff<'g> {
     /// Skip gradients into raw training data and integer tensors.
     fn wants_grad(&self, t: TensorId) -> bool {
         let tensor = self.g.tensor(t);
-        tensor.kind != TensorKind::Input
-            && !matches!(tensor.dtype, DType::I32 | DType::I64)
+        tensor.kind != TensorKind::Input && !matches!(tensor.dtype, DType::I32 | DType::I64)
     }
 
     /// Finalize the gradient of `t`. Accumulation already happened
@@ -146,8 +145,10 @@ pub fn build_training_step(g: &mut Graph, loss: TensorId) -> Result<TrainingStep
         g.op(loss_producer).kind
     );
 
+    let mut span = obs::span("cgraph.autodiff").with_arg("graph", g.name.as_str());
     let forward_ops: Vec<OpId> = g.ops().iter().map(|o| o.id()).collect();
     let ops_before = g.ops().len();
+    span.arg("forward_ops", ops_before);
     let mut diff = Diff {
         g,
         partials: HashMap::new(),
@@ -178,6 +179,8 @@ pub fn build_training_step(g: &mut Graph, loss: TensorId) -> Result<TrainingStep
     }
 
     let backward_ops = diff.g.ops().len() - ops_before - update_ops;
+    span.arg("backward_ops", backward_ops);
+    span.arg("update_ops", update_ops);
     Ok(TrainingStep {
         weight_grads,
         backward_ops,
@@ -192,7 +195,12 @@ fn backward_for_op(diff: &mut Diff<'_>, op_id: OpId) -> Result<(), GraphError> {
     // CrossEntropy seeds the chain: it needs no upstream gradient.
     if matches!(op.kind, OpKind::CrossEntropy) {
         let (logits, labels) = (op.inputs[0], op.inputs[1]);
-        diff.emit(&name, OpKind::CrossEntropyGrad, vec![logits, labels], logits)?;
+        diff.emit(
+            &name,
+            OpKind::CrossEntropyGrad,
+            vec![logits, labels],
+            logits,
+        )?;
         return Ok(());
     }
 
@@ -216,20 +224,56 @@ fn backward_for_op(diff: &mut Diff<'_>, op_id: OpId) -> Result<(), GraphError> {
             if diff.wants_grad(a) {
                 let (kind, operands) = match (ta, tb) {
                     // C = A·B   → dA = g·Bᵀ
-                    (false, false) => (OpKind::MatMul { ta: false, tb: true }, vec![gy, b]),
+                    (false, false) => (
+                        OpKind::MatMul {
+                            ta: false,
+                            tb: true,
+                        },
+                        vec![gy, b],
+                    ),
                     // C = Aᵀ·B  → dA = B·gᵀ
-                    (true, false) => (OpKind::MatMul { ta: false, tb: true }, vec![b, gy]),
+                    (true, false) => (
+                        OpKind::MatMul {
+                            ta: false,
+                            tb: true,
+                        },
+                        vec![b, gy],
+                    ),
                     // C = A·Bᵀ  → dA = g·B
-                    (false, true) => (OpKind::MatMul { ta: false, tb: false }, vec![gy, b]),
+                    (false, true) => (
+                        OpKind::MatMul {
+                            ta: false,
+                            tb: false,
+                        },
+                        vec![gy, b],
+                    ),
                     (true, true) => unreachable!(),
                 };
                 diff.emit(&format!("{name}_dA"), kind, operands, a)?;
             }
             if diff.wants_grad(b) {
                 let (kind, operands) = match (ta, tb) {
-                    (false, false) => (OpKind::MatMul { ta: true, tb: false }, vec![a, gy]), // Aᵀ·g
-                    (true, false) => (OpKind::MatMul { ta: false, tb: false }, vec![a, gy]), // A·g
-                    (false, true) => (OpKind::MatMul { ta: true, tb: false }, vec![gy, a]),  // gᵀ·A
+                    (false, false) => (
+                        OpKind::MatMul {
+                            ta: true,
+                            tb: false,
+                        },
+                        vec![a, gy],
+                    ), // Aᵀ·g
+                    (true, false) => (
+                        OpKind::MatMul {
+                            ta: false,
+                            tb: false,
+                        },
+                        vec![a, gy],
+                    ), // A·g
+                    (false, true) => (
+                        OpKind::MatMul {
+                            ta: true,
+                            tb: false,
+                        },
+                        vec![gy, a],
+                    ), // gᵀ·A
                     (true, true) => unreachable!(),
                 };
                 diff.emit(&format!("{name}_dB"), kind, operands, b)?;
@@ -238,15 +282,15 @@ fn backward_for_op(diff: &mut Diff<'_>, op_id: OpId) -> Result<(), GraphError> {
         OpKind::BatchMatMul { ta, tb } => {
             let gy = gys[0].expect("batch matmul has one output");
             let (a, b) = (op.inputs[0], op.inputs[1]);
-            assert!(
-                !*ta,
-                "backward for transposed-A batch matmul not supported"
-            );
+            assert!(!*ta, "backward for transposed-A batch matmul not supported");
             if diff.wants_grad(a) {
                 // dA = g·Bᵀ (tb=false) or g·B (tb=true)
                 diff.emit(
                     &format!("{name}_dA"),
-                    OpKind::BatchMatMul { ta: false, tb: !*tb },
+                    OpKind::BatchMatMul {
+                        ta: false,
+                        tb: !*tb,
+                    },
                     vec![gy, b],
                     a,
                 )?;
@@ -254,27 +298,54 @@ fn backward_for_op(diff: &mut Diff<'_>, op_id: OpId) -> Result<(), GraphError> {
             if diff.wants_grad(b) {
                 // dB = Aᵀ·g, or (g)ᵀ·A when forward used Bᵀ
                 let (kind, operands) = if *tb {
-                    (OpKind::BatchMatMul { ta: true, tb: false }, vec![gy, a])
+                    (
+                        OpKind::BatchMatMul {
+                            ta: true,
+                            tb: false,
+                        },
+                        vec![gy, a],
+                    )
                 } else {
-                    (OpKind::BatchMatMul { ta: true, tb: false }, vec![a, gy])
+                    (
+                        OpKind::BatchMatMul {
+                            ta: true,
+                            tb: false,
+                        },
+                        vec![a, gy],
+                    )
                 };
                 diff.emit(&format!("{name}_dB"), kind, operands, b)?;
             }
         }
-        OpKind::Conv2d { kh, kw, stride, pad } => {
+        OpKind::Conv2d {
+            kh,
+            kw,
+            stride,
+            pad,
+        } => {
             let gy = gys[0].expect("conv has one output");
             let (x, w) = (op.inputs[0], op.inputs[1]);
             if diff.wants_grad(x) {
                 diff.emit(
                     &format!("{name}_dX"),
-                    OpKind::Conv2dBackpropInput { kh: *kh, kw: *kw, stride: *stride, pad: *pad },
+                    OpKind::Conv2dBackpropInput {
+                        kh: *kh,
+                        kw: *kw,
+                        stride: *stride,
+                        pad: *pad,
+                    },
                     vec![gy, w],
                     x,
                 )?;
             }
             diff.emit(
                 &format!("{name}_dW"),
-                OpKind::Conv2dBackpropFilter { kh: *kh, kw: *kw, stride: *stride, pad: *pad },
+                OpKind::Conv2dBackpropFilter {
+                    kh: *kh,
+                    kw: *kw,
+                    stride: *stride,
+                    pad: *pad,
+                },
                 vec![x, gy],
                 w,
             )?;
@@ -411,7 +482,11 @@ fn backward_for_op(diff: &mut Diff<'_>, op_id: OpId) -> Result<(), GraphError> {
                 let dx_kind = diff.grad_kind(x);
                 let outs = diff.g.add_op(
                     format!("{name}_dX"),
-                    OpKind::PoolGrad { kind: *kind, k: *k, stride: *stride },
+                    OpKind::PoolGrad {
+                        kind: *kind,
+                        k: *k,
+                        stride: *stride,
+                    },
                     vec![gy],
                     vec![(dx_name, dx_shape, DType::F32, dx_kind)],
                     Phase::Backward,
@@ -540,7 +615,9 @@ mod tests {
     fn mlp_with_loss() -> (Graph, TensorId) {
         let mut g = Graph::new("mlp");
         let b = Expr::sym("ad_b");
-        let x = g.input("x", [b.clone(), Expr::int(64)], DType::F32).unwrap();
+        let x = g
+            .input("x", [b.clone(), Expr::int(64)], DType::F32)
+            .unwrap();
         let w1 = g.weight("w1", [Expr::int(64), Expr::int(128)]).unwrap();
         let h = g.matmul("fc1", x, w1, false, false).unwrap();
         let h = g.unary("relu", PointwiseFn::Relu, h).unwrap();
@@ -583,7 +660,9 @@ mod tests {
         // under 2.
         let mut g = Graph::new("deep");
         let b = Expr::sym("ad_deep_b");
-        let mut t = g.input("x", [b.clone(), Expr::int(128)], DType::F32).unwrap();
+        let mut t = g
+            .input("x", [b.clone(), Expr::int(128)], DType::F32)
+            .unwrap();
         for i in 0..8 {
             let w = g
                 .weight(format!("w{i}"), [Expr::int(128), Expr::int(128)])
@@ -623,11 +702,11 @@ mod tests {
         g.validate().unwrap();
         // h has two consumers (fc2 and residual) → its gradient must be
         // accumulated by an incremental Add op.
-        let has_acc = g
-            .ops()
-            .iter()
-            .any(|o| o.name.starts_with("acc_grad_") );
-        assert!(has_acc, "expected incremental accumulation for fan-out tensor");
+        let has_acc = g.ops().iter().any(|o| o.name.starts_with("acc_grad_"));
+        assert!(
+            has_acc,
+            "expected incremental accumulation for fan-out tensor"
+        );
     }
 
     #[test]
@@ -672,7 +751,9 @@ mod tests {
     #[should_panic(expected = "CrossEntropy")]
     fn rejects_non_cross_entropy_loss() {
         let mut g = Graph::new("bad");
-        let x = g.input("x", [Expr::int(4), Expr::int(4)], DType::F32).unwrap();
+        let x = g
+            .input("x", [Expr::int(4), Expr::int(4)], DType::F32)
+            .unwrap();
         let w = g.weight("w", [Expr::int(4), Expr::int(4)]).unwrap();
         let y = g.matmul("mm", x, w, false, false).unwrap();
         let _ = build_training_step(&mut g, y);

@@ -274,6 +274,10 @@ pub fn footprint_with(
     scheduler: Scheduler,
     in_place: InPlacePolicy,
 ) -> Result<FootprintReport, UnboundSymbol> {
+    let _span = obs::span("cgraph.footprint")
+        .with_arg("graph", graph.name.as_str())
+        .with_arg("scheduler", format!("{scheduler:?}"))
+        .with_arg("ops", graph.ops().len());
     let mut sim = Sim::new(graph, bindings, in_place)?;
     let persistent_bytes: u64 = graph
         .tensors()
@@ -412,7 +416,9 @@ mod tests {
     #[test]
     fn weights_are_persistent() {
         let mut g = Graph::new("wp");
-        let x = g.input("x", [Expr::int(4), Expr::int(8)], DType::F32).unwrap();
+        let x = g
+            .input("x", [Expr::int(4), Expr::int(8)], DType::F32)
+            .unwrap();
         let w = g.weight("w", [Expr::int(8), Expr::int(8)]).unwrap();
         let _y = g.matmul("mm", x, w, false, false).unwrap();
         let r = footprint(&g, &Bindings::new(), Scheduler::ProgramOrder).unwrap();
@@ -442,10 +448,14 @@ mod tests {
         // Training graph must keep forward activations live until backward.
         let mut g = Graph::new("train");
         let bsym = Expr::int(32);
-        let x = g.input("x", [bsym.clone(), Expr::int(64)], DType::F32).unwrap();
+        let x = g
+            .input("x", [bsym.clone(), Expr::int(64)], DType::F32)
+            .unwrap();
         let mut t = x;
         for i in 0..4 {
-            let w = g.weight(format!("w{i}"), [Expr::int(64), Expr::int(64)]).unwrap();
+            let w = g
+                .weight(format!("w{i}"), [Expr::int(64), Expr::int(64)])
+                .unwrap();
             t = g.matmul(&format!("fc{i}"), t, w, false, false).unwrap();
             t = g.unary(&format!("relu{i}"), PointwiseFn::Relu, t).unwrap();
         }
@@ -470,7 +480,9 @@ mod tests {
     #[test]
     fn greedy_schedules_all_ops_of_training_graph() {
         let mut g = Graph::new("train2");
-        let x = g.input("x", [Expr::int(8), Expr::int(16)], DType::F32).unwrap();
+        let x = g
+            .input("x", [Expr::int(8), Expr::int(16)], DType::F32)
+            .unwrap();
         let w1 = g.weight("w1", [Expr::int(16), Expr::int(16)]).unwrap();
         let h = g.matmul("fc1", x, w1, false, false).unwrap();
         let h = g.unary("tanh", PointwiseFn::Tanh, h).unwrap();
@@ -502,8 +514,18 @@ mod tests {
         let b = Expr::sym("fp_b");
         let x = g.input("x", [b, Expr::int(1024)], DType::F32).unwrap();
         let _y = g.unary("relu", PointwiseFn::Relu, x).unwrap();
-        let r1 = footprint(&g, &Bindings::new().with("fp_b", 1.0), Scheduler::ProgramOrder).unwrap();
-        let r4 = footprint(&g, &Bindings::new().with("fp_b", 4.0), Scheduler::ProgramOrder).unwrap();
+        let r1 = footprint(
+            &g,
+            &Bindings::new().with("fp_b", 1.0),
+            Scheduler::ProgramOrder,
+        )
+        .unwrap();
+        let r4 = footprint(
+            &g,
+            &Bindings::new().with("fp_b", 4.0),
+            Scheduler::ProgramOrder,
+        )
+        .unwrap();
         assert_eq!(r4.peak_bytes, 4 * r1.peak_bytes);
     }
 }
@@ -530,8 +552,13 @@ mod in_place_tests {
         for i in 0..3 {
             t = g.unary(&format!("relu{i}"), PointwiseFn::Relu, t).unwrap();
         }
-        let never = footprint_with(&g, &Bindings::new(), Scheduler::ProgramOrder, InPlacePolicy::Never)
-            .unwrap();
+        let never = footprint_with(
+            &g,
+            &Bindings::new(),
+            Scheduler::ProgramOrder,
+            InPlacePolicy::Never,
+        )
+        .unwrap();
         let ip = footprint_with(
             &g,
             &Bindings::new(),
@@ -571,9 +598,13 @@ mod in_place_tests {
             .unwrap();
         let w = g.weight("w", [Expr::int(512), Expr::int(512)]).unwrap();
         let _y = g.matmul("mm", x, w, false, false).unwrap();
-        let never =
-            footprint_with(&g, &Bindings::new(), Scheduler::ProgramOrder, InPlacePolicy::Never)
-                .unwrap();
+        let never = footprint_with(
+            &g,
+            &Bindings::new(),
+            Scheduler::ProgramOrder,
+            InPlacePolicy::Never,
+        )
+        .unwrap();
         let ip = footprint_with(
             &g,
             &Bindings::new(),
@@ -589,9 +620,13 @@ mod in_place_tests {
         use crate::autodiff::build_training_step;
         let mut g = Graph::new("iptrain");
         let b = Expr::sym("ip_b");
-        let mut t = g.input("x", [b.clone(), Expr::int(64)], DType::F32).unwrap();
+        let mut t = g
+            .input("x", [b.clone(), Expr::int(64)], DType::F32)
+            .unwrap();
         for i in 0..3 {
-            let w = g.weight(format!("w{i}"), [Expr::int(64), Expr::int(64)]).unwrap();
+            let w = g
+                .weight(format!("w{i}"), [Expr::int(64), Expr::int(64)])
+                .unwrap();
             t = g.matmul(&format!("fc{i}"), t, w, false, false).unwrap();
             t = g.unary(&format!("act{i}"), PointwiseFn::Tanh, t).unwrap();
         }
@@ -600,8 +635,7 @@ mod in_place_tests {
         build_training_step(&mut g, loss).unwrap();
         let bind = Bindings::new().with("ip_b", 32.0);
         let never = footprint_with(&g, &bind, Scheduler::Best, InPlacePolicy::Never).unwrap();
-        let ip =
-            footprint_with(&g, &bind, Scheduler::Best, InPlacePolicy::Elementwise).unwrap();
+        let ip = footprint_with(&g, &bind, Scheduler::Best, InPlacePolicy::Elementwise).unwrap();
         assert!(ip.peak_bytes <= never.peak_bytes);
         assert!(ip.peak_bytes > 0);
     }

@@ -49,7 +49,11 @@ impl std::fmt::Display for GraphError {
             GraphError::ShapeMismatch { op, detail } => {
                 write!(f, "shape mismatch in op `{op}`: {detail}")
             }
-            GraphError::Arity { op, expected, actual } => {
+            GraphError::Arity {
+                op,
+                expected,
+                actual,
+            } => {
                 write!(f, "op `{op}` expects {expected} operands, got {actual}")
             }
             GraphError::MultipleProducers(t) => {
@@ -158,7 +162,12 @@ impl Graph {
         name: impl Into<String>,
         shape: impl Into<Shape>,
     ) -> Result<TensorId, GraphError> {
-        self.fresh_tensor(name.into(), shape.into(), DType::F32, TensorKind::OptimizerState)
+        self.fresh_tensor(
+            name.into(),
+            shape.into(),
+            DType::F32,
+            TensorKind::OptimizerState,
+        )
     }
 
     /// Add a trainable weight tensor (f32).
@@ -251,8 +260,16 @@ impl Graph {
                         detail: format!("batch matmul needs rank≥3 operands, got {a} and {b}"),
                     });
                 }
-                let ka = if *ta { a.dim(a.rank() - 2) } else { a.dim(a.rank() - 1) };
-                let kb = if *tb { b.dim(b.rank() - 1) } else { b.dim(b.rank() - 2) };
+                let ka = if *ta {
+                    a.dim(a.rank() - 2)
+                } else {
+                    a.dim(a.rank() - 1)
+                };
+                let kb = if *tb {
+                    b.dim(b.rank() - 1)
+                } else {
+                    b.dim(b.rank() - 2)
+                };
                 if ka != kb {
                     return Err(GraphError::ShapeMismatch {
                         op: name.to_owned(),
@@ -268,13 +285,19 @@ impl Graph {
                 if x.rank() != 4 || w.rank() != 4 {
                     return Err(GraphError::ShapeMismatch {
                         op: name.to_owned(),
-                        detail: format!("conv2d needs NCHW input and OIHW weights, got {x} and {w}"),
+                        detail: format!(
+                            "conv2d needs NCHW input and OIHW weights, got {x} and {w}"
+                        ),
                     });
                 }
                 if x.dim(1) != w.dim(1) {
                     return Err(GraphError::ShapeMismatch {
                         op: name.to_owned(),
-                        detail: format!("input channels {} != weight channels {}", x.dim(1), w.dim(1)),
+                        detail: format!(
+                            "input channels {} != weight channels {}",
+                            x.dim(1),
+                            w.dim(1)
+                        ),
                     });
                 }
             }
@@ -448,7 +471,12 @@ impl Graph {
         let oh = conv_out_dim(xs.dim(2), kh, stride, pad);
         let ow = conv_out_dim(xs.dim(3), kw, stride, pad);
         let shape = Shape::from(vec![xs.dim(0).clone(), ws.dim(0).clone(), oh, ow]);
-        let kind = OpKind::Conv2d { kh, kw, stride, pad };
+        let kind = OpKind::Conv2d {
+            kh,
+            kw,
+            stride,
+            pad,
+        };
         let oname = self.auto_name(name);
         let out = self.add_op(
             name.to_owned(),
@@ -469,7 +497,14 @@ impl Graph {
     ) -> Result<TensorId, GraphError> {
         assert_eq!(f.arity(), 1, "unary() requires a unary function");
         let shape = self.tensor(x).shape.clone();
-        self.unary_out(name, OpKind::Pointwise(f), x, shape, TensorKind::Activation, Phase::Forward)
+        self.unary_out(
+            name,
+            OpKind::Pointwise(f),
+            x,
+            shape,
+            TensorKind::Activation,
+            Phase::Forward,
+        )
     }
 
     /// Binary pointwise function (same-shape operands).
@@ -494,7 +529,12 @@ impl Graph {
     }
 
     /// Bias addition broadcast over the trailing dimension.
-    pub fn bias_add(&mut self, name: &str, x: TensorId, b: TensorId) -> Result<TensorId, GraphError> {
+    pub fn bias_add(
+        &mut self,
+        name: &str,
+        x: TensorId,
+        b: TensorId,
+    ) -> Result<TensorId, GraphError> {
         let shape = self.tensor(x).shape.clone();
         let oname = self.auto_name(name);
         let out = self.add_op(
@@ -508,7 +548,12 @@ impl Graph {
     }
 
     /// Embedding lookup: `table[v,e]` gathered by integer `idx` of any rank.
-    pub fn gather(&mut self, name: &str, table: TensorId, idx: TensorId) -> Result<TensorId, GraphError> {
+    pub fn gather(
+        &mut self,
+        name: &str,
+        table: TensorId,
+        idx: TensorId,
+    ) -> Result<TensorId, GraphError> {
         let e = self.tensor(table).shape.dim(1).clone();
         let mut dims = self.tensor(idx).shape.0.clone();
         dims.push(e);
@@ -526,11 +571,23 @@ impl Graph {
     /// Softmax over the trailing dimension.
     pub fn softmax(&mut self, name: &str, x: TensorId) -> Result<TensorId, GraphError> {
         let shape = self.tensor(x).shape.clone();
-        self.unary_out(name, OpKind::Softmax, x, shape, TensorKind::Activation, Phase::Forward)
+        self.unary_out(
+            name,
+            OpKind::Softmax,
+            x,
+            shape,
+            TensorKind::Activation,
+            Phase::Forward,
+        )
     }
 
     /// Batch normalization with trainable scale/shift folded into the op.
-    pub fn batch_norm(&mut self, name: &str, x: TensorId, scale_shift: TensorId) -> Result<TensorId, GraphError> {
+    pub fn batch_norm(
+        &mut self,
+        name: &str,
+        x: TensorId,
+        scale_shift: TensorId,
+    ) -> Result<TensorId, GraphError> {
         let shape = self.tensor(x).shape.clone();
         let oname = self.auto_name(name);
         let out = self.add_op(
@@ -557,7 +614,14 @@ impl Graph {
         let oh = conv_out_dim(xs.dim(2), k, stride, pad);
         let ow = conv_out_dim(xs.dim(3), k, stride, pad);
         let shape = Shape::from(vec![xs.dim(0).clone(), xs.dim(1).clone(), oh, ow]);
-        self.unary_out(name, OpKind::Pool { kind, k, stride }, x, shape, TensorKind::Activation, Phase::Forward)
+        self.unary_out(
+            name,
+            OpKind::Pool { kind, k, stride },
+            x,
+            shape,
+            TensorKind::Activation,
+            Phase::Forward,
+        )
     }
 
     /// Pooling over the time axis of a `[b, q, h]` tensor (sequence
@@ -568,7 +632,11 @@ impl Graph {
         let shape = Shape::from(vec![xs.dim(0).clone(), q, xs.dim(2).clone()]);
         self.unary_out(
             name,
-            OpKind::Pool { kind: PoolKind::Avg, k: 2, stride: 2 },
+            OpKind::Pool {
+                kind: PoolKind::Avg,
+                k: 2,
+                stride: 2,
+            },
             x,
             shape,
             TensorKind::Activation,
@@ -577,12 +645,29 @@ impl Graph {
     }
 
     /// Full reduction to a scalar.
-    pub fn reduce(&mut self, name: &str, kind: ReduceKind, x: TensorId) -> Result<TensorId, GraphError> {
-        self.unary_out(name, OpKind::Reduce(kind), x, Shape::scalar(), TensorKind::Activation, Phase::Forward)
+    pub fn reduce(
+        &mut self,
+        name: &str,
+        kind: ReduceKind,
+        x: TensorId,
+    ) -> Result<TensorId, GraphError> {
+        self.unary_out(
+            name,
+            OpKind::Reduce(kind),
+            x,
+            Shape::scalar(),
+            TensorKind::Activation,
+            Phase::Forward,
+        )
     }
 
     /// Concatenate along `axis`.
-    pub fn concat(&mut self, name: &str, xs: &[TensorId], axis: usize) -> Result<TensorId, GraphError> {
+    pub fn concat(
+        &mut self,
+        name: &str,
+        xs: &[TensorId],
+        axis: usize,
+    ) -> Result<TensorId, GraphError> {
         assert!(!xs.is_empty(), "concat of no tensors");
         let first = self.tensor(xs[0]).shape.clone();
         let mut dims = first.0.clone();
@@ -603,7 +688,13 @@ impl Graph {
     }
 
     /// Split a tensor along `axis` into `n` equal parts.
-    pub fn split(&mut self, name: &str, x: TensorId, axis: usize, n: u64) -> Result<Vec<TensorId>, GraphError> {
+    pub fn split(
+        &mut self,
+        name: &str,
+        x: TensorId,
+        axis: usize,
+        n: u64,
+    ) -> Result<Vec<TensorId>, GraphError> {
         let xs = self.tensor(x).shape.clone();
         let mut dims = xs.0.clone();
         dims[axis] = dims[axis].clone() * Expr::rat(1, n as i128);
@@ -618,17 +709,40 @@ impl Graph {
                 )
             })
             .collect();
-        self.add_op(name.to_owned(), OpKind::Split, vec![x], outputs, Phase::Forward)
+        self.add_op(
+            name.to_owned(),
+            OpKind::Split,
+            vec![x],
+            outputs,
+            Phase::Forward,
+        )
     }
 
     /// Metadata-only reshape.
-    pub fn reshape(&mut self, name: &str, x: TensorId, shape: impl Into<Shape>) -> Result<TensorId, GraphError> {
+    pub fn reshape(
+        &mut self,
+        name: &str,
+        x: TensorId,
+        shape: impl Into<Shape>,
+    ) -> Result<TensorId, GraphError> {
         let shape = shape.into();
-        self.unary_out(name, OpKind::Reshape, x, shape, TensorKind::Activation, Phase::Forward)
+        self.unary_out(
+            name,
+            OpKind::Reshape,
+            x,
+            shape,
+            TensorKind::Activation,
+            Phase::Forward,
+        )
     }
 
     /// Fused softmax + NLL loss against integer labels; scalar output.
-    pub fn cross_entropy(&mut self, name: &str, logits: TensorId, labels: TensorId) -> Result<TensorId, GraphError> {
+    pub fn cross_entropy(
+        &mut self,
+        name: &str,
+        logits: TensorId,
+        labels: TensorId,
+    ) -> Result<TensorId, GraphError> {
         let oname = self.auto_name(name);
         let out = self.add_op(
             name.to_owned(),
@@ -682,7 +796,9 @@ mod tests {
     fn builds_and_validates_a_tiny_mlp() {
         let mut g = Graph::new("mlp");
         let b = Expr::sym("g_b");
-        let x = g.input("x", [b.clone(), Expr::int(64)], DType::F32).unwrap();
+        let x = g
+            .input("x", [b.clone(), Expr::int(64)], DType::F32)
+            .unwrap();
         let w1 = g.weight("w1", [Expr::int(64), Expr::int(128)]).unwrap();
         let h = g.matmul("fc1", x, w1, false, false).unwrap();
         let h = g.unary("relu1", PointwiseFn::Relu, h).unwrap();
@@ -698,7 +814,9 @@ mod tests {
     #[test]
     fn rejects_contraction_mismatch() {
         let mut g = Graph::new("bad");
-        let a = g.input("a", [Expr::int(4), Expr::int(8)], DType::F32).unwrap();
+        let a = g
+            .input("a", [Expr::int(4), Expr::int(8)], DType::F32)
+            .unwrap();
         let w = g.weight("w", [Expr::int(9), Expr::int(2)]).unwrap();
         let err = g.matmul("mm", a, w, false, false).unwrap_err();
         assert!(matches!(err, GraphError::ShapeMismatch { .. }));
@@ -715,8 +833,12 @@ mod tests {
     #[test]
     fn concat_sums_axis_dims() {
         let mut g = Graph::new("cat");
-        let a = g.input("a", [Expr::int(2), Expr::int(3)], DType::F32).unwrap();
-        let b = g.input("b", [Expr::int(2), Expr::int(5)], DType::F32).unwrap();
+        let a = g
+            .input("a", [Expr::int(2), Expr::int(3)], DType::F32)
+            .unwrap();
+        let b = g
+            .input("b", [Expr::int(2), Expr::int(5)], DType::F32)
+            .unwrap();
         let c = g.concat("cat", &[a, b], 1).unwrap();
         assert_eq!(g.tensor(c).shape, Shape::from([Expr::int(2), Expr::int(8)]));
     }
@@ -724,7 +846,9 @@ mod tests {
     #[test]
     fn split_divides_axis() {
         let mut g = Graph::new("split");
-        let a = g.input("a", [Expr::int(2), Expr::int(12)], DType::F32).unwrap();
+        let a = g
+            .input("a", [Expr::int(2), Expr::int(12)], DType::F32)
+            .unwrap();
         let parts = g.split("sp", a, 1, 4).unwrap();
         assert_eq!(parts.len(), 4);
         for &p in &parts {
@@ -736,10 +860,17 @@ mod tests {
     fn conv_shapes_and_flops() {
         let mut g = Graph::new("conv");
         let x = g
-            .input("x", [Expr::int(1), Expr::int(3), Expr::int(32), Expr::int(32)], DType::F32)
+            .input(
+                "x",
+                [Expr::int(1), Expr::int(3), Expr::int(32), Expr::int(32)],
+                DType::F32,
+            )
             .unwrap();
         let w = g
-            .weight("w", [Expr::int(16), Expr::int(3), Expr::int(3), Expr::int(3)])
+            .weight(
+                "w",
+                [Expr::int(16), Expr::int(3), Expr::int(3), Expr::int(3)],
+            )
             .unwrap();
         let y = g.conv2d("conv1", x, w, 1, 1).unwrap();
         assert_eq!(
@@ -753,7 +884,9 @@ mod tests {
     fn gather_appends_embedding_dim() {
         let mut g = Graph::new("emb");
         let t = g.weight("table", [Expr::int(1000), Expr::int(64)]).unwrap();
-        let idx = g.input("idx", [Expr::sym("g_b2"), Expr::int(20)], DType::I32).unwrap();
+        let idx = g
+            .input("idx", [Expr::sym("g_b2"), Expr::int(20)], DType::I32)
+            .unwrap();
         let e = g.gather("lookup", t, idx).unwrap();
         assert_eq!(
             g.tensor(e).shape,
@@ -764,7 +897,9 @@ mod tests {
     #[test]
     fn consumer_and_producer_indexes() {
         let mut g = Graph::new("idx");
-        let a = g.input("a", [Expr::int(4), Expr::int(4)], DType::F32).unwrap();
+        let a = g
+            .input("a", [Expr::int(4), Expr::int(4)], DType::F32)
+            .unwrap();
         let w = g.weight("w", [Expr::int(4), Expr::int(4)]).unwrap();
         let y = g.matmul("mm", a, w, false, false).unwrap();
         let z = g.unary("relu", PointwiseFn::Relu, y).unwrap();
@@ -779,7 +914,11 @@ mod tests {
     fn time_pool_halves_sequence() {
         let mut g = Graph::new("tp");
         let x = g
-            .input("x", [Expr::int(8), Expr::int(100), Expr::int(32)], DType::F32)
+            .input(
+                "x",
+                [Expr::int(8), Expr::int(100), Expr::int(32)],
+                DType::F32,
+            )
             .unwrap();
         let y = g.time_pool2("pool", x).unwrap();
         assert_eq!(

@@ -42,6 +42,7 @@ mod export;
 mod footprint;
 mod graph;
 mod op;
+mod profile;
 mod stats;
 mod tensor;
 mod transform;
@@ -53,6 +54,7 @@ pub use graph::{Graph, GraphError};
 pub use op::{
     conv_out_dim, op_bytes, op_flops, Op, OpId, OpKind, Phase, PointwiseFn, PoolKind, ReduceKind,
 };
+pub use profile::{kind_label, layer_key, phase_label, CostGroup, OpCost, OpProfile};
 pub use stats::{GraphStats, NumericStats};
-pub use transform::{apply_optimizer, cast_float_precision, optimizer_state_bytes, Optimizer};
 pub use tensor::{DType, Shape, Tensor, TensorId, TensorKind};
+pub use transform::{apply_optimizer, cast_float_precision, optimizer_state_bytes, Optimizer};

@@ -252,10 +252,7 @@ impl Op {
 }
 
 fn total_elements(tensors: &[&Tensor]) -> Expr {
-    tensors
-        .iter()
-        .map(|t| t.shape.elements())
-        .sum()
+    tensors.iter().map(|t| t.shape.elements()).sum()
 }
 
 fn total_bytes(tensors: &[&Tensor]) -> Expr {
@@ -288,9 +285,7 @@ pub fn op_flops(kind: &OpKind, inputs: &[&Tensor], outputs: &[&Tensor]) -> Expr 
             let ci = inputs[1].shape.dim(1).clone(); // weights [co, ci, kh, kw]
             Expr::int(2) * out.elements() * ci * Expr::from(kh * kw)
         }
-        OpKind::Pointwise(f) => {
-            Expr::from(f.flops_per_element()) * outputs[0].shape.elements()
-        }
+        OpKind::Pointwise(f) => Expr::from(f.flops_per_element()) * outputs[0].shape.elements(),
         OpKind::BiasAdd => outputs[0].shape.elements(),
         OpKind::EmbeddingGather => Expr::zero(),
         OpKind::EmbeddingScatterAdd => {
@@ -299,9 +294,7 @@ pub fn op_flops(kind: &OpKind, inputs: &[&Tensor], outputs: &[&Tensor]) -> Expr 
         }
         OpKind::Softmax => Expr::int(5) * outputs[0].shape.elements(),
         OpKind::BatchNorm => Expr::int(8) * outputs[0].shape.elements(),
-        OpKind::Pool { k, .. } => {
-            Expr::from(k * k) * outputs[0].shape.elements()
-        }
+        OpKind::Pool { k, .. } => Expr::from(k * k) * outputs[0].shape.elements(),
         OpKind::Reduce(_) => total_elements(inputs),
         OpKind::Concat | OpKind::Split | OpKind::Transpose | OpKind::Reshape => Expr::zero(),
         OpKind::CrossEntropy => Expr::int(5) * inputs[0].shape.elements(),
@@ -351,10 +344,7 @@ pub fn op_bytes(kind: &OpKind, inputs: &[&Tensor], outputs: &[&Tensor]) -> (Expr
             // rows; write the accumulator rows back.
             let grad_bytes = inputs[0].bytes();
             let idx_bytes = inputs[1].bytes();
-            (
-                Expr::int(2) * grad_bytes.clone() + idx_bytes,
-                grad_bytes,
-            )
+            (Expr::int(2) * grad_bytes.clone() + idx_bytes, grad_bytes)
         }
         OpKind::SgdUpdate => {
             // Read weight + gradient; write weight.
@@ -436,7 +426,10 @@ mod tests {
         let b = tensor("b", vec![Expr::int(16), Expr::int(32)]);
         let c = tensor("c", vec![Expr::int(8), Expr::int(32)]);
         let f = op_flops(
-            &OpKind::MatMul { ta: false, tb: false },
+            &OpKind::MatMul {
+                ta: false,
+                tb: false,
+            },
             &[&a, &b],
             &[&c],
         );
@@ -449,17 +442,38 @@ mod tests {
         let a = tensor("a", vec![Expr::int(16), Expr::int(8)]);
         let b = tensor("b", vec![Expr::int(16), Expr::int(32)]);
         let c = tensor("c", vec![Expr::int(8), Expr::int(32)]);
-        let f = op_flops(&OpKind::MatMul { ta: true, tb: false }, &[&a, &b], &[&c]);
+        let f = op_flops(
+            &OpKind::MatMul {
+                ta: true,
+                tb: false,
+            },
+            &[&a, &b],
+            &[&c],
+        );
         assert_eq!(f, Expr::int(2 * 8 * 16 * 32));
     }
 
     #[test]
     fn conv_flops_count_kernel_volume() {
-        let x = tensor("x", vec![Expr::int(2), Expr::int(3), Expr::int(8), Expr::int(8)]);
-        let w = tensor("w", vec![Expr::int(4), Expr::int(3), Expr::int(3), Expr::int(3)]);
-        let y = tensor("y", vec![Expr::int(2), Expr::int(4), Expr::int(8), Expr::int(8)]);
+        let x = tensor(
+            "x",
+            vec![Expr::int(2), Expr::int(3), Expr::int(8), Expr::int(8)],
+        );
+        let w = tensor(
+            "w",
+            vec![Expr::int(4), Expr::int(3), Expr::int(3), Expr::int(3)],
+        );
+        let y = tensor(
+            "y",
+            vec![Expr::int(2), Expr::int(4), Expr::int(8), Expr::int(8)],
+        );
         let f = op_flops(
-            &OpKind::Conv2d { kh: 3, kw: 3, stride: 1, pad: 1 },
+            &OpKind::Conv2d {
+                kh: 3,
+                kw: 3,
+                stride: 1,
+                pad: 1,
+            },
             &[&x, &w],
             &[&y],
         );
@@ -479,7 +493,10 @@ mod tests {
         let (read, written) = op_bytes(&OpKind::EmbeddingGather, &[&table, &idx], &[&out]);
         let out_bytes = 4u64 * 8 * 64 * 4;
         let idx_bytes = 4u64 * 8 * 4;
-        assert_eq!(read.eval(&Bindings::new()).unwrap(), (out_bytes + idx_bytes) as f64);
+        assert_eq!(
+            read.eval(&Bindings::new()).unwrap(),
+            (out_bytes + idx_bytes) as f64
+        );
         assert_eq!(written.eval(&Bindings::new()).unwrap(), out_bytes as f64);
         assert!(op_flops(&OpKind::EmbeddingGather, &[&table, &idx], &[&out]).is_zero());
     }
@@ -501,7 +518,9 @@ mod tests {
         assert_eq!(r.eval(&Bindings::new()).unwrap(), 800.0);
         assert_eq!(wr.eval(&Bindings::new()).unwrap(), 400.0);
         assert_eq!(
-            op_flops(&OpKind::SgdUpdate, &[&w, &g], &[]).eval(&Bindings::new()).unwrap(),
+            op_flops(&OpKind::SgdUpdate, &[&w, &g], &[])
+                .eval(&Bindings::new())
+                .unwrap(),
             200.0
         );
     }
@@ -532,7 +551,14 @@ mod tests {
     fn batch_matmul_shape_inference() {
         let a = Shape::from([Expr::sym("op_b"), Expr::int(8), Expr::int(16)]);
         let b = Shape::from([Expr::sym("op_b"), Expr::int(16), Expr::int(4)]);
-        let out = infer_matmul_shape(&OpKind::BatchMatMul { ta: false, tb: false }, &a, &b);
+        let out = infer_matmul_shape(
+            &OpKind::BatchMatMul {
+                ta: false,
+                tb: false,
+            },
+            &a,
+            &b,
+        );
         assert_eq!(
             out,
             Shape::from([Expr::sym("op_b"), Expr::int(8), Expr::int(4)])

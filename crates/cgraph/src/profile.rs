@@ -1,0 +1,490 @@
+//! TFprof-style per-op cost attribution.
+//!
+//! [`Graph::profile`] evaluates every op's algorithmic FLOPs and bytes under
+//! a concrete [`Bindings`], yielding an [`OpProfile`] that can be grouped by
+//! op kind, training phase, or model layer (name prefix), rendered as a
+//! top-K table, and cross-checked against [`Graph::stats`] totals.
+
+use std::collections::HashMap;
+
+use symath::{Bindings, UnboundSymbol};
+
+use crate::graph::Graph;
+use crate::op::{OpId, OpKind, Phase};
+use crate::stats::NumericStats;
+
+/// Evaluated cost of a single op.
+#[derive(Clone, Debug)]
+pub struct OpCost {
+    /// The op's id in its graph.
+    pub op: OpId,
+    /// Op name (unique within the graph).
+    pub name: String,
+    /// Short label for the op kind, e.g. `"MatMul"`.
+    pub kind: &'static str,
+    /// Training phase.
+    pub phase: Phase,
+    /// Algorithmic FLOPs.
+    pub flops: f64,
+    /// Algorithmic bytes read.
+    pub bytes_read: f64,
+    /// Algorithmic bytes written.
+    pub bytes_written: f64,
+    /// Bytes of the op's output tensors (live footprint contribution).
+    pub out_bytes: f64,
+}
+
+impl OpCost {
+    /// Total algorithmic bytes accessed (read + written).
+    pub fn bytes(&self) -> f64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Operational intensity FLOP/B (0 for pure data movement).
+    pub fn operational_intensity(&self) -> f64 {
+        let b = self.bytes();
+        if b > 0.0 {
+            self.flops / b
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Aggregated cost of a group of ops (one kind, phase, or layer).
+#[derive(Clone, Debug)]
+pub struct CostGroup {
+    /// Group key (kind label, phase label, or layer prefix).
+    pub key: String,
+    /// Number of ops in the group.
+    pub count: usize,
+    /// Summed FLOPs.
+    pub flops: f64,
+    /// Summed bytes (read + written).
+    pub bytes: f64,
+}
+
+/// Per-op cost attribution for a graph under concrete bindings.
+#[derive(Clone, Debug)]
+pub struct OpProfile {
+    /// Graph name.
+    pub graph: String,
+    /// Per-op costs, in the graph's (topological) op order.
+    pub ops: Vec<OpCost>,
+    /// Whole-graph totals from [`Graph::stats`], evaluated under the same
+    /// bindings — the reference the per-op costs must sum to.
+    pub totals: NumericStats,
+}
+
+impl OpProfile {
+    /// Ops sorted by descending FLOPs, truncated to `k`.
+    pub fn top_by_flops(&self, k: usize) -> Vec<&OpCost> {
+        let mut sorted: Vec<&OpCost> = self.ops.iter().collect();
+        sorted.sort_by(|a, b| {
+            b.flops
+                .total_cmp(&a.flops)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        sorted.truncate(k);
+        sorted
+    }
+
+    /// Ops sorted by descending bytes accessed, truncated to `k`.
+    pub fn top_by_bytes(&self, k: usize) -> Vec<&OpCost> {
+        let mut sorted: Vec<&OpCost> = self.ops.iter().collect();
+        sorted.sort_by(|a, b| {
+            b.bytes()
+                .total_cmp(&a.bytes())
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        sorted.truncate(k);
+        sorted
+    }
+
+    fn group_by(&self, key_of: impl Fn(&OpCost) -> String) -> Vec<CostGroup> {
+        let mut groups: HashMap<String, CostGroup> = HashMap::new();
+        for op in &self.ops {
+            let key = key_of(op);
+            let entry = groups.entry(key.clone()).or_insert(CostGroup {
+                key,
+                count: 0,
+                flops: 0.0,
+                bytes: 0.0,
+            });
+            entry.count += 1;
+            entry.flops += op.flops;
+            entry.bytes += op.bytes();
+        }
+        let mut out: Vec<CostGroup> = groups.into_values().collect();
+        out.sort_by(|a, b| b.flops.total_cmp(&a.flops).then_with(|| a.key.cmp(&b.key)));
+        out
+    }
+
+    /// Aggregate by op kind, sorted by descending FLOPs.
+    pub fn by_kind(&self) -> Vec<CostGroup> {
+        self.group_by(|op| op.kind.to_string())
+    }
+
+    /// Aggregate by training phase, sorted by descending FLOPs.
+    pub fn by_phase(&self) -> Vec<CostGroup> {
+        self.group_by(|op| phase_label(op.phase).to_string())
+    }
+
+    /// Aggregate by model layer, sorted by descending FLOPs. The layer key is
+    /// the op name's leading dot-component after stripping the autodiff
+    /// prefixes (`bwd_`, `sgd_`, `acc_grad_`), so `bwd_lstm0.t3.gx_dA`
+    /// attributes to `lstm0` alongside its forward op.
+    pub fn by_layer(&self) -> Vec<CostGroup> {
+        self.group_by(|op| layer_key(&op.name).to_string())
+    }
+
+    /// Verify that per-op costs sum to the [`Graph::stats`] totals within
+    /// `rel_tol` relative error; returns a description of the first mismatch.
+    pub fn check_consistency(&self, rel_tol: f64) -> Result<(), String> {
+        let sum = |f: &dyn Fn(&OpCost) -> f64| self.ops.iter().map(f).sum::<f64>();
+        let phase_flops = |p: Phase| {
+            self.ops
+                .iter()
+                .filter(|o| o.phase == p)
+                .map(|o| o.flops)
+                .sum::<f64>()
+        };
+        let checks: [(&str, f64, f64); 7] = [
+            ("flops", sum(&|o| o.flops), self.totals.flops),
+            (
+                "flops_forward",
+                phase_flops(Phase::Forward),
+                self.totals.flops_forward,
+            ),
+            (
+                "flops_backward",
+                phase_flops(Phase::Backward),
+                self.totals.flops_backward,
+            ),
+            (
+                "flops_update",
+                phase_flops(Phase::Update),
+                self.totals.flops_update,
+            ),
+            ("bytes_read", sum(&|o| o.bytes_read), self.totals.bytes_read),
+            (
+                "bytes_written",
+                sum(&|o| o.bytes_written),
+                self.totals.bytes_written,
+            ),
+            ("bytes", sum(&|o| o.bytes()), self.totals.bytes),
+        ];
+        for (what, got, want) in checks {
+            let scale = want.abs().max(1.0);
+            if (got - want).abs() > rel_tol * scale {
+                return Err(format!(
+                    "per-op {what} sum {got:.6e} != graph total {want:.6e} \
+                     (rel err {:.3e})",
+                    (got - want).abs() / scale
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the top-`k` ops by FLOPs as a TFprof-style text table with
+    /// cumulative percentages.
+    pub fn render_top(&self, k: usize) -> String {
+        let total_flops = self.totals.flops.max(f64::MIN_POSITIVE);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "profile {}: {} ops, {:.3e} FLOPs, {:.3e} bytes\n",
+            self.graph,
+            self.ops.len(),
+            self.totals.flops,
+            self.totals.bytes
+        ));
+        out.push_str(&format!(
+            "{:<40} {:<18} {:<8} {:>10} {:>7} {:>7} {:>10} {:>8}\n",
+            "op", "kind", "phase", "flops", "%", "cum%", "bytes", "FLOP/B"
+        ));
+        let mut cumulative = 0.0;
+        for op in self.top_by_flops(k) {
+            let pct = 100.0 * op.flops / total_flops;
+            cumulative += pct;
+            out.push_str(&format!(
+                "{:<40} {:<18} {:<8} {:>10} {:>6.1}% {:>6.1}% {:>10} {:>8.1}\n",
+                clip(&op.name, 40),
+                op.kind,
+                phase_label(op.phase),
+                sig3(op.flops),
+                pct,
+                cumulative,
+                sig3(op.bytes()),
+                op.operational_intensity(),
+            ));
+        }
+        out
+    }
+
+    /// Render grouped costs (from [`by_kind`](Self::by_kind) etc.) as a text
+    /// table with percentage-of-total columns.
+    pub fn render_groups(&self, title: &str, groups: &[CostGroup]) -> String {
+        let total_flops = self.totals.flops.max(f64::MIN_POSITIVE);
+        let total_bytes = self.totals.bytes.max(f64::MIN_POSITIVE);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>6} {:>10} {:>7} {:>10} {:>7}\n",
+            title, "ops", "flops", "%", "bytes", "%"
+        ));
+        for g in groups {
+            out.push_str(&format!(
+                "{:<24} {:>6} {:>10} {:>6.1}% {:>10} {:>6.1}%\n",
+                clip(&g.key, 24),
+                g.count,
+                sig3(g.flops),
+                100.0 * g.flops / total_flops,
+                sig3(g.bytes),
+                100.0 * g.bytes / total_bytes,
+            ));
+        }
+        out
+    }
+}
+
+/// Layer attribution key for an op name: strip autodiff prefixes, then take
+/// the leading dot-component; a dot-free backward name also drops its
+/// gradient suffix (`_dA`, `_dBias`, …) so `bwd_out_dA` groups with `out`.
+pub fn layer_key(name: &str) -> &str {
+    let stripped = name
+        .strip_prefix("bwd_")
+        .or_else(|| name.strip_prefix("sgd_"))
+        .or_else(|| name.strip_prefix("acc_grad_"));
+    let base = stripped.unwrap_or(name);
+    match base.split('.').next() {
+        Some(first) if first.len() < base.len() => first,
+        _ => match (stripped, base.rfind("_d")) {
+            (Some(_), Some(i)) if i > 0 && base[i + 2..].chars().all(char::is_alphanumeric) => {
+                &base[..i]
+            }
+            _ => base,
+        },
+    }
+}
+
+/// Human-readable phase label.
+pub fn phase_label(phase: Phase) -> &'static str {
+    match phase {
+        Phase::Forward => "fwd",
+        Phase::Backward => "bwd",
+        Phase::Update => "update",
+    }
+}
+
+/// Short stable label for an op kind (variant name without payload).
+pub fn kind_label(kind: &OpKind) -> &'static str {
+    match kind {
+        OpKind::MatMul { .. } => "MatMul",
+        OpKind::BatchMatMul { .. } => "BatchMatMul",
+        OpKind::Conv2d { .. } => "Conv2d",
+        OpKind::Pointwise(_) => "Pointwise",
+        OpKind::BiasAdd => "BiasAdd",
+        OpKind::EmbeddingGather => "EmbeddingGather",
+        OpKind::EmbeddingScatterAdd => "EmbeddingScatterAdd",
+        OpKind::Softmax => "Softmax",
+        OpKind::BatchNorm => "BatchNorm",
+        OpKind::Pool { .. } => "Pool",
+        OpKind::Reduce(_) => "Reduce",
+        OpKind::Concat => "Concat",
+        OpKind::Split => "Split",
+        OpKind::Transpose => "Transpose",
+        OpKind::Reshape => "Reshape",
+        OpKind::CrossEntropy => "CrossEntropy",
+        OpKind::AddN => "AddN",
+        OpKind::SgdUpdate => "SgdUpdate",
+        OpKind::Conv2dBackpropInput { .. } => "Conv2dBackpropInput",
+        OpKind::Conv2dBackpropFilter { .. } => "Conv2dBackpropFilter",
+        OpKind::PointwiseGrad(_) => "PointwiseGrad",
+        OpKind::SoftmaxGrad => "SoftmaxGrad",
+        OpKind::BatchNormGrad => "BatchNormGrad",
+        OpKind::PoolGrad { .. } => "PoolGrad",
+        OpKind::Broadcast => "Broadcast",
+        OpKind::CrossEntropyGrad => "CrossEntropyGrad",
+        OpKind::MomentumUpdate => "MomentumUpdate",
+        OpKind::AdamUpdate => "AdamUpdate",
+    }
+}
+
+fn clip(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        format!("…{}", &s[s.len() - (max - 1)..])
+    }
+}
+
+fn sig3(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    if v.abs() >= 1e4 {
+        format!("{v:.2e}")
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+impl Graph {
+    /// Evaluate every op's algorithmic cost under `bindings`, returning an
+    /// [`OpProfile`] whose per-op sums are consistent with
+    /// [`Graph::stats`] (see [`OpProfile::check_consistency`]).
+    pub fn profile(&self, bindings: &Bindings) -> Result<OpProfile, UnboundSymbol> {
+        let _span = obs::span("cgraph.profile")
+            .with_arg("graph", self.name.as_str())
+            .with_arg("ops", self.ops().len());
+        let mut ops = Vec::with_capacity(self.ops().len());
+        for op in self.ops() {
+            let flops = self.op_flops(op).eval(bindings)?;
+            let (read, written) = self.op_bytes(op);
+            let out_bytes: f64 = op
+                .outputs
+                .iter()
+                .map(|&t| self.tensor(t).bytes().eval(bindings))
+                .sum::<Result<f64, _>>()?;
+            ops.push(OpCost {
+                op: op.id(),
+                name: op.name.clone(),
+                kind: kind_label(&op.kind),
+                phase: op.phase,
+                flops,
+                bytes_read: read.eval(bindings)?,
+                bytes_written: written.eval(bindings)?,
+                out_bytes,
+            });
+        }
+        Ok(OpProfile {
+            graph: self.name.clone(),
+            ops,
+            totals: self.stats().eval(bindings)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autodiff::build_training_step;
+    use crate::op::PointwiseFn;
+    use crate::tensor::DType;
+    use symath::{Bindings, Expr};
+
+    fn trained_mlp() -> Graph {
+        let mut g = Graph::new("pf_mlp");
+        let b = Expr::sym("pf_b");
+        let x = g
+            .input("x", [b.clone(), Expr::int(64)], DType::F32)
+            .unwrap();
+        let w1 = g.weight("enc.w1", [Expr::int(64), Expr::int(128)]).unwrap();
+        let h = g.matmul("enc.fc1", x, w1, false, false).unwrap();
+        let h = g.unary("enc.relu", PointwiseFn::Relu, h).unwrap();
+        let w2 = g
+            .weight("head.w2", [Expr::int(128), Expr::int(10)])
+            .unwrap();
+        let logits = g.matmul("head.fc2", h, w2, false, false).unwrap();
+        let labels = g.input("labels", [b], DType::I32).unwrap();
+        let loss = g.cross_entropy("loss", logits, labels).unwrap();
+        build_training_step(&mut g, loss).unwrap();
+        g
+    }
+
+    fn bindings() -> Bindings {
+        Bindings::new().with("pf_b", 32.0)
+    }
+
+    #[test]
+    fn profile_sums_match_stats() {
+        let g = trained_mlp();
+        let profile = g.profile(&bindings()).unwrap();
+        profile.check_consistency(1e-9).unwrap();
+    }
+
+    #[test]
+    fn top_by_flops_is_sorted_and_truncated() {
+        let g = trained_mlp();
+        let profile = g.profile(&bindings()).unwrap();
+        let top = profile.top_by_flops(3);
+        assert_eq!(top.len(), 3);
+        assert!(top[0].flops >= top[1].flops && top[1].flops >= top[2].flops);
+        // Matmuls dominate a dense net.
+        assert!(top[0].kind.contains("MatMul"));
+    }
+
+    #[test]
+    fn groups_cover_all_flops() {
+        let g = trained_mlp();
+        let profile = g.profile(&bindings()).unwrap();
+        for groups in [profile.by_kind(), profile.by_phase(), profile.by_layer()] {
+            let total: f64 = groups.iter().map(|g| g.flops).sum();
+            assert!((total - profile.totals.flops).abs() <= 1e-9 * profile.totals.flops);
+            let count: usize = groups.iter().map(|g| g.count).sum();
+            assert_eq!(count, profile.ops.len());
+        }
+    }
+
+    #[test]
+    fn layer_key_strips_autodiff_prefixes() {
+        assert_eq!(layer_key("enc.fc1"), "enc");
+        assert_eq!(layer_key("bwd_enc.fc1_dA"), "enc");
+        assert_eq!(layer_key("sgd_enc.w1"), "enc");
+        assert_eq!(layer_key("acc_grad_enc.h.3"), "enc");
+        assert_eq!(layer_key("loss"), "loss");
+        // Dot-free backward names drop the gradient suffix, forward names
+        // keep theirs.
+        assert_eq!(layer_key("bwd_out_dA"), "out");
+        assert_eq!(layer_key("bwd_out_bias_dBias"), "out_bias");
+        assert_eq!(layer_key("bwd_loss"), "loss");
+        assert_eq!(layer_key("out_dated"), "out_dated");
+    }
+
+    #[test]
+    fn layer_groups_unify_forward_and_backward() {
+        let g = trained_mlp();
+        let profile = g.profile(&bindings()).unwrap();
+        let layers = profile.by_layer();
+        let enc = layers.iter().find(|g| g.key == "enc").unwrap();
+        // Forward matmul + relu, their backward ops, and the sgd updates all
+        // fold into the one `enc` group.
+        assert!(enc.count > 3);
+    }
+
+    #[test]
+    fn phase_groups_match_stats_split() {
+        let g = trained_mlp();
+        let profile = g.profile(&bindings()).unwrap();
+        let phases = profile.by_phase();
+        let flops_of = |label: &str| {
+            phases
+                .iter()
+                .find(|g| g.key == label)
+                .map(|g| g.flops)
+                .unwrap_or(0.0)
+        };
+        assert!((flops_of("fwd") - profile.totals.flops_forward).abs() < 1e-9);
+        assert!((flops_of("bwd") - profile.totals.flops_backward).abs() < 1e-9);
+        assert!((flops_of("update") - profile.totals.flops_update).abs() < 1e-9);
+        assert!(flops_of("update") > 0.0, "training graph has update ops");
+    }
+
+    #[test]
+    fn render_top_mentions_dominant_op() {
+        let g = trained_mlp();
+        let profile = g.profile(&bindings()).unwrap();
+        let table = profile.render_top(5);
+        assert!(table.contains("op"));
+        assert!(table.contains("cum%"));
+        assert!(table.contains("MatMul"));
+        let groups = profile.render_groups("kind", &profile.by_kind());
+        assert!(groups.contains("MatMul"));
+    }
+
+    #[test]
+    fn unbound_symbol_is_reported() {
+        let g = trained_mlp();
+        assert!(g.profile(&Bindings::new()).is_err());
+    }
+}

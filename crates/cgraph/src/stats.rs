@@ -20,6 +20,8 @@ pub struct GraphStats {
     pub flops_forward: Expr,
     /// Backward-phase FLOPs only.
     pub flops_backward: Expr,
+    /// Weight-update-phase FLOPs only (optimizer ops).
+    pub flops_update: Expr,
     /// Algorithmic bytes read + written per training step.
     pub bytes: Expr,
     /// Bytes read only.
@@ -44,6 +46,7 @@ impl GraphStats {
             flops: self.flops.eval(bindings)?,
             flops_forward: self.flops_forward.eval(bindings)?,
             flops_backward: self.flops_backward.eval(bindings)?,
+            flops_update: self.flops_update.eval(bindings)?,
             bytes: self.bytes.eval(bindings)?,
             bytes_read: self.bytes_read.eval(bindings)?,
             bytes_written: self.bytes_written.eval(bindings)?,
@@ -62,6 +65,8 @@ pub struct NumericStats {
     pub flops_forward: f64,
     /// Backward-phase FLOPs.
     pub flops_backward: f64,
+    /// Weight-update-phase FLOPs (optimizer ops).
+    pub flops_update: f64,
     /// Algorithmic bytes accessed per step.
     pub bytes: f64,
     /// Bytes read.
@@ -123,6 +128,7 @@ impl Graph {
         let mut flops = Expr::zero();
         let mut flops_forward = Expr::zero();
         let mut flops_backward = Expr::zero();
+        let mut flops_update = Expr::zero();
         let mut bytes_read = Expr::zero();
         let mut bytes_written = Expr::zero();
         for op in self.ops() {
@@ -130,7 +136,7 @@ impl Graph {
             match op.phase {
                 Phase::Forward => flops_forward = flops_forward + &f,
                 Phase::Backward => flops_backward = flops_backward + &f,
-                Phase::Update => {}
+                Phase::Update => flops_update = flops_update + &f,
             }
             flops = flops + f;
             let (r, w) = self.op_bytes(op);
@@ -141,6 +147,7 @@ impl Graph {
             flops,
             flops_forward,
             flops_backward,
+            flops_update,
             bytes: bytes_read.clone() + bytes_written.clone(),
             bytes_read,
             bytes_written,
@@ -160,7 +167,9 @@ mod tests {
     fn mlp() -> Graph {
         let mut g = Graph::new("mlp");
         let b = Expr::sym("st_b");
-        let x = g.input("x", [b.clone(), Expr::int(64)], DType::F32).unwrap();
+        let x = g
+            .input("x", [b.clone(), Expr::int(64)], DType::F32)
+            .unwrap();
         let w1 = g.weight("w1", [Expr::int(64), Expr::int(128)]).unwrap();
         let h = g.matmul("fc1", x, w1, false, false).unwrap();
         let h = g.unary("relu", PointwiseFn::Relu, h).unwrap();
@@ -189,7 +198,10 @@ mod tests {
     #[test]
     fn io_counts_only_inputs() {
         let g = mlp();
-        let io = g.io_bytes().eval(&Bindings::new().with("st_b", 4.0)).unwrap();
+        let io = g
+            .io_bytes()
+            .eval(&Bindings::new().with("st_b", 4.0))
+            .unwrap();
         assert_eq!(io, (4 * 64 * 4) as f64);
     }
 
@@ -218,6 +230,27 @@ mod tests {
         let g = mlp();
         let n = g.stats().eval(&Bindings::new().with("st_b", 1.0)).unwrap();
         assert_eq!(n.flops_backward, 0.0);
+        assert_eq!(n.flops_update, 0.0);
         assert_eq!(n.flops, n.flops_forward);
+    }
+
+    #[test]
+    fn phases_sum_to_total_on_training_graph() {
+        let mut g = mlp();
+        let logits = g.ops().last().unwrap().outputs[0];
+        let labels = g.input("labels", [Expr::sym("st_b")], DType::I32).unwrap();
+        let loss = g.cross_entropy("loss", logits, labels).unwrap();
+        crate::autodiff::build_training_step(&mut g, loss).unwrap();
+        let n = g.stats().eval(&Bindings::new().with("st_b", 16.0)).unwrap();
+        assert!(n.flops_forward > 0.0);
+        assert!(n.flops_backward > 0.0);
+        assert!(n.flops_update > 0.0, "optimizer FLOPs must be attributed");
+        // The three phases partition the total exactly.
+        assert!(
+            (n.flops - (n.flops_forward + n.flops_backward + n.flops_update)).abs()
+                <= 1e-9 * n.flops
+        );
+        // SGD costs 2 FLOPs per parameter.
+        assert_eq!(n.flops_update, 2.0 * n.params);
     }
 }

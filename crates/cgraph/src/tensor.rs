@@ -100,9 +100,7 @@ impl Shape {
 
     /// Total element count as a symbolic expression.
     pub fn elements(&self) -> Expr {
-        self.0
-            .iter()
-            .fold(Expr::one(), |acc, d| acc * d)
+        self.0.iter().fold(Expr::one(), |acc, d| acc * d)
     }
 
     /// Numeric element count under `bindings`.

@@ -130,7 +130,9 @@ mod tests {
     fn training_mlp() -> (Graph, TrainingStep) {
         let mut g = Graph::new("opt_mlp");
         let b = Expr::sym("tr_b");
-        let x = g.input("x", [b.clone(), Expr::int(64)], DType::F32).unwrap();
+        let x = g
+            .input("x", [b.clone(), Expr::int(64)], DType::F32)
+            .unwrap();
         let w1 = g.weight("w1", [Expr::int(64), Expr::int(64)]).unwrap();
         let h = g.matmul("fc1", x, w1, false, false).unwrap();
         let h = g.unary("relu", PointwiseFn::Relu, h).unwrap();
@@ -155,9 +157,13 @@ mod tests {
     fn f16_roughly_halves_footprint() {
         let (mut g, _) = training_mlp();
         let bindings = Bindings::new().with("tr_b", 32.0);
-        let before = footprint(&g, &bindings, Scheduler::Best).unwrap().peak_bytes;
+        let before = footprint(&g, &bindings, Scheduler::Best)
+            .unwrap()
+            .peak_bytes;
         cast_float_precision(&mut g, DType::F16);
-        let after = footprint(&g, &bindings, Scheduler::Best).unwrap().peak_bytes;
+        let after = footprint(&g, &bindings, Scheduler::Best)
+            .unwrap()
+            .peak_bytes;
         assert!(after < before);
         assert!(after as f64 > 0.4 * before as f64);
     }
@@ -195,7 +201,9 @@ mod tests {
     fn training_mlp_named(name: &str) -> (Graph, TrainingStep) {
         let mut g = Graph::new(name);
         let b = Expr::sym("tr_b");
-        let x = g.input("x", [b.clone(), Expr::int(64)], DType::F32).unwrap();
+        let x = g
+            .input("x", [b.clone(), Expr::int(64)], DType::F32)
+            .unwrap();
         let w1 = g.weight("w1", [Expr::int(64), Expr::int(64)]).unwrap();
         let h = g.matmul("fc1", x, w1, false, false).unwrap();
         let h = g.unary("relu", PointwiseFn::Relu, h).unwrap();
@@ -217,9 +225,7 @@ mod tests {
     fn state_bytes_query_counts_only_state() {
         let (mut g, step) = training_mlp();
         apply_optimizer(&mut g, &step, Optimizer::Adam).unwrap();
-        let state = optimizer_state_bytes(&g)
-            .eval(&Bindings::new())
-            .unwrap();
+        let state = optimizer_state_bytes(&g).eval(&Bindings::new()).unwrap();
         let weights = g.params().eval(&Bindings::new()).unwrap() * 4.0;
         assert_eq!(state, 2.0 * weights);
     }

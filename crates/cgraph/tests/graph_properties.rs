@@ -2,9 +2,7 @@
 //! autodiff, cost-model, and footprint invariants that must hold for *any*
 //! well-formed DAG, not just the model zoo's.
 
-use cgraph::{
-    build_training_step, footprint, DType, Graph, PointwiseFn, Scheduler, TensorId,
-};
+use cgraph::{build_training_step, footprint, DType, Graph, PointwiseFn, Scheduler, TensorId};
 use proptest::prelude::*;
 use symath::{Bindings, Expr};
 
@@ -49,7 +47,9 @@ fn build_random_graph(layers: &[LayerChoice], in_width: u64) -> (Graph, TensorId
                 let w = g
                     .weight(format!("w{i}"), [Expr::from(width), Expr::from(*out)])
                     .expect("weight");
-                t = g.matmul(&format!("fc{i}"), t, w, false, false).expect("matmul");
+                t = g
+                    .matmul(&format!("fc{i}"), t, w, false, false)
+                    .expect("matmul");
                 width = *out;
             }
             LayerChoice::Pointwise(f) => {
@@ -64,9 +64,15 @@ fn build_random_graph(layers: &[LayerChoice], in_width: u64) -> (Graph, TensorId
                 let w2 = g
                     .weight(format!("rw{i}b"), [Expr::from(*mid), Expr::from(width)])
                     .expect("weight");
-                let h = g.matmul(&format!("res{i}a"), t, w1, false, false).expect("mm");
-                let h = g.unary(&format!("res{i}r"), PointwiseFn::Relu, h).expect("relu");
-                let h = g.matmul(&format!("res{i}b"), h, w2, false, false).expect("mm");
+                let h = g
+                    .matmul(&format!("res{i}a"), t, w1, false, false)
+                    .expect("mm");
+                let h = g
+                    .unary(&format!("res{i}r"), PointwiseFn::Relu, h)
+                    .expect("relu");
+                let h = g
+                    .matmul(&format!("res{i}b"), h, w2, false, false)
+                    .expect("mm");
                 t = g
                     .binary(&format!("res{i}add"), PointwiseFn::Add, h, t)
                     .expect("residual");
@@ -82,7 +88,9 @@ fn build_random_graph(layers: &[LayerChoice], in_width: u64) -> (Graph, TensorId
                 let c = g
                     .binary(&format!("sp{i}m"), PointwiseFn::Mul, a, parts[1])
                     .expect("mul");
-                t = g.concat(&format!("sp{i}cat"), &[c, parts[1]], 1).expect("cat");
+                t = g
+                    .concat(&format!("sp{i}cat"), &[c, parts[1]], 1)
+                    .expect("cat");
             }
         }
     }

@@ -13,7 +13,9 @@ fn flops_of(g: &Graph, name: &str) -> f64 {
         .iter()
         .find(|o| o.name == name)
         .unwrap_or_else(|| panic!("op `{name}` not found"));
-    g.op_flops(op).eval(&Bindings::new()).expect("constant shapes")
+    g.op_flops(op)
+        .eval(&Bindings::new())
+        .expect("constant shapes")
 }
 
 fn bytes_of(g: &Graph, name: &str) -> (f64, f64) {
@@ -32,7 +34,9 @@ fn bytes_of(g: &Graph, name: &str) -> (f64, f64) {
 #[test]
 fn softmax_and_cross_entropy_costs() {
     let mut g = Graph::new("sm");
-    let x = g.input("x", [Expr::int(4), Expr::int(10)], DType::F32).unwrap();
+    let x = g
+        .input("x", [Expr::int(4), Expr::int(10)], DType::F32)
+        .unwrap();
     let s = g.softmax("softmax", x).unwrap();
     let labels = g.input("y", [Expr::int(4)], DType::I32).unwrap();
     let _ = g.cross_entropy("ce", s, labels).unwrap();
@@ -47,12 +51,18 @@ fn softmax_and_cross_entropy_costs() {
 fn batch_norm_forward_and_backward_costs() {
     let mut g = Graph::new("bn");
     let x = g
-        .input("x", [Expr::int(2), Expr::int(3), Expr::int(4), Expr::int(4)], DType::F32)
+        .input(
+            "x",
+            [Expr::int(2), Expr::int(3), Expr::int(4), Expr::int(4)],
+            DType::F32,
+        )
         .unwrap();
     let gamma = g.weight("gamma", [Expr::int(6)]).unwrap();
     let y = g.batch_norm("bn", x, gamma).unwrap();
     let pooled = g.pool("gap", PoolKind::Avg, y, 4, 4, 0).unwrap();
-    let flat = g.reshape("flat", pooled, [Expr::int(2), Expr::int(3)]).unwrap();
+    let flat = g
+        .reshape("flat", pooled, [Expr::int(2), Expr::int(3)])
+        .unwrap();
     let labels = g.input("y_lbl", [Expr::int(2)], DType::I32).unwrap();
     let loss = g.cross_entropy("loss", flat, labels).unwrap();
     build_training_step(&mut g, loss).unwrap();
@@ -72,7 +82,11 @@ fn batch_norm_forward_and_backward_costs() {
 fn pooling_costs_count_window_volume() {
     let mut g = Graph::new("pool");
     let x = g
-        .input("x", [Expr::int(1), Expr::int(2), Expr::int(8), Expr::int(8)], DType::F32)
+        .input(
+            "x",
+            [Expr::int(1), Expr::int(2), Expr::int(8), Expr::int(8)],
+            DType::F32,
+        )
         .unwrap();
     let y = g.pool("maxpool", PoolKind::Max, x, 2, 2, 0).unwrap();
     // Output 1×2×4×4; 2×2 window per output element.
@@ -84,14 +98,30 @@ fn pooling_costs_count_window_volume() {
 fn conv_backward_ops_match_forward_flops() {
     let mut g = Graph::new("convb");
     let x = g
-        .input("x", [Expr::int(2), Expr::int(4), Expr::int(8), Expr::int(8)], DType::F32)
+        .input(
+            "x",
+            [Expr::int(2), Expr::int(4), Expr::int(8), Expr::int(8)],
+            DType::F32,
+        )
         .unwrap();
-    let w = g.weight("w", [Expr::int(8), Expr::int(4), Expr::int(3), Expr::int(3)]).unwrap();
+    let w = g
+        .weight(
+            "w",
+            [Expr::int(8), Expr::int(4), Expr::int(3), Expr::int(3)],
+        )
+        .unwrap();
     let y = g.conv2d("conv", x, w, 1, 1).unwrap();
-    let w2 = g.weight("w2", [Expr::int(8), Expr::int(8), Expr::int(3), Expr::int(3)]).unwrap();
+    let w2 = g
+        .weight(
+            "w2",
+            [Expr::int(8), Expr::int(8), Expr::int(3), Expr::int(3)],
+        )
+        .unwrap();
     let y2 = g.conv2d("conv2", y, w2, 1, 1).unwrap();
     let gap = g.pool("gap", PoolKind::Avg, y2, 8, 8, 0).unwrap();
-    let flat = g.reshape("flat", gap, [Expr::int(2), Expr::int(8)]).unwrap();
+    let flat = g
+        .reshape("flat", gap, [Expr::int(2), Expr::int(8)])
+        .unwrap();
     let labels = g.input("lbl", [Expr::int(2)], DType::I32).unwrap();
     let loss = g.cross_entropy("loss", flat, labels).unwrap();
     build_training_step(&mut g, loss).unwrap();
@@ -117,7 +147,9 @@ fn conv_backward_ops_match_forward_flops() {
 #[test]
 fn reduce_and_broadcast_costs() {
     let mut g = Graph::new("red");
-    let x = g.input("x", [Expr::int(6), Expr::int(7)], DType::F32).unwrap();
+    let x = g
+        .input("x", [Expr::int(6), Expr::int(7)], DType::F32)
+        .unwrap();
     let w = g.weight("w", [Expr::int(7), Expr::int(7)]).unwrap();
     let h = g.matmul("mm", x, w, false, false).unwrap();
     let r = g.reduce("sum", ReduceKind::Sum, h).unwrap();
@@ -128,7 +160,9 @@ fn reduce_and_broadcast_costs() {
 #[test]
 fn transpose_moves_bytes_without_flops() {
     let mut g = Graph::new("tr");
-    let x = g.input("x", [Expr::int(3), Expr::int(5)], DType::F32).unwrap();
+    let x = g
+        .input("x", [Expr::int(3), Expr::int(5)], DType::F32)
+        .unwrap();
     let t = g
         .add_op(
             "transpose",
@@ -153,7 +187,9 @@ fn transpose_moves_bytes_without_flops() {
 #[test]
 fn pointwise_grad_costs_one_more_flop_than_forward() {
     let mut g = Graph::new("pwg");
-    let x = g.input("x", [Expr::int(8), Expr::int(8)], DType::F32).unwrap();
+    let x = g
+        .input("x", [Expr::int(8), Expr::int(8)], DType::F32)
+        .unwrap();
     let w = g.weight("w", [Expr::int(8), Expr::int(8)]).unwrap();
     let h = g.matmul("mm", x, w, false, false).unwrap();
     let h = g.unary("tanh", PointwiseFn::Tanh, h).unwrap();
@@ -173,7 +209,9 @@ fn pointwise_grad_costs_one_more_flop_than_forward() {
 #[test]
 fn scatter_add_touches_rows_not_table() {
     let mut g = Graph::new("scat");
-    let table = g.weight("table", [Expr::int(100_000), Expr::int(8)]).unwrap();
+    let table = g
+        .weight("table", [Expr::int(100_000), Expr::int(8)])
+        .unwrap();
     let idx = g.input("idx", [Expr::int(4)], DType::I32).unwrap();
     let e = g.gather("lookup", table, idx).unwrap();
     let w = g.weight("w", [Expr::int(8), Expr::int(4)]).unwrap();
@@ -204,7 +242,9 @@ fn update_op_costs_for_all_optimizers() {
         (Optimizer::Adam, 10.0, 4.0, 3.0),
     ] {
         let mut g = Graph::new(format!("upd_{opt:?}"));
-        let x = g.input("x", [Expr::int(4), Expr::int(16)], DType::F32).unwrap();
+        let x = g
+            .input("x", [Expr::int(4), Expr::int(16)], DType::F32)
+            .unwrap();
         let w = g.weight("w", [Expr::int(16), Expr::int(16)]).unwrap();
         let h = g.matmul("mm", x, w, false, false).unwrap();
         let labels = g.input("lbl", [Expr::int(4)], DType::I32).unwrap();

@@ -37,6 +37,7 @@
 pub use analysis;
 pub use cgraph;
 pub use modelzoo;
+pub use obs;
 pub use parsim;
 pub use roofline;
 pub use scaling;
@@ -60,8 +61,8 @@ pub mod prelude {
     pub use modelzoo::{Domain, ModelConfig, ModelGraph};
     pub use parsim::{
         data_parallel_point_compressed, data_parallel_sweep, plan as parallelism_plan,
-        tensor_parallel_plan, CommConfig, GradCompression, Plan, PlanRequest,
-        TensorParallelConfig, WorkerStep,
+        tensor_parallel_plan, CommConfig, GradCompression, Plan, PlanRequest, TensorParallelConfig,
+        WorkerStep,
     };
     pub use roofline::{
         min_shards_to_fit, roofline_time, swap_report, Accelerator, CacheModel, HostLink,

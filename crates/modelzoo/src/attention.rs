@@ -4,11 +4,7 @@ use cgraph::{Graph, GraphError, PointwiseFn, TensorId};
 use symath::Expr;
 
 /// Stack `q` per-timestep tensors `[b, d]` into one `[b, q, d]` tensor.
-pub fn stack_timesteps(
-    g: &mut Graph,
-    name: &str,
-    xs: &[TensorId],
-) -> Result<TensorId, GraphError> {
+pub fn stack_timesteps(g: &mut Graph, name: &str, xs: &[TensorId]) -> Result<TensorId, GraphError> {
     let shape = g.tensor(xs[0]).shape.clone();
     let (b, d) = (shape.dim(0).clone(), shape.dim(1).clone());
     let expanded: Vec<TensorId> = xs
@@ -103,9 +99,15 @@ mod tests {
         let mut g = Graph::new("attn");
         let b = batch();
         let (q_src, d) = (7u64, 32u64);
-        let query = g.input("q", [b.clone(), Expr::from(d)], DType::F32).unwrap();
+        let query = g
+            .input("q", [b.clone(), Expr::from(d)], DType::F32)
+            .unwrap();
         let memory = g
-            .input("m", [b.clone(), Expr::from(q_src), Expr::from(d)], DType::F32)
+            .input(
+                "m",
+                [b.clone(), Expr::from(q_src), Expr::from(d)],
+                DType::F32,
+            )
             .unwrap();
         let ctx = attention_step(&mut g, "a", query, memory).unwrap();
         assert_eq!(g.tensor(ctx).shape, Shape::from([b, Expr::from(d)]));
@@ -143,7 +145,9 @@ mod tests {
     fn attention_backward_builds() {
         let mut g = Graph::new("attn_bwd");
         let b = batch();
-        let query = g.input("q", [b.clone(), Expr::int(16)], DType::F32).unwrap();
+        let query = g
+            .input("q", [b.clone(), Expr::int(16)], DType::F32)
+            .unwrap();
         let w0 = g.weight("w0", [Expr::int(16), Expr::int(16)]).unwrap();
         let query = g.matmul("qproj", query, w0, false, false).unwrap();
         let memw = g.weight("mw", [Expr::int(16), Expr::int(16)]).unwrap();

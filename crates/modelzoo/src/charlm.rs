@@ -7,8 +7,8 @@
 //! parameter count is `2h²(d+1)` and every timestep touches all of it —
 //! giving the `6q` FLOPs/param asymptote of Table 2 at `q = 150`.
 
-use serde::{Deserialize, Serialize};
 use cgraph::{DType, Graph, GraphError, PointwiseFn, TensorId};
+use serde::{Deserialize, Serialize};
 use symath::Expr;
 
 use crate::common::{batch, Domain, ModelGraph};
@@ -74,9 +74,8 @@ fn rhn_sublayer_weights(
     with_input: bool,
 ) -> Result<RhnSublayer, GraphError> {
     let h = Expr::from(hidden);
-    let make = |g: &mut Graph, suffix: &str| {
-        g.weight(format!("{name}.{suffix}"), [h.clone(), h.clone()])
-    };
+    let make =
+        |g: &mut Graph, suffix: &str| g.weight(format!("{name}.{suffix}"), [h.clone(), h.clone()]);
     let (wx_h, wx_t) = if with_input {
         (Some(make(g, "wx_h")?), Some(make(g, "wx_t")?))
     } else {
@@ -104,8 +103,20 @@ fn rhn_sublayer(
     let mut h_pre: Option<TensorId> = None;
     let mut t_pre: Option<TensorId> = None;
     if let Some(x) = x {
-        h_pre = Some(g.matmul(&format!("{name}.xh"), x, w.wx_h.expect("input weights"), false, false)?);
-        t_pre = Some(g.matmul(&format!("{name}.xt"), x, w.wx_t.expect("input weights"), false, false)?);
+        h_pre = Some(g.matmul(
+            &format!("{name}.xh"),
+            x,
+            w.wx_h.expect("input weights"),
+            false,
+            false,
+        )?);
+        t_pre = Some(g.matmul(
+            &format!("{name}.xt"),
+            x,
+            w.wx_t.expect("input weights"),
+            false,
+            false,
+        )?);
     }
     if let Some(s) = s {
         let sh = g.matmul(&format!("{name}.sh"), s, w.r_h, false, false)?;
@@ -161,9 +172,7 @@ pub fn build_char_lm(cfg: &CharLmConfig) -> ModelGraph {
         let mut s = state;
         for (si, w) in sublayers.iter().enumerate() {
             let x_in = if si == 0 { Some(x) } else { None };
-            s = Some(
-                rhn_sublayer(&mut g, &format!("t{t}.s{si}"), x_in, s, w).expect("sublayer"),
-            );
+            s = Some(rhn_sublayer(&mut g, &format!("t{t}.s{si}"), x_in, s, w).expect("sublayer"));
         }
         state = s;
         outputs.push(state.expect("depth ≥ 1"));
@@ -173,8 +182,12 @@ pub fn build_char_lm(cfg: &CharLmConfig) -> ModelGraph {
         .iter()
         .enumerate()
         .map(|(t, &x)| {
-            g.reshape(&format!("unsq{t}"), x, [b.clone(), Expr::one(), Expr::from(h)])
-                .expect("reshape")
+            g.reshape(
+                &format!("unsq{t}"),
+                x,
+                [b.clone(), Expr::one(), Expr::from(h)],
+            )
+            .expect("reshape")
         })
         .collect();
     let seq = g.concat("restack", &stacked, 1).expect("concat");
@@ -182,7 +195,9 @@ pub fn build_char_lm(cfg: &CharLmConfig) -> ModelGraph {
         .reshape("flatten", seq, [b.clone() * Expr::from(q), Expr::from(h)])
         .expect("reshape");
 
-    let wo = g.weight("out.w", [Expr::from(h), Expr::from(v)]).expect("w");
+    let wo = g
+        .weight("out.w", [Expr::from(h), Expr::from(v)])
+        .expect("w");
     let bo = g.weight("out.b", [Expr::from(v)]).expect("b");
     let logits = g.matmul("out", flat, wo, false, false).expect("matmul");
     let logits = g.bias_add("out_bias", logits, bo).expect("bias");
@@ -250,16 +265,21 @@ mod tests {
     fn with_target_params_inverts_formula() {
         for target in [1_000_000u64, 50_000_000] {
             let cfg = CharLmConfig::default().with_target_params(target);
-            let rel =
-                (cfg.param_formula() as f64 - target as f64).abs() / target as f64;
+            let rel = (cfg.param_formula() as f64 - target as f64).abs() / target as f64;
             assert!(rel < 0.05, "target {target}: rel err {rel}");
         }
     }
 
     #[test]
     fn deeper_rhn_has_more_params_same_flop_ratio() {
-        let shallow = CharLmConfig { depth: 2, ..small() };
-        let deep = CharLmConfig { depth: 6, ..small() };
+        let shallow = CharLmConfig {
+            depth: 2,
+            ..small()
+        };
+        let deep = CharLmConfig {
+            depth: 6,
+            ..small()
+        };
         let ps = build_char_lm(&shallow).param_count();
         let pd = build_char_lm(&deep).param_count();
         assert!(pd > ps);

@@ -1,7 +1,7 @@
 //! Shared scaffolding for model builders.
 
-use serde::{Deserialize, Serialize};
 use cgraph::{build_training_step, Graph, TensorId};
+use serde::{Deserialize, Serialize};
 use symath::{Bindings, Expr, Symbol};
 
 /// The name of the subbatch-size symbol every model graph is parameterized

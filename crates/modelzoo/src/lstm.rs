@@ -105,7 +105,10 @@ pub fn lstm_layer(
         state = Some((h, c));
         outputs[t] = Some(h);
     }
-    Ok(outputs.into_iter().map(|o| o.expect("every step ran")).collect())
+    Ok(outputs
+        .into_iter()
+        .map(|o| o.expect("every step ran"))
+        .collect())
 }
 
 /// A bi-directional LSTM layer: forward and backward passes, concatenated
@@ -175,8 +178,18 @@ pub fn gru_cell(
         Some(h_prev) => {
             let gh = g.matmul(&format!("{name}.gh"), h_prev, w.wh, false, false)?;
             let hparts = g.split(&format!("{name}.ghsplit"), gh, 1, 3)?;
-            let z_pre = g.binary(&format!("{name}.zsum"), PointwiseFn::Add, xparts[0], hparts[0])?;
-            let r_pre = g.binary(&format!("{name}.rsum"), PointwiseFn::Add, xparts[1], hparts[1])?;
+            let z_pre = g.binary(
+                &format!("{name}.zsum"),
+                PointwiseFn::Add,
+                xparts[0],
+                hparts[0],
+            )?;
+            let r_pre = g.binary(
+                &format!("{name}.rsum"),
+                PointwiseFn::Add,
+                xparts[1],
+                hparts[1],
+            )?;
             let z = g.unary(&format!("{name}.z"), PointwiseFn::Sigmoid, z_pre)?;
             let r = g.unary(&format!("{name}.r"), PointwiseFn::Sigmoid, r_pre)?;
             let gated = g.binary(&format!("{name}.rn"), PointwiseFn::Mul, r, hparts[2])?;
@@ -295,12 +308,9 @@ mod tests {
                     .unwrap()
             })
             .collect();
-        let out = bilstm_layer(&mut g, "bi", &xs, h, h, ).unwrap();
+        let out = bilstm_layer(&mut g, "bi", &xs, h, h).unwrap();
         assert_eq!(out.len(), 3);
-        assert_eq!(
-            g.tensor(out[0]).shape.dim(1),
-            &Expr::from(2 * h)
-        );
+        assert_eq!(g.tensor(out[0]).shape.dim(1), &Expr::from(2 * h));
         g.validate().unwrap();
     }
 

@@ -1,8 +1,8 @@
 //! Neural machine translation: bi-LSTM encoder, LSTM decoder, dot attention,
 //! output selection (paper Fig 4).
 
-use serde::{Deserialize, Serialize};
 use cgraph::{DType, Graph};
+use serde::{Deserialize, Serialize};
 use symath::Expr;
 
 use crate::attention::{attention_combine, attention_step, stack_timesteps};
@@ -72,7 +72,11 @@ pub fn build_nmt(cfg: &NmtConfig) -> ModelGraph {
 
     // ---- Encoder ----
     let src = g
-        .input("src_tokens", [b.clone(), Expr::from(cfg.src_len)], DType::I32)
+        .input(
+            "src_tokens",
+            [b.clone(), Expr::from(cfg.src_len)],
+            DType::I32,
+        )
         .expect("fresh graph");
     let src_table = g
         .weight("src_embedding", [Expr::from(v), Expr::from(h)])
@@ -86,7 +90,11 @@ pub fn build_nmt(cfg: &NmtConfig) -> ModelGraph {
 
     // ---- Decoder ----
     let tgt = g
-        .input("tgt_tokens", [b.clone(), Expr::from(cfg.tgt_len)], DType::I32)
+        .input(
+            "tgt_tokens",
+            [b.clone(), Expr::from(cfg.tgt_len)],
+            DType::I32,
+        )
         .expect("input");
     let tgt_table = g
         .weight("tgt_embedding", [Expr::from(v), Expr::from(h)])
@@ -103,8 +111,8 @@ pub fn build_nmt(cfg: &NmtConfig) -> ModelGraph {
     let mut attn_outs = Vec::with_capacity(dec_steps.len());
     for (t, &h_t) in dec_steps.iter().enumerate() {
         let ctx = attention_step(&mut g, &format!("attn.t{t}"), h_t, memory).expect("attention");
-        let out =
-            attention_combine(&mut g, &format!("attn.t{t}"), "attn.wc", ctx, h_t, h).expect("combine");
+        let out = attention_combine(&mut g, &format!("attn.t{t}"), "attn.wc", ctx, h_t, h)
+            .expect("combine");
         attn_outs.push(out);
     }
 
@@ -117,7 +125,9 @@ pub fn build_nmt(cfg: &NmtConfig) -> ModelGraph {
             [b.clone() * Expr::from(cfg.tgt_len), Expr::from(h)],
         )
         .expect("reshape");
-    let wo = g.weight("out.w", [Expr::from(h), Expr::from(v)]).expect("w");
+    let wo = g
+        .weight("out.w", [Expr::from(h), Expr::from(v)])
+        .expect("w");
     let bo = g.weight("out.b", [Expr::from(v)]).expect("b");
     let logits = g.matmul("out", flat, wo, false, false).expect("matmul");
     let logits = g.bias_add("out_bias", logits, bo).expect("bias");

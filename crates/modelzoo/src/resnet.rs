@@ -5,8 +5,8 @@
 //! per residual group) and by width (more convolution channels), not by
 //! filter size.
 
-use serde::{Deserialize, Serialize};
 use cgraph::{DType, Graph, GraphError, PointwiseFn, PoolKind, TensorId};
+use serde::{Deserialize, Serialize};
 use symath::Expr;
 
 use crate::common::{batch, Domain, ModelGraph};
@@ -40,7 +40,10 @@ impl ResNetDepth {
 
     /// Whether groups use bottleneck (1×1–3×3–1×1) blocks.
     pub fn bottleneck(&self) -> bool {
-        matches!(self, ResNetDepth::D50 | ResNetDepth::D101 | ResNetDepth::D152)
+        matches!(
+            self,
+            ResNetDepth::D50 | ResNetDepth::D101 | ResNetDepth::D152
+        )
     }
 
     /// Numeric depth label.
@@ -96,7 +99,14 @@ struct ConvSpec {
 /// the parameter formula and (indirectly) the tests so the two cannot drift.
 fn conv_plan(cfg: &ResNetConfig) -> Vec<ConvSpec> {
     let w = cfg.width;
-    let mut plan = vec![ConvSpec { cin: 3, cout: w, k: 7, stride: 2, pad: 3, bn: true }];
+    let mut plan = vec![ConvSpec {
+        cin: 3,
+        cout: w,
+        k: 7,
+        stride: 2,
+        pad: 3,
+        bn: true,
+    }];
     let expansion = if cfg.depth.bottleneck() { 4 } else { 1 };
     let mut cin = w;
     for (gi, &nblocks) in cfg.depth.blocks().iter().enumerate() {
@@ -105,16 +115,58 @@ fn conv_plan(cfg: &ResNetConfig) -> Vec<ConvSpec> {
         for bi in 0..nblocks {
             let stride = if gi > 0 && bi == 0 { 2 } else { 1 };
             if cfg.depth.bottleneck() {
-                plan.push(ConvSpec { cin, cout: cmid, k: 1, stride: 1, pad: 0, bn: true });
-                plan.push(ConvSpec { cin: cmid, cout: cmid, k: 3, stride, pad: 1, bn: true });
-                plan.push(ConvSpec { cin: cmid, cout, k: 1, stride: 1, pad: 0, bn: true });
+                plan.push(ConvSpec {
+                    cin,
+                    cout: cmid,
+                    k: 1,
+                    stride: 1,
+                    pad: 0,
+                    bn: true,
+                });
+                plan.push(ConvSpec {
+                    cin: cmid,
+                    cout: cmid,
+                    k: 3,
+                    stride,
+                    pad: 1,
+                    bn: true,
+                });
+                plan.push(ConvSpec {
+                    cin: cmid,
+                    cout,
+                    k: 1,
+                    stride: 1,
+                    pad: 0,
+                    bn: true,
+                });
             } else {
-                plan.push(ConvSpec { cin, cout, k: 3, stride, pad: 1, bn: true });
-                plan.push(ConvSpec { cin: cout, cout, k: 3, stride: 1, pad: 1, bn: true });
+                plan.push(ConvSpec {
+                    cin,
+                    cout,
+                    k: 3,
+                    stride,
+                    pad: 1,
+                    bn: true,
+                });
+                plan.push(ConvSpec {
+                    cin: cout,
+                    cout,
+                    k: 3,
+                    stride: 1,
+                    pad: 1,
+                    bn: true,
+                });
             }
             if bi == 0 && (stride != 1 || cin != cout) {
                 // Projection shortcut.
-                plan.push(ConvSpec { cin, cout, k: 1, stride, pad: 0, bn: true });
+                plan.push(ConvSpec {
+                    cin,
+                    cout,
+                    k: 1,
+                    stride,
+                    pad: 0,
+                    bn: true,
+                });
             }
             cin = cout;
         }
@@ -154,7 +206,11 @@ impl ResNetConfig {
         }
         // Pick the closer of the two bracketing widths.
         let above = ResNetConfig { width: lo, ..self }.param_formula();
-        let below = ResNetConfig { width: lo.saturating_sub(1).max(8), ..self }.param_formula();
+        let below = ResNetConfig {
+            width: lo.saturating_sub(1).max(8),
+            ..self
+        }
+        .param_formula();
         self.width = if target.abs_diff(below) < target.abs_diff(above) {
             lo.saturating_sub(1).max(8)
         } else {
@@ -200,14 +256,28 @@ pub fn build_resnet(cfg: &ResNetConfig) -> ModelGraph {
     let image = g
         .input(
             "image",
-            [b.clone(), Expr::int(3), Expr::from(cfg.image), Expr::from(cfg.image)],
+            [
+                b.clone(),
+                Expr::int(3),
+                Expr::from(cfg.image),
+                Expr::from(cfg.image),
+            ],
             DType::F32,
         )
         .expect("fresh graph");
 
-    let stem_spec = ConvSpec { cin: 3, cout: w, k: 7, stride: 2, pad: 3, bn: true };
+    let stem_spec = ConvSpec {
+        cin: 3,
+        cout: w,
+        k: 7,
+        stride: 2,
+        pad: 3,
+        bn: true,
+    };
     let mut x = conv_bn_relu(&mut g, "stem", image, &stem_spec, true).expect("stem");
-    x = g.pool("stem.pool", PoolKind::Max, x, 3, 2, 1).expect("pool");
+    x = g
+        .pool("stem.pool", PoolKind::Max, x, 3, 2, 1)
+        .expect("pool");
 
     let expansion = if cfg.depth.bottleneck() { 4 } else { 1 };
     let mut cin = w;
@@ -218,21 +288,63 @@ pub fn build_resnet(cfg: &ResNetConfig) -> ModelGraph {
             let stride = if gi > 0 && bi == 0 { 2 } else { 1 };
             let prefix = format!("g{gi}.b{bi}");
             let shortcut = if bi == 0 && (stride != 1 || cin != cout) {
-                let spec = ConvSpec { cin, cout, k: 1, stride, pad: 0, bn: true };
+                let spec = ConvSpec {
+                    cin,
+                    cout,
+                    k: 1,
+                    stride,
+                    pad: 0,
+                    bn: true,
+                };
                 conv_bn_relu(&mut g, &format!("{prefix}.proj"), x, &spec, false).expect("proj")
             } else {
                 x
             };
             let body = if cfg.depth.bottleneck() {
-                let s1 = ConvSpec { cin, cout: cmid, k: 1, stride: 1, pad: 0, bn: true };
-                let s2 = ConvSpec { cin: cmid, cout: cmid, k: 3, stride, pad: 1, bn: true };
-                let s3 = ConvSpec { cin: cmid, cout, k: 1, stride: 1, pad: 0, bn: true };
+                let s1 = ConvSpec {
+                    cin,
+                    cout: cmid,
+                    k: 1,
+                    stride: 1,
+                    pad: 0,
+                    bn: true,
+                };
+                let s2 = ConvSpec {
+                    cin: cmid,
+                    cout: cmid,
+                    k: 3,
+                    stride,
+                    pad: 1,
+                    bn: true,
+                };
+                let s3 = ConvSpec {
+                    cin: cmid,
+                    cout,
+                    k: 1,
+                    stride: 1,
+                    pad: 0,
+                    bn: true,
+                };
                 let y = conv_bn_relu(&mut g, &format!("{prefix}.c1"), x, &s1, true).expect("c1");
                 let y = conv_bn_relu(&mut g, &format!("{prefix}.c2"), y, &s2, true).expect("c2");
                 conv_bn_relu(&mut g, &format!("{prefix}.c3"), y, &s3, false).expect("c3")
             } else {
-                let s1 = ConvSpec { cin, cout, k: 3, stride, pad: 1, bn: true };
-                let s2 = ConvSpec { cin: cout, cout, k: 3, stride: 1, pad: 1, bn: true };
+                let s1 = ConvSpec {
+                    cin,
+                    cout,
+                    k: 3,
+                    stride,
+                    pad: 1,
+                    bn: true,
+                };
+                let s2 = ConvSpec {
+                    cin: cout,
+                    cout,
+                    k: 3,
+                    stride: 1,
+                    pad: 1,
+                    bn: true,
+                };
                 let y = conv_bn_relu(&mut g, &format!("{prefix}.c1"), x, &s1, true).expect("c1");
                 conv_bn_relu(&mut g, &format!("{prefix}.c2"), y, &s2, false).expect("c2")
             };
@@ -248,10 +360,7 @@ pub fn build_resnet(cfg: &ResNetConfig) -> ModelGraph {
 
     // Head: global average pool → FC → softmax loss.
     let spatial = g.tensor(x).shape.dim(2).clone();
-    let k = spatial
-        .as_const()
-        .expect("spatial dims are constant")
-        .num() as u64;
+    let k = spatial.as_const().expect("spatial dims are constant").num() as u64;
     x = g.pool("head.gap", PoolKind::Avg, x, k, k, 0).expect("gap");
     let cfinal = cfg.final_channels();
     let flat = g
@@ -260,8 +369,12 @@ pub fn build_resnet(cfg: &ResNetConfig) -> ModelGraph {
     let wo = g
         .weight("head.fc", [Expr::from(cfinal), Expr::from(cfg.classes)])
         .expect("fc");
-    let bo = g.weight("head.fc_bias", [Expr::from(cfg.classes)]).expect("bias");
-    let logits = g.matmul("head.logits", flat, wo, false, false).expect("matmul");
+    let bo = g
+        .weight("head.fc_bias", [Expr::from(cfg.classes)])
+        .expect("bias");
+    let logits = g
+        .matmul("head.logits", flat, wo, false, false)
+        .expect("matmul");
     let logits = g.bias_add("head.bias", logits, bo).expect("bias add");
     let labels = g.input("labels", [b], DType::I32).expect("labels");
     let loss = g.cross_entropy("loss", logits, labels).expect("loss");
@@ -289,14 +402,14 @@ mod tests {
             ResNetDepth::D101,
             ResNetDepth::D152,
         ] {
-            let cfg = ResNetConfig { depth, width: 16, image: 64, ..Default::default() };
+            let cfg = ResNetConfig {
+                depth,
+                width: 16,
+                image: 64,
+                ..Default::default()
+            };
             let m = build_resnet(&cfg);
-            assert_eq!(
-                m.param_count(),
-                cfg.param_formula(),
-                "depth {:?}",
-                depth
-            );
+            assert_eq!(m.param_count(), cfg.param_formula(), "depth {:?}", depth);
             m.graph.validate().unwrap();
         }
     }
@@ -314,7 +427,12 @@ mod tests {
 
     #[test]
     fn training_graph_validates() {
-        let cfg = ResNetConfig { depth: ResNetDepth::D18, width: 8, image: 32, classes: 10 };
+        let cfg = ResNetConfig {
+            depth: ResNetDepth::D18,
+            width: 8,
+            image: 32,
+            classes: 10,
+        };
         let m = build_resnet(&cfg).into_training();
         m.graph.validate().unwrap();
     }
@@ -356,8 +474,18 @@ mod tests {
 
     #[test]
     fn deeper_nets_have_more_ops_and_params() {
-        let small = ResNetConfig { depth: ResNetDepth::D50, width: 16, image: 64, ..Default::default() };
-        let big = ResNetConfig { depth: ResNetDepth::D152, width: 16, image: 64, ..Default::default() };
+        let small = ResNetConfig {
+            depth: ResNetDepth::D50,
+            width: 16,
+            image: 64,
+            ..Default::default()
+        };
+        let big = ResNetConfig {
+            depth: ResNetDepth::D152,
+            width: 16,
+            image: 64,
+            ..Default::default()
+        };
         let ms = build_resnet(&small);
         let mb = build_resnet(&big);
         assert!(mb.graph.ops().len() > ms.graph.ops().len());

@@ -7,8 +7,8 @@
 //! notes they are "very small relative to recurrent portions", so they are
 //! omitted here and the attention context is pure dot attention.
 
-use serde::{Deserialize, Serialize};
 use cgraph::{DType, Graph};
+use serde::{Deserialize, Serialize};
 use symath::Expr;
 
 use crate::attention::{attention_combine, attention_step, stack_timesteps};
@@ -91,20 +91,24 @@ pub fn build_speech(cfg: &SpeechConfig) -> ModelGraph {
     let audio = g
         .input(
             "audio",
-            [b.clone(), Expr::from(cfg.audio_len), Expr::from(cfg.features)],
+            [
+                b.clone(),
+                Expr::from(cfg.audio_len),
+                Expr::from(cfg.features),
+            ],
             DType::F32,
         )
         .expect("fresh graph");
     let mut steps = split_timesteps(&mut g, "frames", audio, cfg.audio_len).expect("split");
     let mut in_dim = cfg.features;
     for layer in 0..cfg.encoder_layers {
-        let outs = bilstm_layer(&mut g, &format!("enc.l{layer}"), &steps, in_dim, h)
-            .expect("bilstm");
+        let outs =
+            bilstm_layer(&mut g, &format!("enc.l{layer}"), &steps, in_dim, h).expect("bilstm");
         in_dim = 2 * h;
         if layer + 1 < cfg.encoder_layers {
             // Pyramidal time pooling: stack, halve the time axis, re-split.
-            let stacked = stack_timesteps(&mut g, &format!("enc.l{layer}.stackpool"), &outs)
-                .expect("stack");
+            let stacked =
+                stack_timesteps(&mut g, &format!("enc.l{layer}.stackpool"), &outs).expect("stack");
             let pooled = g
                 .time_pool2(&format!("enc.l{layer}.pool"), stacked)
                 .expect("pool");
@@ -119,7 +123,11 @@ pub fn build_speech(cfg: &SpeechConfig) -> ModelGraph {
 
     // ---- Decoder ----
     let tgt = g
-        .input("tgt_chars", [b.clone(), Expr::from(cfg.tgt_len)], DType::I32)
+        .input(
+            "tgt_chars",
+            [b.clone(), Expr::from(cfg.tgt_len)],
+            DType::I32,
+        )
         .expect("input");
     let tgt_table = g
         .weight("tgt_embedding", [Expr::from(cfg.vocab), Expr::from(h)])

@@ -1,12 +1,12 @@
 //! Unified configuration handle and model-size sweeps across the domains.
 
-use serde::{Deserialize, Serialize};
 use crate::charlm::{build_char_lm, CharLmConfig};
 use crate::common::{Domain, ModelGraph};
 use crate::nmt::{build_nmt, NmtConfig};
 use crate::resnet::{build_resnet, ResNetConfig};
 use crate::speech::{build_speech, SpeechConfig};
 use crate::wordlm::{build_word_lm, WordLmConfig};
+use serde::{Deserialize, Serialize};
 
 /// A domain-tagged model configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -67,13 +67,18 @@ impl ModelConfig {
         match self {
             ModelConfig::WordLm(c) => ModelConfig::WordLm(WordLmConfig { seq_len: q, ..c }),
             ModelConfig::CharLm(c) => ModelConfig::CharLm(CharLmConfig { seq_len: q, ..c }),
-            ModelConfig::Nmt(c) => {
-                ModelConfig::Nmt(NmtConfig { src_len: q, tgt_len: q, ..c })
-            }
+            ModelConfig::Nmt(c) => ModelConfig::Nmt(NmtConfig {
+                src_len: q,
+                tgt_len: q,
+                ..c
+            }),
             ModelConfig::Speech(c) => {
                 let granule = 1u64 << (c.encoder_layers - 1);
                 let audio = q.div_ceil(granule) * granule;
-                ModelConfig::Speech(SpeechConfig { audio_len: audio, ..c })
+                ModelConfig::Speech(SpeechConfig {
+                    audio_len: audio,
+                    ..c
+                })
             }
             ModelConfig::Resnet(c) => ModelConfig::Resnet(c),
         }

@@ -52,8 +52,12 @@ impl TransformerConfig {
         let d = self.d_model;
         let per_layer = 4 * d * d               // Wq, Wk, Wv, Wo
             + 2 * self.ff_mult * d * d          // MLP in/out
-            + 2 * (2 * d);                      // two norms (scale+shift)
-        let out = if self.tied_embedding { 0 } else { d * self.vocab };
+            + 2 * (2 * d); // two norms (scale+shift)
+        let out = if self.tied_embedding {
+            0
+        } else {
+            d * self.vocab
+        };
         self.vocab * d + self.layers * per_layer + out + self.vocab // + out bias
     }
 
@@ -86,7 +90,9 @@ pub fn build_transformer(cfg: &TransformerConfig) -> ModelGraph {
     let (v, d, q) = (cfg.vocab, cfg.d_model, cfg.seq_len);
     let bq = b.clone() * Expr::from(q);
 
-    let tokens = g.input("tokens", [bq.clone()], DType::I32).expect("fresh graph");
+    let tokens = g
+        .input("tokens", [bq.clone()], DType::I32)
+        .expect("fresh graph");
     let table = g
         .weight("embedding", [Expr::from(v), Expr::from(d)])
         .expect("weight");
@@ -102,7 +108,9 @@ pub fn build_transformer(cfg: &TransformerConfig) -> ModelGraph {
         let wqkv = g
             .weight(name("wqkv"), [Expr::from(d), Expr::from(3 * d)])
             .expect("w");
-        let qkv = g.matmul(&name("qkv"), normed, wqkv, false, false).expect("mm");
+        let qkv = g
+            .matmul(&name("qkv"), normed, wqkv, false, false)
+            .expect("mm");
         let parts = g.split(&name("qkv_split"), qkv, 1, 3).expect("split");
         // Per-sequence attention: reshape to [b, q, d].
         let seq = |g: &mut Graph, t: TensorId, nm: String| {
@@ -111,15 +119,23 @@ pub fn build_transformer(cfg: &TransformerConfig) -> ModelGraph {
         let q3 = seq(&mut g, parts[0], name("q3")).expect("reshape");
         let k3 = seq(&mut g, parts[1], name("k3")).expect("reshape");
         let v3 = seq(&mut g, parts[2], name("v3")).expect("reshape");
-        let scores = g.batch_matmul(&name("scores"), q3, k3, false, true).expect("bmm");
+        let scores = g
+            .batch_matmul(&name("scores"), q3, k3, false, true)
+            .expect("bmm");
         let probs = g.softmax(&name("softmax"), scores).expect("softmax");
-        let ctx = g.batch_matmul(&name("ctx"), probs, v3, false, false).expect("bmm");
+        let ctx = g
+            .batch_matmul(&name("ctx"), probs, v3, false, false)
+            .expect("bmm");
         let ctx = g
             .reshape(&name("ctx_flat"), ctx, [bq.clone(), Expr::from(d)])
             .expect("reshape");
-        let wo = g.weight(name("wo"), [Expr::from(d), Expr::from(d)]).expect("w");
+        let wo = g
+            .weight(name("wo"), [Expr::from(d), Expr::from(d)])
+            .expect("w");
         let proj = g.matmul(&name("proj"), ctx, wo, false, false).expect("mm");
-        x = g.binary(&name("resid1"), PointwiseFn::Add, proj, x).expect("add");
+        x = g
+            .binary(&name("resid1"), PointwiseFn::Add, proj, x)
+            .expect("add");
 
         // --- MLP block (pre-norm) ---
         let normed = norm(&mut g, &name("mlp"), x, d).expect("norm");
@@ -129,17 +145,23 @@ pub fn build_transformer(cfg: &TransformerConfig) -> ModelGraph {
         let w2 = g
             .weight(name("w2"), [Expr::from(cfg.ff_mult * d), Expr::from(d)])
             .expect("w");
-        let h = g.matmul(&name("mlp1"), normed, w1, false, false).expect("mm");
+        let h = g
+            .matmul(&name("mlp1"), normed, w1, false, false)
+            .expect("mm");
         let h = g.unary(&name("gelu"), PointwiseFn::Tanh, h).expect("act");
         let h = g.matmul(&name("mlp2"), h, w2, false, false).expect("mm");
-        x = g.binary(&name("resid2"), PointwiseFn::Add, h, x).expect("add");
+        x = g
+            .binary(&name("resid2"), PointwiseFn::Add, h, x)
+            .expect("add");
     }
 
     let bo = g.weight("out.b", [Expr::from(v)]).expect("bias");
     let logits = if cfg.tied_embedding {
         g.matmul("out", x, table, false, true).expect("tied out")
     } else {
-        let wo = g.weight("out.w", [Expr::from(d), Expr::from(v)]).expect("w");
+        let wo = g
+            .weight("out.w", [Expr::from(d), Expr::from(v)])
+            .expect("w");
         g.matmul("out", x, wo, false, false).expect("out")
     };
     let logits = g.bias_add("out_bias", logits, bo).expect("bias");
@@ -175,7 +197,10 @@ mod tests {
     #[test]
     fn param_count_matches_closed_form() {
         for tied in [true, false] {
-            let cfg = TransformerConfig { tied_embedding: tied, ..small() };
+            let cfg = TransformerConfig {
+                tied_embedding: tied,
+                ..small()
+            };
             let m = build_transformer(&cfg);
             assert_eq!(m.param_count(), cfg.param_formula(), "tied = {tied}");
             m.graph.validate().unwrap();
@@ -222,7 +247,10 @@ mod tests {
     #[test]
     fn attention_flops_grow_quadratically_in_sequence_length() {
         let flops_at = |q: u64| {
-            let cfg = TransformerConfig { seq_len: q, ..small() };
+            let cfg = TransformerConfig {
+                seq_len: q,
+                ..small()
+            };
             let m = build_transformer(&cfg).into_training();
             m.graph
                 .stats()
@@ -250,16 +278,27 @@ mod tests {
         let target = 30_000_000u64;
         let q = 16u64;
         let tf = build_transformer(
-            &TransformerConfig { seq_len: q, ..TransformerConfig::default() }
-                .with_target_params(target),
+            &TransformerConfig {
+                seq_len: q,
+                ..TransformerConfig::default()
+            }
+            .with_target_params(target),
         )
         .into_training();
         let lstm = build_word_lm(
-            &WordLmConfig { seq_len: q, ..WordLmConfig::default() }.with_target_params(target),
+            &WordLmConfig {
+                seq_len: q,
+                ..WordLmConfig::default()
+            }
+            .with_target_params(target),
         )
         .into_training();
         let ntf = tf.graph.stats().eval(&tf.bindings_with_batch(8)).unwrap();
-        let nlstm = lstm.graph.stats().eval(&lstm.bindings_with_batch(8)).unwrap();
+        let nlstm = lstm
+            .graph
+            .stats()
+            .eval(&lstm.bindings_with_batch(8))
+            .unwrap();
         let ratio = ntf.flops / nlstm.flops;
         assert!(
             (0.75..1.35).contains(&ratio),

@@ -1,8 +1,8 @@
 //! Word language model: embedding → stacked LSTM → (optional projection) →
 //! FC output over the vocabulary (paper Fig 2, §4.2, §6).
 
-use serde::{Deserialize, Serialize};
 use cgraph::{DType, Graph, TensorId};
+use serde::{Deserialize, Serialize};
 use symath::Expr;
 
 use crate::common::{batch, Domain, ModelGraph};
@@ -147,13 +147,15 @@ pub fn build_word_lm(cfg: &WordLmConfig) -> ModelGraph {
     let bo = g.weight("out.b", [Expr::from(v)]).expect("out bias");
     let logits = if cfg.tied_embedding && cfg.projection.is_none() {
         // Weight tying: logits = features · tableᵀ.
-        g.matmul("out", features, table, false, true).expect("out matmul")
+        g.matmul("out", features, table, false, true)
+            .expect("out matmul")
     } else {
         let feat_dim = cfg.projection.unwrap_or(h);
         let wo = g
             .weight("out.w", [Expr::from(feat_dim), Expr::from(v)])
             .expect("out weight");
-        g.matmul("out", features, wo, false, false).expect("out matmul")
+        g.matmul("out", features, wo, false, false)
+            .expect("out matmul")
     };
     let logits = g.bias_add("out_bias", logits, bo).expect("bias");
 
@@ -291,9 +293,13 @@ mod tests {
         let f1 = footprint(&m.graph, &m.bindings_with_batch(1), Scheduler::ProgramOrder)
             .unwrap()
             .peak_bytes;
-        let f32_ = footprint(&m.graph, &m.bindings_with_batch(32), Scheduler::ProgramOrder)
-            .unwrap()
-            .peak_bytes;
+        let f32_ = footprint(
+            &m.graph,
+            &m.bindings_with_batch(32),
+            Scheduler::ProgramOrder,
+        )
+        .unwrap()
+        .peak_bytes;
         assert!(f32_ > f1);
         // Persistent weights dominate at b=1, so scaling is sublinear in b.
         assert!(f32_ < 32 * f1);

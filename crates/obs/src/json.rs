@@ -1,0 +1,171 @@
+//! Minimal hand-rolled JSON serialization (the workspace has no serde_json).
+
+use std::fmt::Write as _;
+
+/// A JSON-serializable argument value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (non-finite values serialize as `null`).
+    F64(f64),
+    /// String (escaped on write).
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::U64(v)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::I64(v)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::F64(v)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+impl JsonValue {
+    /// Append this value's JSON encoding to `out`.
+    pub fn write_to(&self, out: &mut String) {
+        match self {
+            JsonValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::F64(v) if v.is_finite() => {
+                // `{:?}` keeps round-trippable precision and always includes
+                // a decimal point or exponent, so the value parses as float.
+                let _ = write!(out, "{v:?}");
+            }
+            JsonValue::F64(_) => out.push_str("null"),
+            JsonValue::Str(s) => {
+                out.push('"');
+                escape_into(s, out);
+                out.push('"');
+            }
+            JsonValue::Bool(v) => {
+                let _ = write!(out, "{v}");
+            }
+        }
+    }
+}
+
+/// JSON-escape `s` (quotes, backslashes, control characters).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(s, &mut out);
+    out
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Append `{"k":v,...}` for an argument list to `out`.
+pub(crate) fn write_args(args: &[(String, JsonValue)], out: &mut String) {
+    out.push('{');
+    for (i, (key, value)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(key, out);
+        out.push_str("\":");
+        value.write_to(out);
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn values_serialize() {
+        let mut out = String::new();
+        JsonValue::from(3u64).write_to(&mut out);
+        out.push(',');
+        JsonValue::from(-2i64).write_to(&mut out);
+        out.push(',');
+        JsonValue::from(1.5f64).write_to(&mut out);
+        out.push(',');
+        JsonValue::from(f64::NAN).write_to(&mut out);
+        out.push(',');
+        JsonValue::from("x\"y").write_to(&mut out);
+        assert_eq!(out, "3,-2,1.5,null,\"x\\\"y\"");
+    }
+
+    #[test]
+    fn args_object() {
+        let mut out = String::new();
+        write_args(
+            &[
+                ("flops".to_string(), JsonValue::from(12u64)),
+                ("tag".to_string(), JsonValue::from("fw")),
+            ],
+            &mut out,
+        );
+        assert_eq!(out, "{\"flops\":12,\"tag\":\"fw\"}");
+    }
+}

@@ -1,0 +1,318 @@
+//! The global, thread-safe event recorder and its export formats.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::OnceLock;
+use std::thread::ThreadId;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::json::{write_args, JsonValue};
+
+/// What kind of trace event this is (maps onto Chrome trace phases).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A timed span (Chrome phase `X`).
+    Complete,
+    /// A point-in-time marker (Chrome phase `i`).
+    Instant,
+    /// A named scalar sample (Chrome phase `C`).
+    Counter,
+}
+
+impl EventKind {
+    fn phase(self) -> char {
+        match self {
+            EventKind::Complete => 'X',
+            EventKind::Instant => 'i',
+            EventKind::Counter => 'C',
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            EventKind::Complete => "span",
+            EventKind::Instant => "instant",
+            EventKind::Counter => "counter",
+        }
+    }
+}
+
+/// One recorded event, timestamped relative to the recorder's epoch.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Event name, e.g. `"cgraph.autodiff"`.
+    pub name: String,
+    /// Category, e.g. `"cgraph"` (the part before the first `.` by default).
+    pub category: String,
+    /// Microseconds since the recorder's epoch.
+    pub start_us: u64,
+    /// Duration in microseconds (0 for instants/counters).
+    pub dur_us: u64,
+    /// Small dense id for the recording thread.
+    pub thread: u64,
+    /// Complete span, instant marker, or counter sample.
+    pub kind: EventKind,
+    /// Key/value payload.
+    pub args: Vec<(String, JsonValue)>,
+}
+
+impl TraceEvent {
+    /// Render as a single JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"name\":");
+        JsonValue::Str(self.name.clone()).write_to(&mut out);
+        out.push_str(",\"cat\":");
+        JsonValue::Str(self.category.clone()).write_to(&mut out);
+        out.push_str(",\"kind\":\"");
+        out.push_str(self.kind.label());
+        out.push_str("\",\"ts_us\":");
+        JsonValue::U64(self.start_us).write_to(&mut out);
+        out.push_str(",\"dur_us\":");
+        JsonValue::U64(self.dur_us).write_to(&mut out);
+        out.push_str(",\"tid\":");
+        JsonValue::U64(self.thread).write_to(&mut out);
+        out.push_str(",\"args\":");
+        write_args(&self.args, &mut out);
+        out.push('}');
+        out
+    }
+
+    /// Render as one Chrome trace event object (no trailing comma).
+    pub fn to_chrome(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"name\":");
+        JsonValue::Str(self.name.clone()).write_to(&mut out);
+        out.push_str(",\"cat\":");
+        JsonValue::Str(self.category.clone()).write_to(&mut out);
+        out.push_str(",\"ph\":\"");
+        out.push(self.kind.phase());
+        out.push_str("\",\"ts\":");
+        JsonValue::U64(self.start_us).write_to(&mut out);
+        if self.kind == EventKind::Complete {
+            out.push_str(",\"dur\":");
+            JsonValue::U64(self.dur_us).write_to(&mut out);
+        }
+        if self.kind == EventKind::Instant {
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push_str(",\"pid\":1,\"tid\":");
+        JsonValue::U64(self.thread).write_to(&mut out);
+        out.push_str(",\"args\":");
+        write_args(&self.args, &mut out);
+        out.push('}');
+        out
+    }
+}
+
+#[derive(Default)]
+struct State {
+    events: Vec<TraceEvent>,
+    threads: HashMap<ThreadId, u64>,
+}
+
+/// Thread-safe append-only event log with a monotonic epoch.
+pub struct Recorder {
+    epoch: Instant,
+    state: Mutex<State>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// A fresh recorder whose epoch is "now".
+    pub fn new() -> Recorder {
+        Recorder {
+            epoch: Instant::now(),
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// Microseconds elapsed since this recorder's epoch.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn thread_id(state: &mut State) -> u64 {
+        let next = state.threads.len() as u64;
+        *state
+            .threads
+            .entry(std::thread::current().id())
+            .or_insert(next)
+    }
+
+    /// Append a fully-formed event, stamping the calling thread's id.
+    pub fn record(&self, mut event: TraceEvent) {
+        let mut state = self.state.lock();
+        event.thread = Self::thread_id(&mut state);
+        state.events.push(event);
+    }
+
+    /// Append an event verbatim, preserving its `thread` and timestamps.
+    /// Used for synthetic timelines (e.g. simulated pipeline schedules where
+    /// `thread` encodes the pipeline stage and time is simulated).
+    pub fn record_raw(&self, event: TraceEvent) {
+        self.state.lock().events.push(event);
+    }
+
+    /// Record an instant marker with arguments.
+    pub fn instant(&self, name: &str, args: Vec<(String, JsonValue)>) {
+        self.record(TraceEvent {
+            name: name.to_string(),
+            category: category_of(name),
+            start_us: self.now_us(),
+            dur_us: 0,
+            thread: 0,
+            kind: EventKind::Instant,
+            args,
+        });
+    }
+
+    /// Record a named counter sample.
+    pub fn counter(&self, name: &str, value: f64) {
+        self.record(TraceEvent {
+            name: name.to_string(),
+            category: category_of(name),
+            start_us: self.now_us(),
+            dur_us: 0,
+            thread: 0,
+            kind: EventKind::Counter,
+            args: vec![("value".to_string(), JsonValue::F64(value))],
+        });
+    }
+
+    /// Snapshot all events recorded so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.state.lock().events.clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.state.lock().events.len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all recorded events (thread ids are kept).
+    pub fn clear(&self) {
+        self.state.lock().events.clear();
+    }
+
+    /// Write one JSON object per line to `writer`.
+    pub fn write_jsonl_to<W: Write>(&self, writer: &mut W) -> io::Result<()> {
+        for event in self.state.lock().events.iter() {
+            writeln!(writer, "{}", event.to_jsonl())?;
+        }
+        Ok(())
+    }
+
+    /// Write all events to `path` as JSONL.
+    pub fn write_jsonl(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        self.write_jsonl_to(&mut file)?;
+        file.flush()
+    }
+
+    /// Write all events to `writer` as a Chrome-trace JSON array, loadable in
+    /// `chrome://tracing` or Perfetto.
+    pub fn write_chrome_trace_to<W: Write>(&self, writer: &mut W) -> io::Result<()> {
+        writeln!(writer, "[")?;
+        let state = self.state.lock();
+        for (i, event) in state.events.iter().enumerate() {
+            let comma = if i + 1 < state.events.len() { "," } else { "" };
+            writeln!(writer, "{}{}", event.to_chrome(), comma)?;
+        }
+        writeln!(writer, "]")
+    }
+
+    /// Write all events to `path` in Chrome trace format.
+    pub fn write_chrome_trace(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        self.write_chrome_trace_to(&mut file)?;
+        file.flush()
+    }
+}
+
+/// The process-wide recorder used by [`crate::span`] and friends.
+pub fn recorder() -> &'static Recorder {
+    static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+    GLOBAL.get_or_init(Recorder::new)
+}
+
+pub(crate) fn category_of(name: &str) -> String {
+    match name.split_once('.') {
+        Some((cat, _)) => cat.to_string(),
+        None => name.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots() {
+        let rec = Recorder::new();
+        rec.counter("sweep.points", 42.0);
+        rec.instant("parsim.start", vec![("stages".into(), JsonValue::U64(4))]);
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::Counter);
+        assert_eq!(events[0].category, "sweep");
+        assert_eq!(events[1].kind, EventKind::Instant);
+        rec.clear();
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn jsonl_lines_are_objects() {
+        let rec = Recorder::new();
+        rec.counter("c", 1.25);
+        let mut buf = Vec::new();
+        rec.write_jsonl_to(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let line = text.lines().next().unwrap();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"kind\":\"counter\""));
+        assert!(line.contains("\"value\":1.25"));
+    }
+
+    #[test]
+    fn chrome_trace_is_array() {
+        let rec = Recorder::new();
+        rec.counter("a", 1.0);
+        rec.instant("b", vec![]);
+        let mut buf = Vec::new();
+        rec.write_chrome_trace_to(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let trimmed = text.trim();
+        assert!(trimmed.starts_with('[') && trimmed.ends_with(']'));
+        assert!(text.contains("\"ph\":\"C\""));
+        assert!(text.contains("\"ph\":\"i\""));
+        // Exactly one separating comma between the two event objects.
+        assert_eq!(text.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn threads_get_dense_ids() {
+        let rec = std::sync::Arc::new(Recorder::new());
+        rec.counter("main", 0.0);
+        let clone = rec.clone();
+        std::thread::spawn(move || clone.counter("worker", 1.0))
+            .join()
+            .unwrap();
+        let events = rec.events();
+        assert_eq!(events[0].thread, 0);
+        assert_eq!(events[1].thread, 1);
+    }
+}

@@ -55,6 +55,9 @@ pub fn ring_allreduce_discrete_event(bytes: f64, workers: u64, comm: &CommConfig
     if workers <= 1 {
         return 0.0;
     }
+    let _span = obs::span("parsim.allreduce_des")
+        .with_arg("bytes", bytes)
+        .with_arg("workers", workers);
     let n = workers as usize;
     let chunk = bytes / n as f64;
     let mut clock = vec![0.0f64; n];
@@ -91,7 +94,10 @@ mod tests {
     #[test]
     fn ring_bandwidth_term_saturates_at_2s_over_bw() {
         // As N → ∞ the bandwidth component approaches 2·s/bw.
-        let c = CommConfig { hop_overhead: 0.0, ..comm() };
+        let c = CommConfig {
+            hop_overhead: 0.0,
+            ..comm()
+        };
         let s = 33.6e9; // LSTM-p gradients
         let t = ring_allreduce_seconds(s, 4096, &c);
         let limit = 2.0 * s / c.link_bw;

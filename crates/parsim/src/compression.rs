@@ -58,7 +58,7 @@ impl GradCompression {
         match self {
             GradCompression::None => 0.0,
             GradCompression::Fp16 => 1.0,
-            GradCompression::Int8 => 4.0,  // scale, clamp, round, rescale
+            GradCompression::Int8 => 4.0, // scale, clamp, round, rescale
             GradCompression::Ternary => 4.0,
             GradCompression::TopK { .. } => 8.0, // selection + gather/scatter
         }

@@ -21,6 +21,7 @@ mod modelparallel;
 mod pipeline_des;
 mod planner;
 mod tensorparallel;
+mod trace;
 
 pub use allreduce::{
     ring_allreduce_discrete_event, ring_allreduce_seconds, tree_allreduce_seconds, CommConfig,
@@ -34,6 +35,10 @@ pub use modelparallel::{
     layer_parallel_plan, peak_footprint, shard_largest_weight, waterfill_largest_weight,
     LayerParallelPlan, Stage,
 };
-pub use pipeline_des::{simulate_balanced_pipeline, simulate_pipeline, PipelineSim};
+pub use pipeline_des::{
+    simulate_balanced_pipeline, simulate_pipeline, simulate_pipeline_traced, PipelineEvent,
+    PipelineSim,
+};
 pub use planner::{plan, ModelParallelism, Plan, PlanRequest};
 pub use tensorparallel::{tensor_parallel_plan, TensorParallelConfig, TensorParallelPlan};
+pub use trace::pipeline_trace_events;

@@ -171,10 +171,26 @@ mod tests {
     /// Table 5 before sharding).
     fn case_study_stages() -> Vec<Stage> {
         vec![
-            Stage { name: "embedding".into(), weight_bytes: gb(59.5), activation_bytes: gb(0.5) },
-            Stage { name: "lstm0".into(), weight_bytes: gb(4.3), activation_bytes: gb(12.7) },
-            Stage { name: "lstm1".into(), weight_bytes: gb(4.3), activation_bytes: gb(12.7) },
-            Stage { name: "proj+out".into(), weight_bytes: gb(13.0), activation_bytes: gb(19.0) },
+            Stage {
+                name: "embedding".into(),
+                weight_bytes: gb(59.5),
+                activation_bytes: gb(0.5),
+            },
+            Stage {
+                name: "lstm0".into(),
+                weight_bytes: gb(4.3),
+                activation_bytes: gb(12.7),
+            },
+            Stage {
+                name: "lstm1".into(),
+                weight_bytes: gb(4.3),
+                activation_bytes: gb(12.7),
+            },
+            Stage {
+                name: "proj+out".into(),
+                weight_bytes: gb(13.0),
+                activation_bytes: gb(19.0),
+            },
         ]
     }
 

@@ -18,17 +18,31 @@ pub struct PipelineSim {
     pub stage_utilization: f64,
 }
 
-/// Simulate `microbatches` microbatches flowing through stages whose
-/// per-microbatch compute times are `stage_seconds` (already divided by the
-/// microbatch count).
-pub fn simulate_pipeline(stage_seconds: &[f64], microbatches: u64) -> PipelineSim {
+/// One stage × microbatch occupancy interval from a traced simulation.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PipelineEvent {
+    /// Pipeline stage index.
+    pub stage: usize,
+    /// Microbatch index.
+    pub microbatch: u64,
+    /// Simulated start time, seconds.
+    pub start_seconds: f64,
+    /// Simulated end time, seconds.
+    pub end_seconds: f64,
+}
+
+fn simulate(
+    stage_seconds: &[f64],
+    microbatches: u64,
+    mut events: Option<&mut Vec<PipelineEvent>>,
+) -> PipelineSim {
     assert!(!stage_seconds.is_empty() && microbatches >= 1);
     let k = stage_seconds.len();
     let m = microbatches as usize;
     // finish[k] = when stage k finished the previous microbatch.
     let mut stage_free = vec![0.0f64; k];
     let mut busy = vec![0.0f64; k];
-    for _mb in 0..m {
+    for mb in 0..m {
         let mut ready = 0.0f64; // when this microbatch leaves the previous stage
         for (s, &dur) in stage_seconds.iter().enumerate() {
             let start = ready.max(stage_free[s]);
@@ -36,6 +50,14 @@ pub fn simulate_pipeline(stage_seconds: &[f64], microbatches: u64) -> PipelineSi
             busy[s] += dur;
             stage_free[s] = end;
             ready = end;
+            if let Some(events) = events.as_deref_mut() {
+                events.push(PipelineEvent {
+                    stage: s,
+                    microbatch: mb as u64,
+                    start_seconds: start,
+                    end_seconds: end,
+                });
+            }
         }
     }
     let makespan = stage_free.iter().fold(0.0f64, |a, &b| a.max(b));
@@ -44,6 +66,24 @@ pub fn simulate_pipeline(stage_seconds: &[f64], microbatches: u64) -> PipelineSi
         makespan_seconds: makespan,
         stage_utilization: utilization,
     }
+}
+
+/// Simulate `microbatches` microbatches flowing through stages whose
+/// per-microbatch compute times are `stage_seconds` (already divided by the
+/// microbatch count).
+pub fn simulate_pipeline(stage_seconds: &[f64], microbatches: u64) -> PipelineSim {
+    simulate(stage_seconds, microbatches, None)
+}
+
+/// [`simulate_pipeline`], also returning every stage × microbatch occupancy
+/// interval for timeline export (see [`crate::pipeline_trace_events`]).
+pub fn simulate_pipeline_traced(
+    stage_seconds: &[f64],
+    microbatches: u64,
+) -> (PipelineSim, Vec<PipelineEvent>) {
+    let mut events = Vec::with_capacity(stage_seconds.len() * microbatches as usize);
+    let sim = simulate(stage_seconds, microbatches, Some(&mut events));
+    (sim, events)
 }
 
 /// Convenience: simulate a *balanced* split of total step compute `c` over
@@ -99,6 +139,35 @@ mod tests {
         assert!(sim.makespan_seconds < lower + 10.0);
         // Utilization suffers: the fast stages idle.
         assert!(sim.stage_utilization < 0.5);
+    }
+
+    #[test]
+    fn traced_simulation_matches_untraced() {
+        let stages = [1.0, 4.0, 1.0, 1.0];
+        let (sim, events) = simulate_pipeline_traced(&stages, 8);
+        let plain = simulate_pipeline(&stages, 8);
+        assert_eq!(sim.makespan_seconds, plain.makespan_seconds);
+        assert_eq!(events.len(), stages.len() * 8);
+        // Events respect both pipeline dependencies.
+        for e in &events {
+            assert!(e.end_seconds > e.start_seconds);
+            if e.stage > 0 {
+                let upstream = events
+                    .iter()
+                    .find(|u| u.stage == e.stage - 1 && u.microbatch == e.microbatch)
+                    .unwrap();
+                assert!(e.start_seconds >= upstream.end_seconds);
+            }
+            if e.microbatch > 0 {
+                let prev = events
+                    .iter()
+                    .find(|u| u.stage == e.stage && u.microbatch == e.microbatch - 1)
+                    .unwrap();
+                assert!(e.start_seconds >= prev.end_seconds);
+            }
+        }
+        let last_end = events.iter().fold(0.0f64, |a, e| a.max(e.end_seconds));
+        assert_eq!(last_end, sim.makespan_seconds);
     }
 
     #[test]

@@ -95,12 +95,11 @@ pub struct Plan {
 /// Search the plan space; returns the feasible plan with the fewest total
 /// accelerators (ties broken by higher utilization), or `None` if no
 /// candidate meets the deadline.
-pub fn plan(
-    request: &PlanRequest,
-    accel: &Accelerator,
-    comm: &CommConfig,
-) -> Option<Plan> {
-    assert!(!request.stages.is_empty(), "planner needs at least one stage");
+pub fn plan(request: &PlanRequest, accel: &Accelerator, comm: &CommConfig) -> Option<Plan> {
+    assert!(
+        !request.stages.is_empty(),
+        "planner needs at least one stage"
+    );
     let usable = accel.mem_capacity * request.usable_mem_fraction;
     let mut best: Option<Plan> = None;
 
@@ -157,8 +156,7 @@ pub fn plan(
                 None => true,
                 Some(b) => {
                     total < b.total_accelerators
-                        || (total == b.total_accelerators
-                            && utilization > b.flop_utilization)
+                        || (total == b.total_accelerators && utilization > b.flop_utilization)
                 }
             };
             if better {
@@ -187,10 +185,26 @@ mod tests {
             samples_per_step: 128.0 * 25.45,
         };
         let stages = vec![
-            Stage { name: "embedding".into(), weight_bytes: gb(59.5), activation_bytes: gb(0.5) },
-            Stage { name: "lstm0".into(), weight_bytes: gb(4.3), activation_bytes: gb(12.7) },
-            Stage { name: "lstm1".into(), weight_bytes: gb(4.3), activation_bytes: gb(12.7) },
-            Stage { name: "out".into(), weight_bytes: gb(13.0), activation_bytes: gb(19.0) },
+            Stage {
+                name: "embedding".into(),
+                weight_bytes: gb(59.5),
+                activation_bytes: gb(0.5),
+            },
+            Stage {
+                name: "lstm0".into(),
+                weight_bytes: gb(4.3),
+                activation_bytes: gb(12.7),
+            },
+            Stage {
+                name: "lstm1".into(),
+                weight_bytes: gb(4.3),
+                activation_bytes: gb(12.7),
+            },
+            Stage {
+                name: "out".into(),
+                weight_bytes: gb(13.0),
+                activation_bytes: gb(19.0),
+            },
         ];
         let dataset = 4671.0 * 86_400.0 / 17.07 * 128.0 * 25.45;
         let mut req = PlanRequest::new(step, gb(113.8), stages, dataset, target_days);

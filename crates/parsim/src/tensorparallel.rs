@@ -48,8 +48,8 @@ pub fn tensor_parallel_plan(
     comm: &CommConfig,
 ) -> TensorParallelPlan {
     assert!(cfg.ways >= 1 && compute_seconds >= 0.0);
-    let sync_seconds = cfg.sync_points as f64
-        * ring_allreduce_seconds(cfg.bytes_per_sync, cfg.ways, comm);
+    let sync_seconds =
+        cfg.sync_points as f64 * ring_allreduce_seconds(cfg.bytes_per_sync, cfg.ways, comm);
     let step_seconds = compute_seconds / cfg.ways as f64 + sync_seconds;
     let speedup = if step_seconds > 0.0 {
         compute_seconds / step_seconds

@@ -70,18 +70,13 @@ pub fn matmul_traffic_panel(m: f64, k: f64, n: f64, cache_bytes: f64, e: f64) ->
     let out_revisits = 2.0 * m * n * (k / k_c).ceil();
     let row_schedule = m * k + (m / panel).ceil() * k * n + out_revisits;
     let col_schedule = k * n + (n / panel).ceil() * m * k + out_revisits;
-    e * row_schedule.min(col_schedule).max(algorithmic_elems(m, k, n))
+    e * row_schedule
+        .min(col_schedule)
+        .max(algorithmic_elems(m, k, n))
 }
 
 /// Traffic under the selected model.
-pub fn matmul_traffic(
-    m: f64,
-    k: f64,
-    n: f64,
-    cache_bytes: f64,
-    e: f64,
-    model: CacheModel,
-) -> f64 {
+pub fn matmul_traffic(m: f64, k: f64, n: f64, cache_bytes: f64, e: f64, model: CacheModel) -> f64 {
     match model {
         CacheModel::Algorithmic => e * algorithmic_elems(m, k, n),
         CacheModel::SquareTile => matmul_traffic_square(m, k, n, cache_bytes, e),
@@ -172,6 +167,10 @@ pub fn per_op_step_time(
     accel: &Accelerator,
     model: CacheModel,
 ) -> Result<RooflineTime, UnboundSymbol> {
+    let _span = obs::span("roofline.per_op_step_time")
+        .with_arg("graph", graph.name.as_str())
+        .with_arg("ops", graph.ops().len())
+        .with_arg("cache_model", format!("{model:?}"));
     let mut seconds = 0.0;
     let mut total_flops = 0.0;
     for op in graph.ops() {

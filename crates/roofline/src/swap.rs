@@ -59,6 +59,7 @@ pub fn swap_report(
     assert!(footprint_bytes >= 0.0 && compute_seconds >= 0.0);
     let usable = accel.mem_capacity * link.usable_fraction;
     let spilled_bytes = (footprint_bytes - usable).max(0.0);
+    obs::recorder().counter("roofline.swap_spilled_bytes", spilled_bytes);
     let transfer_seconds = 2.0 * spilled_bytes / link.bandwidth;
     let serialized = compute_seconds + transfer_seconds;
     SwapReport {
@@ -129,7 +130,10 @@ mod tests {
         // Paper §6.2: 113.8 GB per step / 32 GB per accelerator → 4 ways.
         // With the 80%-usable rule the requirement rises to 5.
         let a = accel();
-        let strict = HostLink { usable_fraction: 1.0, ..HostLink::default() };
+        let strict = HostLink {
+            usable_fraction: 1.0,
+            ..HostLink::default()
+        };
         assert_eq!(min_shards_to_fit(113.8e9, &a, &strict), 4);
         assert_eq!(min_shards_to_fit(113.8e9, &a, &HostLink::default()), 5);
         assert_eq!(min_shards_to_fit(1e9, &a, &strict), 1);
@@ -138,8 +142,14 @@ mod tests {
     #[test]
     fn faster_link_reduces_slowdown() {
         let a = accel();
-        let slow = HostLink { bandwidth: 16e9, ..HostLink::default() };
-        let fast = HostLink { bandwidth: 64e9, ..HostLink::default() };
+        let slow = HostLink {
+            bandwidth: 16e9,
+            ..HostLink::default()
+        };
+        let fast = HostLink {
+            bandwidth: 64e9,
+            ..HostLink::default()
+        };
         let rs = swap_report(100e9, 5.0, &a, &slow);
         let rf = swap_report(100e9, 5.0, &a, &fast);
         assert!(rf.serialized_step_seconds < rs.serialized_step_seconds);

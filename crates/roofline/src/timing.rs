@@ -114,9 +114,17 @@ mod tests {
         // speech 72 TFLOPs → 5.8 s; word LM 1444 TFLOPs → 115 s.
         let a = Accelerator::v100_like();
         let speech = roofline_time(72e12, 2.8e12, &a);
-        assert!((speech.seconds - 5.8).abs() < 0.3, "step {}", speech.seconds);
+        assert!(
+            (speech.seconds - 5.8).abs() < 0.3,
+            "step {}",
+            speech.seconds
+        );
         let wordlm = roofline_time(1444e12, 41.5e12, &a);
-        assert!((wordlm.seconds - 115.0).abs() < 3.0, "step {}", wordlm.seconds);
+        assert!(
+            (wordlm.seconds - 115.0).abs() < 3.0,
+            "step {}",
+            wordlm.seconds
+        );
     }
 
     #[test]

@@ -36,8 +36,16 @@ pub fn fit_linear(xs: &[f64], ys: &[f64]) -> LinearFit {
         })
         .sum();
     let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
-    LinearFit { slope, intercept, r2 }
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    LinearFit {
+        slope,
+        intercept,
+        r2,
+    }
 }
 
 /// Least-squares fit of a proportional law `y = k·x` (no intercept) — the

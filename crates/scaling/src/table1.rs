@@ -32,6 +32,9 @@ pub struct DomainScaling {
     pub current_params: f64,
 }
 
+// Referenced only through the `#[serde(default = ...)]` attribute, which the
+// offline serde stand-in does not expand.
+#[allow(dead_code)]
 fn default_domain() -> Domain {
     Domain::WordLm
 }
@@ -55,7 +58,9 @@ impl DomainScaling {
     /// Project the frontier requirements (Table 1's "Projected Scale"
     /// columns and Table 3's data/model columns).
     pub fn project(&self) -> Projection {
-        let data_scale = self.learning.data_scale(self.current_sota, self.desired_sota);
+        let data_scale = self
+            .learning
+            .data_scale(self.current_sota, self.desired_sota);
         let model_scale = self.model.model_scale(data_scale);
         Projection {
             data_scale,

@@ -409,12 +409,12 @@ impl Expr {
                     Atom::Expr(inner) => inner.subst(sym, replacement),
                     Atom::Func(f) => {
                         let f = match f {
-                            Func::Max(args) => Func::Max(
-                                args.iter().map(|x| x.subst(sym, replacement)).collect(),
-                            ),
-                            Func::Min(args) => Func::Min(
-                                args.iter().map(|x| x.subst(sym, replacement)).collect(),
-                            ),
+                            Func::Max(args) => {
+                                Func::Max(args.iter().map(|x| x.subst(sym, replacement)).collect())
+                            }
+                            Func::Min(args) => {
+                                Func::Min(args.iter().map(|x| x.subst(sym, replacement)).collect())
+                            }
                             Func::Ceil(x) => Func::Ceil(Box::new(x.subst(sym, replacement))),
                         };
                         match f {
@@ -690,10 +690,7 @@ mod tests {
     #[test]
     fn multi_term_small_power_expands() {
         let e = (h() + v()).pow(2);
-        assert_eq!(
-            e,
-            h().pow(2) + Expr::int(2) * h() * v() + v().pow(2)
-        );
+        assert_eq!(e, h().pow(2) + Expr::int(2) * h() * v() + v().pow(2));
     }
 
     #[test]

@@ -160,7 +160,10 @@ impl Add for Rat {
             .checked_mul(rhs.den)
             .and_then(|a| rhs.num.checked_mul(self.den).and_then(|b| a.checked_add(b)))
             .expect("rational addition overflow");
-        let den = self.den.checked_mul(rhs.den).expect("rational addition overflow");
+        let den = self
+            .den
+            .checked_mul(rhs.den)
+            .expect("rational addition overflow");
         Rat::new(num, den)
     }
 }
@@ -216,8 +219,14 @@ impl PartialOrd for Rat {
 impl Ord for Rat {
     fn cmp(&self, other: &Rat) -> Ordering {
         // a/b vs c/d  <=>  a*d vs c*b  (b, d > 0)
-        let lhs = self.num.checked_mul(other.den).expect("rational compare overflow");
-        let rhs = other.num.checked_mul(self.den).expect("rational compare overflow");
+        let lhs = self
+            .num
+            .checked_mul(other.den)
+            .expect("rational compare overflow");
+        let rhs = other
+            .num
+            .checked_mul(self.den)
+            .expect("rational compare overflow");
         lhs.cmp(&rhs)
     }
 }

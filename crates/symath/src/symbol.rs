@@ -43,7 +43,6 @@ impl Symbol {
     pub fn name(&self) -> String {
         INTERNER.read().names[self.0 as usize].clone()
     }
-
 }
 
 impl fmt::Display for Symbol {

@@ -71,10 +71,7 @@ fn ceil_interacts_with_arithmetic() {
 fn large_coefficients_stay_exact() {
     // A char-LM frontier-scale coefficient: 2·h²·(d+1) at h = 81_500.
     let e = Expr::int(2) * Expr::int(81_500).pow(Rat::TWO) * Expr::int(11);
-    assert_eq!(
-        e.as_const().unwrap().num(),
-        2 * 81_500i128 * 81_500 * 11
-    );
+    assert_eq!(e.as_const().unwrap().num(), 2 * 81_500i128 * 81_500 * 11);
 }
 
 #[test]
@@ -95,10 +92,7 @@ fn bind_all_rejects_fractional_values() {
 #[test]
 fn min_and_max_compose() {
     let (a, b) = (Expr::sym("rg_a5"), Expr::sym("rg_b5"));
-    let clamp = Expr::min(vec![
-        Expr::max(vec![a.clone(), Expr::int(0)]),
-        b.clone(),
-    ]);
+    let clamp = Expr::min(vec![Expr::max(vec![a.clone(), Expr::int(0)]), b.clone()]);
     let eval = |av: f64, bv: f64| {
         clamp
             .eval(&Bindings::new().with("rg_a5", av).with("rg_b5", bv))

@@ -38,16 +38,21 @@ fn transformer_block(
     // Output projection + residual.
     let wo = g.weight(name("wo"), [de.clone(), de.clone()]).unwrap();
     let proj = g.matmul(&name("proj"), ctx, wo, false, false).unwrap();
-    let attn_out = g.binary(&name("residual1"), PointwiseFn::Add, proj, x).unwrap();
+    let attn_out = g
+        .binary(&name("residual1"), PointwiseFn::Add, proj, x)
+        .unwrap();
 
     // 4×-wide MLP.
-    let w1 = g.weight(name("w1"), [de.clone(), Expr::from(4 * d)]).unwrap();
+    let w1 = g
+        .weight(name("w1"), [de.clone(), Expr::from(4 * d)])
+        .unwrap();
     let w2 = g.weight(name("w2"), [Expr::from(4 * d), de]).unwrap();
     let h = g.matmul(&name("mlp1"), attn_out, w1, false, false).unwrap();
     let h = g.unary(&name("gelu"), PointwiseFn::Tanh, h).unwrap();
     let h = g.matmul(&name("mlp2"), h, w2, false, false).unwrap();
     let _ = bq;
-    g.binary(&name("residual2"), PointwiseFn::Add, h, attn_out).unwrap()
+    g.binary(&name("residual2"), PointwiseFn::Add, h, attn_out)
+        .unwrap()
 }
 
 fn main() {
@@ -57,7 +62,9 @@ fn main() {
     let bq = b.clone() * Expr::from(q);
 
     let tokens = g.input("tokens", [bq.clone()], DType::I32).unwrap();
-    let table = g.weight("embedding", [Expr::from(vocab), Expr::from(d)]).unwrap();
+    let table = g
+        .weight("embedding", [Expr::from(vocab), Expr::from(d)])
+        .unwrap();
     let mut x = g.gather("embed", table, tokens).unwrap();
     x = g.reshape("flat", x, [bq.clone(), Expr::from(d)]).unwrap();
 
@@ -72,13 +79,21 @@ fn main() {
     build_training_step(&mut g, loss).expect("differentiable");
     g.validate().expect("well-formed graph");
 
-    println!("custom graph `{}`: {} ops, {} tensors", g.name, g.ops().len(), g.tensors().len());
+    println!(
+        "custom graph `{}`: {} ops, {} tensors",
+        g.name,
+        g.ops().len(),
+        g.tensors().len()
+    );
     let params = g.params().eval(&Bindings::new()).unwrap();
     println!("parameters: {params:.3e}");
 
     // Characterize across subbatch sizes, exactly like the paper's models.
     let accel = Accelerator::v100_like();
-    println!("\n{:>6} {:>12} {:>12} {:>10} {:>10}", "batch", "TFLOPs/step", "GB/step", "FLOP/B", "step (s)");
+    println!(
+        "\n{:>6} {:>12} {:>12} {:>10} {:>10}",
+        "batch", "TFLOPs/step", "GB/step", "FLOP/B", "step (s)"
+    );
     for batch in [1u64, 8, 32, 128] {
         let bindings = Bindings::new().with("b", batch as f64);
         let n = g.stats().eval(&bindings).unwrap();

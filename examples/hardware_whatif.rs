@@ -85,7 +85,10 @@ fn main() {
         ("top-1% (DGC)", GradCompression::TopK { ratio: 100 }),
     ] {
         let p = data_parallel_point_compressed(&worker, 2048, 77e9, &accel, &comm, scheme);
-        println!("{:<22} {:>12.2} {:>12.2}", name, p.comm_seconds, p.epoch_days);
+        println!(
+            "{:<22} {:>12.2} {:>12.2}",
+            name, p.comm_seconds, p.epoch_days
+        );
     }
 
     // --- 5. Tensor vs layer parallelism ----------------------------------

@@ -40,7 +40,11 @@ fn main() {
                 .iter()
                 .map(|g| format!("{g:.0}"))
                 .collect();
-            println!("{:<34} per-stage footprints: {{{}}} GB", "", parts.join(", "));
+            println!(
+                "{:<34} per-stage footprints: {{{}}} GB",
+                "",
+                parts.join(", ")
+            );
         }
     }
 
@@ -56,7 +60,10 @@ fn main() {
     let counts: Vec<u64> = (0..=14).map(|i| 1u64 << i).collect();
     println!("{:>8} {:>14} {:>12}", "workers", "days/epoch", "comm (s)");
     for p in data_parallel_sweep(&worker, &counts, study.dataset_words, &accel, &comm) {
-        println!("{:>8} {:>14.1} {:>12.2}", p.workers, p.epoch_days, p.comm_seconds);
+        println!(
+            "{:>8} {:>14.1} {:>12.2}",
+            p.workers, p.epoch_days, p.comm_seconds
+        );
     }
     println!("\nEpoch time saturates as ring-allreduce overhead grows with the fleet —");
     println!("the paper's motivation for communication-efficient training research.");

@@ -1,0 +1,52 @@
+//! Per-op profiling of the Table 2 word-LM training step.
+//!
+//! Builds the paper's word-language-model workload, attributes algorithmic
+//! FLOPs and bytes to every op in its training graph (TFprof-style), and
+//! prints top-K and grouped breakdowns. Set `FRONTIER_TRACE=/tmp/wordlm.jsonl`
+//! to also export the span trace as JSONL plus a Chrome-trace JSON array
+//! viewable in `chrome://tracing`.
+//!
+//! ```sh
+//! cargo run --release -p frontier --example profile_wordlm
+//! ```
+
+use frontier::modelzoo::{Domain, ModelConfig};
+use frontier::obs;
+
+fn main() {
+    let domain = Domain::WordLm;
+    let cfg = ModelConfig::default_for(domain);
+    let subbatch = domain.default_subbatch();
+
+    let model = obs::time("modelzoo.build_training", || cfg.build_training());
+    let bindings = model.bindings_with_batch(subbatch);
+    let profile = model.graph.profile(&bindings).expect("all symbols bound");
+    profile
+        .check_consistency(1e-6)
+        .expect("per-op costs sum to graph totals");
+
+    println!(
+        "word LM training step: {} ops, subbatch {subbatch}, {:.3e} FLOPs, {:.3e} bytes\n",
+        profile.ops.len(),
+        profile.totals.flops,
+        profile.totals.bytes
+    );
+    println!("{}", profile.render_top(12));
+    println!(
+        "{}",
+        profile.render_groups("by op kind", &profile.by_kind())
+    );
+    println!("{}", profile.render_groups("by phase", &profile.by_phase()));
+    // Every dot-free op name is its own "layer"; keep the heavy hitters.
+    let layers = profile.by_layer();
+    let top_layers = &layers[..layers.len().min(12)];
+    println!("{}", profile.render_groups("by layer (top 12)", top_layers));
+
+    if let Some(path) = obs::trace_path_from_env() {
+        let rec = obs::recorder();
+        rec.write_jsonl(&path).expect("write trace");
+        let chrome = format!("{path}.chrome.json");
+        rec.write_chrome_trace(&chrome).expect("write chrome trace");
+        eprintln!("trace: {} events -> {path} (+ {chrome})", rec.len());
+    }
+}

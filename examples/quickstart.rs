@@ -14,7 +14,10 @@ fn main() {
     let model = config.build_training(); // forward + backward + SGD update
     println!("model: {}", model.graph.name);
     println!("  ops in training-step graph: {}", model.graph.ops().len());
-    println!("  trainable parameters:       {:.2e}", model.param_count() as f64);
+    println!(
+        "  trainable parameters:       {:.2e}",
+        model.param_count() as f64
+    );
 
     // 2. Algorithmic requirements at subbatch 128 (paper §2.1 definitions).
     let subbatch = 128;
@@ -24,10 +27,15 @@ fn main() {
         .eval(&model.bindings_with_batch(subbatch))
         .expect("all symbols bound");
     println!("\nper training step at subbatch {subbatch}:");
-    println!("  algorithmic FLOPs:   {:.3e}  (fwd {:.2e} + bwd {:.2e})",
-        stats.flops, stats.flops_forward, stats.flops_backward);
+    println!(
+        "  algorithmic FLOPs:   {:.3e}  (fwd {:.2e} + bwd {:.2e})",
+        stats.flops, stats.flops_forward, stats.flops_backward
+    );
     println!("  algorithmic bytes:   {:.3e}", stats.bytes);
-    println!("  operational intensity: {:.1} FLOP/B", stats.operational_intensity());
+    println!(
+        "  operational intensity: {:.1} FLOP/B",
+        stats.operational_intensity()
+    );
     println!("  training-data IO:    {:.3e} bytes", stats.io);
 
     // 2b. The same costs, symbolically (the Catamount-style view): exact
@@ -43,13 +51,19 @@ fn main() {
         Scheduler::Best,
     )
     .expect("bound");
-    println!("\nminimal memory footprint: {:.2} GB (weights: {:.2} GB persistent)",
-        fp.peak_bytes as f64 / 1e9, fp.persistent_bytes as f64 / 1e9);
+    println!(
+        "\nminimal memory footprint: {:.2} GB (weights: {:.2} GB persistent)",
+        fp.peak_bytes as f64 / 1e9,
+        fp.persistent_bytes as f64 / 1e9
+    );
 
     // 4. Roofline step time on the Table 4 accelerator.
     let accel = Accelerator::v100_like();
     let t = roofline_time(stats.flops, stats.bytes, &accel);
     println!("\non {}:", accel.name);
     println!("  step time: {:.3} s ({:?}-bound)", t.seconds, t.bound);
-    println!("  algorithmic FLOP utilization: {:.0}%", 100.0 * t.flop_utilization);
+    println!(
+        "  algorithmic FLOP utilization: {:.0}%",
+        100.0 * t.flop_utilization
+    );
 }

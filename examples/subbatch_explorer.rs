@@ -56,10 +56,20 @@ fn main() {
         );
     }
 
-    println!("\naccelerator ridge point: {:.1} FLOP/B (achievable)", accel.achievable_ridge_point());
+    println!(
+        "\naccelerator ridge point: {:.1} FLOP/B (achievable)",
+        accel.achievable_ridge_point()
+    );
     println!("graph intensity limit:   {:.1} FLOP/B", r.intensity_limit);
     match r.ridge_match {
-        Some(b) => println!("ridge-matched at b ≈ {b:.0}; chosen b = {} (≈{:.1}×)", r.chosen, r.chosen as f64 / b),
-        None => println!("compute-bound at every subbatch (CNN-like regime); chosen b = {}", r.chosen),
+        Some(b) => println!(
+            "ridge-matched at b ≈ {b:.0}; chosen b = {} (≈{:.1}×)",
+            r.chosen,
+            r.chosen as f64 / b
+        ),
+        None => println!(
+            "compute-bound at every subbatch (CNN-like regime); chosen b = {}",
+            r.chosen
+        ),
     }
 }

@@ -1,0 +1,183 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Benches compile and run, executing each routine a small fixed number of
+//! timed iterations and printing the mean wall time — enough to eyeball
+//! regressions without statistics. The API subset matches the workspace's
+//! benches: `Criterion`, `benchmark_group`, `sample_size`, `measurement_time`,
+//! `bench_function`, `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; carried for API compatibility only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Passed to bench closures; runs and times the routine.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this bencher's iteration budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` on fresh inputs from `setup` (setup excluded from the
+    /// measurement).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Top-level bench driver.
+pub struct Criterion {
+    iterations: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { iterations: 3 }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iterations: self.iterations,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(&name.to_string(), b.iterations, b.elapsed);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks (`sample_size`/`measurement_time` accepted and
+/// ignored: the shim's iteration budget is fixed).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim keeps its fixed budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim keeps its fixed budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, iterations: u64, elapsed: Duration) {
+    let mean = elapsed.as_secs_f64() / iterations.max(1) as f64;
+    println!(
+        "bench {name:<48} {:>12.6} s/iter ({iterations} iters)",
+        mean
+    );
+}
+
+/// Collect bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("probe", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10).measurement_time(Duration::from_secs(1));
+        let mut sum = 0u64;
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 2u64, |x| sum += x, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(sum, 6);
+    }
+}

@@ -1,0 +1,11 @@
+//! Glob-import surface mirroring `proptest::prelude::*`.
+
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+/// Namespace mirror so `prop::collection::vec(...)` resolves after a glob
+/// import of the prelude.
+pub mod prop {
+    pub use crate::collection;
+}

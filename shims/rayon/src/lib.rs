@@ -1,0 +1,107 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! `par_iter()`/`into_par_iter()` return the ordinary sequential iterators, so
+//! every rayon call site compiles and produces identical results, just without
+//! parallel speedup. The characterization sweeps that use it remain correct;
+//! re-enabling real parallelism is a one-line Cargo.toml change once a
+//! registry is reachable.
+
+#![warn(missing_docs)]
+
+/// The traits rayon call sites import via `use rayon::prelude::*`.
+pub mod prelude {
+    /// `.par_iter()` on `&self`: sequential fallback.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Item yielded by the iterator.
+        type Item: 'data;
+        /// The (sequential) iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterate; sequential in this shim.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `.par_iter_mut()` on `&mut self`: sequential fallback.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Item yielded by the iterator.
+        type Item: 'data;
+        /// The (sequential) iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterate mutably; sequential in this shim.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Item = &'data mut T;
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Item = &'data mut T;
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    /// `.into_par_iter()` by value: sequential fallback over any `IntoIterator`.
+    pub trait IntoParallelIterator {
+        /// Item yielded by the iterator.
+        type Item;
+        /// The (sequential) iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Convert into an iterator; sequential in this shim.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn into_par_iter_consumes() {
+        let total: i32 = (1..=4).into_par_iter().sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, vec![11, 12, 13]);
+    }
+}

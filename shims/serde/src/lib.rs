@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no crate registry, and nothing in this workspace
+//! serializes through serde at runtime (trace output is hand-rolled JSON in
+//! `obs`). This shim keeps the workspace's `#[derive(Serialize, Deserialize)]`
+//! annotations compiling: the derives expand to nothing, and the traits are
+//! markers so `use serde::Serialize` and trait bounds still resolve.
+
+#![warn(missing_docs)]
+
+pub use serde_shim_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! The workspace derives `Serialize`/`Deserialize` purely as forward-looking
+//! annotations — nothing serializes through serde at runtime (the `obs` crate
+//! hand-rolls its JSON). These derives accept the same syntax, including
+//! `#[serde(...)]` field attributes, and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accept `#[derive(Serialize)]` (and `#[serde(...)]` attributes); emit nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept `#[derive(Deserialize)]` (and `#[serde(...)]` attributes); emit nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -80,8 +80,22 @@ fn compression_and_workers_trade_off_for_a_fixed_epoch_target() {
     let int8 = first_fit(GradCompression::Int8);
     assert!(int8 <= plain, "int8 {int8} vs f32 {plain}");
     // And at the plain count, int8 strictly improves the epoch.
-    let a = data_parallel_point_compressed(&worker, plain, dataset, &accel, &comm, GradCompression::None);
-    let b = data_parallel_point_compressed(&worker, plain, dataset, &accel, &comm, GradCompression::Int8);
+    let a = data_parallel_point_compressed(
+        &worker,
+        plain,
+        dataset,
+        &accel,
+        &comm,
+        GradCompression::None,
+    );
+    let b = data_parallel_point_compressed(
+        &worker,
+        plain,
+        dataset,
+        &accel,
+        &comm,
+        GradCompression::Int8,
+    );
     assert!(b.epoch_days < a.epoch_days);
 }
 
@@ -182,10 +196,26 @@ fn planner_automates_the_case_study_decision() {
         samples_per_step: 128.0 * 25.45,
     };
     let stages = vec![
-        Stage { name: "embedding".into(), weight_bytes: gb(59.5), activation_bytes: gb(0.5) },
-        Stage { name: "lstm0".into(), weight_bytes: gb(4.3), activation_bytes: gb(12.7) },
-        Stage { name: "lstm1".into(), weight_bytes: gb(4.3), activation_bytes: gb(12.7) },
-        Stage { name: "out".into(), weight_bytes: gb(13.0), activation_bytes: gb(19.0) },
+        Stage {
+            name: "embedding".into(),
+            weight_bytes: gb(59.5),
+            activation_bytes: gb(0.5),
+        },
+        Stage {
+            name: "lstm0".into(),
+            weight_bytes: gb(4.3),
+            activation_bytes: gb(12.7),
+        },
+        Stage {
+            name: "lstm1".into(),
+            weight_bytes: gb(4.3),
+            activation_bytes: gb(12.7),
+        },
+        Stage {
+            name: "out".into(),
+            weight_bytes: gb(13.0),
+            activation_bytes: gb(19.0),
+        },
     ];
     let dataset = 4671.0 * 86_400.0 / 17.07 * 128.0 * 25.45;
     let mut req = PlanRequest::new(step, gb(113.8), stages, dataset, 7.5);
@@ -208,8 +238,13 @@ fn in_place_execution_shaves_footprint_like_tensorflow() {
         .with_target_params(50_000_000)
         .build_training();
     let bindings = model.bindings_with_batch(32);
-    let conservative =
-        footprint_with(&model.graph, &bindings, Scheduler::Best, InPlacePolicy::Never).unwrap();
+    let conservative = footprint_with(
+        &model.graph,
+        &bindings,
+        Scheduler::Best,
+        InPlacePolicy::Never,
+    )
+    .unwrap();
     let in_place = footprint_with(
         &model.graph,
         &bindings,

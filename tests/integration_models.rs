@@ -13,14 +13,20 @@ fn all_domains_build_validate_and_have_positive_costs() {
     for domain in Domain::ALL {
         let cfg = ModelConfig::default_for(domain).with_target_params(30_000_000);
         let model = cfg.build_training();
-        model.graph.validate().unwrap_or_else(|e| panic!("{domain:?}: {e}"));
+        model
+            .graph
+            .validate()
+            .unwrap_or_else(|e| panic!("{domain:?}: {e}"));
         let n = model
             .graph
             .stats()
             .eval(&model.bindings_with_batch(4))
             .expect("bound");
         assert!(n.flops > 0.0 && n.bytes > 0.0 && n.io > 0.0, "{domain:?}");
-        assert!(n.flops_backward > n.flops_forward, "{domain:?}: bwd should dominate");
+        assert!(
+            n.flops_backward > n.flops_forward,
+            "{domain:?}: bwd should dominate"
+        );
     }
 }
 
@@ -58,8 +64,7 @@ fn charlm_has_higher_flops_per_param_than_wordlm() {
     let char_lm = char_point(Domain::CharLm, 60_000_000);
     let word_lm = char_point(Domain::WordLm, 60_000_000);
     assert!(
-        char_lm.flops_per_sample / char_lm.params
-            > 1.4 * word_lm.flops_per_sample / word_lm.params
+        char_lm.flops_per_sample / char_lm.params > 1.4 * word_lm.flops_per_sample / word_lm.params
     );
 }
 

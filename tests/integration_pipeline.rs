@@ -17,9 +17,12 @@ fn full_pipeline_word_lm_frontier() {
     let cfg = ModelConfig::default_for(Domain::WordLm)
         .with_target_params(projection.target_params as u64);
     let model = cfg.build_training();
-    model.graph.validate().expect("frontier graph is well-formed");
-    let rel = (model.param_count() as f64 - projection.target_params).abs()
-        / projection.target_params;
+    model
+        .graph
+        .validate()
+        .expect("frontier graph is well-formed");
+    let rel =
+        (model.param_count() as f64 - projection.target_params).abs() / projection.target_params;
     assert!(rel < 0.05, "built params off projection by {rel}");
 
     // 3. Cost analysis (cgraph): Table 3 word-LM row bands.
@@ -28,7 +31,11 @@ fn full_pipeline_word_lm_frontier() {
         .stats()
         .eval(&model.bindings_with_batch(128))
         .expect("bound");
-    assert!(stats.flops > 0.9e15 && stats.flops < 2.2e15, "flops {:.3e}", stats.flops);
+    assert!(
+        stats.flops > 0.9e15 && stats.flops < 2.2e15,
+        "flops {:.3e}",
+        stats.flops
+    );
 
     // 4. Roofline (roofline): ~115 s/step, compute-bound.
     let accel = Accelerator::v100_like();
@@ -50,7 +57,11 @@ fn full_pipeline_word_lm_frontier() {
         &accel,
         &CommConfig::default(),
     );
-    assert!(sweep[0].epoch_days > 1_000.0, "single-accel epoch {}", sweep[0].epoch_days);
+    assert!(
+        sweep[0].epoch_days > 1_000.0,
+        "single-accel epoch {}",
+        sweep[0].epoch_days
+    );
     assert!(
         sweep[2].epoch_days < sweep[0].epoch_days / 500.0,
         "1024 workers should give near-linear speedup here"
@@ -118,18 +129,18 @@ fn subbatch_selection_consistent_with_frontier_rows() {
     let accel = Accelerator::v100_like();
     let cfg = Study::new(Domain::WordLm).frontier_config();
     let sel = subbatch_analysis(&cfg, &[16, 32, 64, 128, 256, 512], &accel, false);
-    assert!(sel.chosen >= 64 && sel.chosen <= 256, "chosen {}", sel.chosen);
+    assert!(
+        sel.chosen >= 64 && sel.chosen <= 256,
+        "chosen {}",
+        sel.chosen
+    );
     let point = sel
         .points
         .iter()
         .find(|p| p.batch == sel.chosen)
         .expect("chosen point in sweep");
     // Near-peak throughput at the chosen point (paper: 79%).
-    let asymptote = sel
-        .points
-        .last()
-        .expect("points")
-        .sec_per_sample;
+    let asymptote = sel.points.last().expect("points").sec_per_sample;
     assert!(point.sec_per_sample <= 1.06 * asymptote);
 }
 
