@@ -8,7 +8,7 @@ use scaling::scaling_for;
 use serde::Serialize;
 
 /// One row of Table 3.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct FrontierRow {
     /// Domain label.
     pub domain_label: &'static str,

@@ -21,7 +21,7 @@ use serde::{Deserialize, Serialize};
 use symath::Expr;
 
 /// One subbatch sample of Figure 11.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SubbatchPoint {
     /// Subbatch size.
     pub batch: u64,
@@ -37,7 +37,7 @@ pub struct SubbatchPoint {
 }
 
 /// The Figure 11 sweep plus the three points of interest.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SubbatchAnalysis {
     /// Power-of-two sweep points.
     pub points: Vec<SubbatchPoint>,

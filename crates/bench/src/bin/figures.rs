@@ -6,7 +6,7 @@
 //! ```
 
 use analysis::{fig11_batches, subbatch_analysis, sweep_domain};
-use bench::{eng, finish_trace, parse_selector, section, Table};
+use bench::{check_known_flags, eng, finish_trace, parse_selector, section, Table};
 use modelzoo::{Domain, ModelConfig};
 use parsim::{data_parallel_sweep, CommConfig, WorkerStep};
 use roofline::{per_op_step_time, Accelerator, CacheModel};
@@ -152,11 +152,15 @@ fn fig12() {
 }
 
 fn main() {
-    let selector = parse_selector("--figure").unwrap_or_else(|e| {
+    let usage = |e: String| -> ! {
         eprintln!("{e}");
         eprintln!("usage: figures [--figure N] [--trace PATH]");
         std::process::exit(2);
-    });
+    };
+    if let Err(e) = check_known_flags(&["--figure", "--trace"]) {
+        usage(e);
+    }
+    let selector = parse_selector("--figure").unwrap_or_else(|e| usage(e));
     match selector {
         Some(6) => fig6(),
         Some(7) => fig7(),

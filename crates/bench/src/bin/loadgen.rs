@@ -1,0 +1,329 @@
+//! `loadgen` — TCP load generator for the `serve` query server.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--threads N] [--requests M]
+//!         [--summary PATH] [--spawn]
+//! ```
+//!
+//! Drives a mixed endpoint workload with `--threads` clients issuing
+//! `--requests` requests each, and reports throughput plus p50/p95/p99
+//! latency — separately for the **cold** pass (first time each expensive
+//! query is seen, cache empty) and the **warm** pass (every repeat is a
+//! cache hit). With `--spawn` it boots an in-process server on an ephemeral
+//! port first, so one command produces an end-to-end benchmark.
+//!
+//! `--summary PATH` writes the numbers as JSON (see `BENCH_serve.json`).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serve::flags::Flags;
+use serve::json::Json;
+use serve::metrics::Histogram;
+use serve::{ServeConfig, Server};
+
+const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--threads N] [--requests M] \
+[--summary PATH] [--spawn]
+  --addr      server to drive (default 127.0.0.1:8080)
+  --threads   concurrent client threads (default 4)
+  --requests  requests per thread in the warm pass (default 50)
+  --summary   write a JSON summary to this path
+  --spawn     boot an in-process serve instance on an ephemeral port";
+
+/// The mixed workload. Expensive analysis queries plus cheap liveness
+/// traffic, all against the default-scale models so the cold pass stays in
+/// seconds.
+const MIX: &[&str] = &[
+    "/v1/characterize?domain=wordlm&subbatch=16",
+    "/v1/characterize?domain=nmt&subbatch=32",
+    "/v1/project?domain=speech",
+    "/v1/subbatch?domain=charlm&params=10000000",
+    "/v1/plan?domain=resnet&accels=16384",
+    "/v1/healthz",
+    "/v1/metrics",
+];
+
+/// The paths whose first computation is expensive (cold pass targets).
+const EXPENSIVE: usize = 5;
+
+/// One HTTP exchange: returns (status, x-cache header, body).
+fn fetch(addr: SocketAddr, path: &str) -> Result<(u16, Option<String>, String), String> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nhost: loadgen\r\nconnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| format!("write: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "response without head/body separator".to_string())?;
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {:?}", head.lines().next().unwrap_or("")))?;
+    let cache = head
+        .lines()
+        .find_map(|l| l.strip_prefix("x-cache: ").map(str::to_string));
+    Ok((status, cache, body.to_string()))
+}
+
+struct Counters {
+    ok: AtomicU64,
+    client_errors: AtomicU64,
+    server_errors: AtomicU64,
+    transport_errors: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl Counters {
+    fn new() -> Counters {
+        Counters {
+            ok: AtomicU64::new(0),
+            client_errors: AtomicU64::new(0),
+            server_errors: AtomicU64::new(0),
+            transport_errors: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, result: &Result<(u16, Option<String>, String), String>) {
+        match result {
+            Ok((status, cache, _)) => {
+                match status {
+                    200..=299 => self.ok.fetch_add(1, Ordering::Relaxed),
+                    400..=499 => self.client_errors.fetch_add(1, Ordering::Relaxed),
+                    _ => self.server_errors.fetch_add(1, Ordering::Relaxed),
+                };
+                if matches!(cache.as_deref(), Some("hit" | "coalesced")) {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                self.transport_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+fn timed_fetch(
+    addr: SocketAddr,
+    path: &str,
+    hist: &Histogram,
+    counters: &Counters,
+) -> Result<(u16, Option<String>, String), String> {
+    let start = Instant::now();
+    let result = fetch(addr, path);
+    let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    hist.record_us(us);
+    counters.record(&result);
+    result
+}
+
+fn main() -> ExitCode {
+    let flags = Flags::from_env();
+    if flags.switch("--help") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let parsed = (|| -> Result<(String, usize, usize, Option<String>, bool), String> {
+        flags.check_known(&[
+            "--addr",
+            "--threads",
+            "--requests",
+            "--summary",
+            "--spawn",
+            "--help",
+        ])?;
+        Ok((
+            flags.get_or("--addr", "127.0.0.1:8080".to_string())?,
+            flags.get_or("--threads", 4usize)?,
+            flags.get_or("--requests", 50usize)?,
+            flags.get::<String>("--summary")?,
+            flags.switch("--spawn"),
+        ))
+    })();
+    let (addr_flag, threads, requests, summary_path, spawn) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("loadgen: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Optionally boot the server in-process (ephemeral port, drained on exit).
+    let spawned = if spawn {
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServeConfig::default()
+        };
+        match Server::start(&config) {
+            Ok(server) => Some(server),
+            Err(e) => {
+                eprintln!("loadgen: failed to spawn server: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let addr: SocketAddr = match spawned {
+        Some(ref server) => server.local_addr(),
+        None => match addr_flag.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+            Some(addr) => addr,
+            None => {
+                eprintln!("loadgen: cannot resolve {addr_flag:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    println!("loadgen: driving http://{addr} with {threads} threads x {requests} requests");
+
+    // Cold pass: first touch of each expensive endpoint, sequentially, while
+    // the cache has never seen them.
+    let cold = Histogram::default();
+    let cold_counters = Counters::new();
+    for path in &MIX[..EXPENSIVE] {
+        if let Err(e) = timed_fetch(addr, path, &cold, &cold_counters) {
+            eprintln!("loadgen: cold {path}: {e}");
+        }
+    }
+
+    // Warm pass: concurrent mixed traffic; every expensive query repeats the
+    // cold pass, so it should be served from cache.
+    let warm = Arc::new(Histogram::default());
+    let warm_characterize = Arc::new(Histogram::default());
+    let counters = Arc::new(Counters::new());
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..threads.max(1) {
+        let warm = Arc::clone(&warm);
+        let warm_characterize = Arc::clone(&warm_characterize);
+        let counters = Arc::clone(&counters);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..requests {
+                let path = MIX[(t + i) % MIX.len()];
+                let hist: &Histogram = if path.starts_with("/v1/characterize") {
+                    &warm_characterize
+                } else {
+                    &warm
+                };
+                let _ = timed_fetch(addr, path, hist, &counters);
+            }
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    drop(spawned); // graceful drain before reporting
+
+    let total = (threads.max(1) * requests) as u64;
+    let throughput = if elapsed > 0.0 {
+        total as f64 / elapsed
+    } else {
+        0.0
+    };
+    let cold_p50 = cold.quantile_us(0.5);
+    let warm_char_p50 = warm_characterize.quantile_us(0.5);
+    let speedup = if warm_char_p50 > 0 {
+        cold_p50 as f64 / warm_char_p50 as f64
+    } else {
+        f64::INFINITY
+    };
+
+    println!(
+        "\ncold pass ({} expensive endpoints, cache empty):",
+        EXPENSIVE
+    );
+    println!(
+        "  p50 {} us   max {} us",
+        cold.quantile_us(0.5),
+        cold.max_us()
+    );
+    println!("warm pass ({total} requests in {elapsed:.2}s, {throughput:.0} req/s):");
+    println!(
+        "  characterize p50 {} us   all-endpoints p50 {} us  p95 {} us  p99 {} us",
+        warm_char_p50,
+        warm.quantile_us(0.5),
+        warm.quantile_us(0.95),
+        warm.quantile_us(0.99),
+    );
+    println!("  cold/warm characterize p50 speedup: {speedup:.0}x");
+    println!(
+        "  ok {}  4xx {}  5xx {}  transport errors {}  cache hits {}",
+        counters.ok.load(Ordering::Relaxed),
+        counters.client_errors.load(Ordering::Relaxed),
+        counters.server_errors.load(Ordering::Relaxed),
+        counters.transport_errors.load(Ordering::Relaxed),
+        counters.cache_hits.load(Ordering::Relaxed),
+    );
+
+    if let Some(path) = summary_path {
+        let doc = Json::obj()
+            .set("threads", threads)
+            .set("requests_per_thread", requests)
+            .set("total_requests", total)
+            .set("elapsed_seconds", elapsed)
+            .set("throughput_rps", throughput)
+            .set(
+                "cold",
+                Json::obj()
+                    .set("p50_us", cold_p50)
+                    .set("max_us", cold.max_us()),
+            )
+            .set(
+                "warm",
+                Json::obj()
+                    .set("characterize_p50_us", warm_char_p50)
+                    .set("p50_us", warm.quantile_us(0.5))
+                    .set("p95_us", warm.quantile_us(0.95))
+                    .set("p99_us", warm.quantile_us(0.99))
+                    .set("max_us", warm.max_us()),
+            )
+            .set("cold_over_warm_characterize_p50", speedup)
+            .set(
+                "responses",
+                Json::obj()
+                    .set("ok", counters.ok.load(Ordering::Relaxed))
+                    .set(
+                        "client_errors",
+                        counters.client_errors.load(Ordering::Relaxed),
+                    )
+                    .set(
+                        "server_errors",
+                        counters.server_errors.load(Ordering::Relaxed),
+                    )
+                    .set(
+                        "transport_errors",
+                        counters.transport_errors.load(Ordering::Relaxed),
+                    )
+                    .set("cache_hits", counters.cache_hits.load(Ordering::Relaxed)),
+            );
+        if let Err(e) = std::fs::write(&path, doc.render() + "\n") {
+            eprintln!("loadgen: failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("  summary -> {path}");
+    }
+
+    let failed = counters.server_errors.load(Ordering::Relaxed)
+        + counters.transport_errors.load(Ordering::Relaxed);
+    if failed > 0 {
+        eprintln!("loadgen: {failed} failed requests");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

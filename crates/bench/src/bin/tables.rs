@@ -6,7 +6,7 @@
 //! ```
 
 use analysis::{fit_domain_trends, table3, word_lm_case_study};
-use bench::{eng, finish_trace, parse_selector, section, times, Table};
+use bench::{check_known_flags, eng, finish_trace, parse_selector, section, times, Table};
 use modelzoo::{Domain, ModelConfig};
 use parsim::CommConfig;
 use roofline::Accelerator;
@@ -217,11 +217,15 @@ fn table5() {
 }
 
 fn main() {
-    let selector = parse_selector("--table").unwrap_or_else(|e| {
+    let usage = |e: String| -> ! {
         eprintln!("{e}");
         eprintln!("usage: tables [--table N] [--trace PATH]");
         std::process::exit(2);
-    });
+    };
+    if let Err(e) = check_known_flags(&["--table", "--trace"]) {
+        usage(e);
+    }
+    let selector = parse_selector("--table").unwrap_or_else(|e| usage(e));
     match selector {
         Some(1) => table1(),
         Some(2) => table2(),

@@ -98,24 +98,17 @@ pub fn section(title: impl std::fmt::Display) {
 
 /// Parse a `--table N` / `--figure N` style CLI argument; `Ok(None)` = all.
 ///
-/// A present flag with a missing or non-numeric value is reported as an
-/// `Err` so the binaries can print usage instead of panicking.
+/// Delegates to the structured flag parser shared with the `serve` binary
+/// ([`serve::flags::Flags`]). A present flag with a missing, flag-like, or
+/// non-numeric value is reported as an `Err` so the binaries can print
+/// usage instead of panicking.
 pub fn parse_selector(flag: &str) -> Result<Option<u32>, String> {
-    let args: Vec<String> = std::env::args().collect();
-    parse_selector_from(flag, &args)
+    serve::flags::Flags::from_env().get(flag)
 }
 
-fn parse_selector_from(flag: &str, args: &[String]) -> Result<Option<u32>, String> {
-    let Some(i) = args.iter().position(|a| a == flag) else {
-        return Ok(None);
-    };
-    let Some(value) = args.get(i + 1) else {
-        return Err(format!("{flag} expects a number, got nothing"));
-    };
-    value
-        .parse()
-        .map(Some)
-        .map_err(|_| format!("{flag} expects a number, got {value:?}"))
+/// Reject unknown `--flags` (typo guard shared with the `serve` binary).
+pub fn check_known_flags(known: &[&str]) -> Result<(), String> {
+    serve::flags::Flags::from_env().check_known(known)
 }
 
 /// Parse a `--trace PATH` argument, falling back to the `FRONTIER_TRACE`
@@ -197,25 +190,19 @@ mod tests {
 
     #[test]
     fn selector_parses_value_and_absence() {
-        let args: Vec<String> = ["bin", "--table", "3"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        assert_eq!(parse_selector_from("--table", &args), Ok(Some(3)));
-        assert_eq!(parse_selector_from("--figure", &args), Ok(None));
+        let flags = serve::flags::Flags::from_args(["--table", "3"]);
+        assert_eq!(flags.get::<u32>("--table"), Ok(Some(3)));
+        assert_eq!(flags.get::<u32>("--figure"), Ok(None));
     }
 
     #[test]
     fn selector_rejects_garbage_without_panicking() {
-        let args: Vec<String> = ["bin", "--table", "two"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        let err = parse_selector_from("--table", &args).unwrap_err();
+        let flags = serve::flags::Flags::from_args(["--table", "two"]);
+        let err = flags.get::<u32>("--table").unwrap_err();
         assert!(err.contains("--table"), "{err}");
         assert!(err.contains("two"), "{err}");
-        let args: Vec<String> = ["bin", "--table"].iter().map(|s| s.to_string()).collect();
-        assert!(parse_selector_from("--table", &args).is_err());
+        let flags = serve::flags::Flags::from_args(["--table"]);
+        assert!(flags.get::<u32>("--table").is_err());
     }
 
     #[test]

@@ -43,13 +43,17 @@ pub use roofline;
 pub use scaling;
 pub use symath;
 
+mod querykey;
+
+pub use querykey::QueryKey;
+
 use modelzoo::{Domain, ModelConfig};
 use roofline::Accelerator;
 use scaling::{scaling_for, Projection};
 
 /// Everything needed for typical use in one import.
 pub mod prelude {
-    pub use crate::{FrontierReport, Study};
+    pub use crate::{FrontierReport, QueryKey, Study};
     pub use analysis::{
         characterize, fit_trends, hardware_sensitivity, hardware_variants, subbatch_analysis,
         sweep_domain, word_lm_case_study, CharacterizationPoint, DomainTrends,

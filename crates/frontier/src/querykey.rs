@@ -1,0 +1,140 @@
+//! Content-addressed query keys for memoizing analysis results.
+//!
+//! A [`QueryKey`] canonicalizes *what is being asked* — an endpoint name, a
+//! [`Domain`](modelzoo::Domain), a [`ModelConfig`](modelzoo::ModelConfig),
+//! symbol bindings, free-form parameters — into a deterministic string, and
+//! hashes it to 128 bits (two independently-seeded FNV-1a-64 passes). Two
+//! queries collide only if their canonical forms are equal, so the hash can
+//! key a memoization cache directly: equal keys ⇒ equal answers.
+//!
+//! The canonical form is ordered by insertion, so callers must append fields
+//! in a fixed order (builders in this workspace do). Bindings iterate in
+//! `BTreeMap` order and are therefore canonical regardless of insertion
+//! order.
+
+use std::fmt::Write as _;
+
+use modelzoo::{Domain, ModelConfig};
+use symath::Bindings;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A canonical, hashable description of one analysis query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryKey {
+    canonical: String,
+}
+
+impl QueryKey {
+    /// Start a key for `endpoint` (e.g. `"characterize"`).
+    pub fn new(endpoint: &str) -> QueryKey {
+        QueryKey {
+            canonical: format!("{endpoint};"),
+        }
+    }
+
+    /// Append a named field. Values render via `Display`.
+    pub fn field(mut self, name: &str, value: impl std::fmt::Display) -> QueryKey {
+        let _ = write!(self.canonical, "{name}={value};");
+        self
+    }
+
+    /// Append a domain tag.
+    pub fn domain(self, domain: Domain) -> QueryKey {
+        self.field("domain", domain.key())
+    }
+
+    /// Append a model configuration. `ModelConfig` is a plain-data enum of
+    /// integer/boolean hyperparameters, so its `Debug` form is canonical
+    /// (field order is declaration order, values are exact).
+    pub fn config(mut self, cfg: &ModelConfig) -> QueryKey {
+        let _ = write!(self.canonical, "config={cfg:?};");
+        self
+    }
+
+    /// Append symbol bindings (sorted by symbol, exact float formatting).
+    pub fn bindings(mut self, bindings: &Bindings) -> QueryKey {
+        self.canonical.push_str("bindings=");
+        for (sym, value) in bindings.iter() {
+            let _ = write!(self.canonical, "{sym}:{value:?},");
+        }
+        self.canonical.push(';');
+        self
+    }
+
+    /// The canonical string the hash is computed over.
+    pub fn canonical(&self) -> &str {
+        &self.canonical
+    }
+
+    /// The 128-bit content hash of the canonical form.
+    pub fn hash128(&self) -> u128 {
+        let bytes = self.canonical.as_bytes();
+        let lo = fnv1a(FNV_OFFSET, bytes);
+        // Second pass with a seed derived from the first digest decorrelates
+        // the two halves even for single-byte differences.
+        let hi = fnv1a(lo ^ 0x9e37_79b9_7f4a_7c15, bytes);
+        (u128::from(hi) << 64) | u128::from(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_queries_hash_equal() {
+        let cfg = ModelConfig::default_for(Domain::WordLm).with_target_params(10_000_000);
+        let b = Bindings::new().with("b", 16.0);
+        let k1 = QueryKey::new("characterize").config(&cfg).bindings(&b);
+        let k2 = QueryKey::new("characterize").config(&cfg).bindings(&b);
+        assert_eq!(k1, k2);
+        assert_eq!(k1.hash128(), k2.hash128());
+    }
+
+    #[test]
+    fn different_fields_hash_differently() {
+        let base = QueryKey::new("project").domain(Domain::WordLm);
+        let other = QueryKey::new("project").domain(Domain::CharLm);
+        assert_ne!(base.hash128(), other.hash128());
+        // Endpoint participates too: same fields, different namespace.
+        let ns = QueryKey::new("subbatch").domain(Domain::WordLm);
+        assert_ne!(base.hash128(), ns.hash128());
+    }
+
+    #[test]
+    fn binding_insertion_order_is_canonicalized() {
+        let ab = Bindings::new().with("a", 1.0).with("z", 2.0);
+        let ba = Bindings::new().with("z", 2.0).with("a", 1.0);
+        let k1 = QueryKey::new("e").bindings(&ab);
+        let k2 = QueryKey::new("e").bindings(&ba);
+        assert_eq!(k1.canonical(), k2.canonical());
+    }
+
+    #[test]
+    fn config_changes_change_the_key() {
+        let small = ModelConfig::default_for(Domain::Nmt).with_target_params(5_000_000);
+        let large = ModelConfig::default_for(Domain::Nmt).with_target_params(50_000_000);
+        let k_small = QueryKey::new("characterize").config(&small);
+        let k_large = QueryKey::new("characterize").config(&large);
+        assert_ne!(k_small.hash128(), k_large.hash128());
+    }
+
+    #[test]
+    fn field_separators_prevent_concatenation_aliasing() {
+        // ("ab", "c") must not collide with ("a", "bc").
+        let k1 = QueryKey::new("e").field("x", "ab").field("y", "c");
+        let k2 = QueryKey::new("e").field("x", "a").field("y", "bc");
+        assert_ne!(k1.hash128(), k2.hash128());
+    }
+}

@@ -15,7 +15,7 @@ pub enum Bound {
 }
 
 /// A roofline time estimate.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RooflineTime {
     /// Estimated execution time, seconds.
     pub seconds: f64,

@@ -1,0 +1,72 @@
+//! `serve` — the characterization query server.
+//!
+//! ```text
+//! serve [--addr 127.0.0.1:8080] [--threads N] [--cache-entries N]
+//!       [--queue-depth N] [--deadline-secs N]
+//! ```
+//!
+//! Runs until SIGTERM/SIGINT, then drains in-flight requests and exits.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use serve::flags::Flags;
+use serve::{ServeConfig, Server};
+
+const USAGE: &str = "usage: serve [--addr HOST:PORT] [--threads N] \
+[--cache-entries N] [--queue-depth N] [--deadline-secs N]
+  --addr           bind address (default 127.0.0.1:8080; port 0 = ephemeral)
+  --threads        worker threads (default: available parallelism)
+  --cache-entries  memoization cache capacity (default 1024)
+  --queue-depth    pending-request queue bound (default 256)
+  --deadline-secs  queued-request deadline (default 30)";
+
+fn parse_config(flags: &Flags) -> Result<ServeConfig, String> {
+    flags.check_known(&[
+        "--addr",
+        "--threads",
+        "--cache-entries",
+        "--queue-depth",
+        "--deadline-secs",
+        "--help",
+    ])?;
+    let defaults = ServeConfig::default();
+    Ok(ServeConfig {
+        addr: flags.get_or("--addr", defaults.addr)?,
+        threads: flags.get_or("--threads", defaults.threads)?,
+        cache_entries: flags.get_or("--cache-entries", defaults.cache_entries)?,
+        queue_depth: flags.get_or("--queue-depth", defaults.queue_depth)?,
+        deadline: Duration::from_secs(flags.get_or("--deadline-secs", 30u64)?),
+    })
+}
+
+fn main() -> ExitCode {
+    let flags = Flags::from_env();
+    if flags.switch("--help") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let config = match parse_config(&flags) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("serve: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let server = match Server::start(&config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: failed to bind {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "serve: listening on http://{} ({} workers, {}-entry cache)",
+        server.local_addr(),
+        config.threads,
+        config.cache_entries,
+    );
+    server.run_until_signal();
+    println!("serve: drained and stopped");
+    ExitCode::SUCCESS
+}

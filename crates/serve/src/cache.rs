@@ -1,0 +1,345 @@
+//! Sharded, content-addressed memoization cache with single-flight compute.
+//!
+//! Keys are [`frontier::QueryKey`] 128-bit content hashes; values are the
+//! rendered JSON response bodies (`Arc<String>`, so a hit is a hash lookup
+//! plus a refcount bump). Each shard is an independently locked LRU map, so
+//! concurrent queries for different keys contend only 1/N of the time.
+//!
+//! **Single-flight:** the first request for a key installs a `Pending` slot
+//! and computes outside the lock; concurrent requests for the same key block
+//! on the flight's condvar and receive the same `Arc` — an expensive
+//! characterization is computed exactly once no matter how many clients ask
+//! simultaneously. A panicking compute poisons nobody: the pending slot is
+//! removed, waiters get the error, and later requests recompute.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How a lookup was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Value was already resident.
+    Hit,
+    /// This request computed the value.
+    Miss,
+    /// Another in-flight request computed it; this one waited.
+    Coalesced,
+}
+
+type ComputeResult = Result<Arc<String>, String>;
+
+struct Flight {
+    done: Mutex<Option<ComputeResult>>,
+    cv: Condvar,
+}
+
+enum Slot {
+    Ready(Arc<String>),
+    Pending(Arc<Flight>),
+}
+
+struct Entry {
+    slot: Slot,
+    last_used: u64,
+}
+
+struct Shard {
+    map: HashMap<u128, Entry>,
+}
+
+/// Cache hit/miss/eviction counters (all monotonic).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Lookups satisfied from a resident value.
+    pub hits: AtomicU64,
+    /// Lookups that computed the value.
+    pub misses: AtomicU64,
+    /// Lookups that waited on another request's compute.
+    pub coalesced: AtomicU64,
+    /// Values evicted to stay under capacity.
+    pub evictions: AtomicU64,
+    /// Computes that failed (panicked or returned an error).
+    pub failures: AtomicU64,
+}
+
+/// The memoization cache.
+pub struct MemoCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    tick: AtomicU64,
+    /// Counters, exposed for `/v1/metrics`.
+    pub stats: CacheStats,
+}
+
+impl MemoCache {
+    /// A cache bounded to roughly `capacity` resident values, spread over
+    /// `shards` independently locked shards.
+    pub fn new(capacity: usize, shards: usize) -> MemoCache {
+        let shards = shards.clamp(1, 64);
+        let per_shard_capacity = capacity.div_ceil(shards).max(1);
+        MemoCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                    })
+                })
+                .collect(),
+            per_shard_capacity,
+            tick: AtomicU64::new(0),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Total resident (ready) values across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("cache shard lock")
+                    .map
+                    .values()
+                    .filter(|e| matches!(e.slot, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Nominal capacity (values).
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * self.shards.len()
+    }
+
+    fn shard_for(&self, key: u128) -> &Mutex<Shard> {
+        // High bits select the shard; the map hashes the full key.
+        let idx = ((key >> 96) as usize) % self.shards.len();
+        &self.shards[idx]
+    }
+
+    fn touch(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Look up `key`, computing the value with `compute` on a miss. Returns
+    /// the body and how it was obtained. `compute` errors (including
+    /// panics, reported as errors) are not cached.
+    pub fn get_or_compute(
+        &self,
+        key: u128,
+        compute: impl FnOnce() -> Result<String, String>,
+    ) -> (ComputeResult, Outcome) {
+        let flight: Arc<Flight>;
+        {
+            let mut shard = self.shard_for(key).lock().expect("cache shard lock");
+            match shard.map.get_mut(&key) {
+                Some(entry) => {
+                    entry.last_used = self.touch();
+                    match &entry.slot {
+                        Slot::Ready(value) => {
+                            let value = Arc::clone(value);
+                            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                            return (Ok(value), Outcome::Hit);
+                        }
+                        Slot::Pending(f) => {
+                            flight = Arc::clone(f);
+                            // fall through to wait outside the shard lock
+                        }
+                    }
+                }
+                None => {
+                    let f = Arc::new(Flight {
+                        done: Mutex::new(None),
+                        cv: Condvar::new(),
+                    });
+                    shard.map.insert(
+                        key,
+                        Entry {
+                            slot: Slot::Pending(Arc::clone(&f)),
+                            last_used: self.touch(),
+                        },
+                    );
+                    drop(shard);
+                    return (self.run_flight(key, f, compute), Outcome::Miss);
+                }
+            }
+        }
+        // Wait for the in-flight compute.
+        self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+        let mut done = flight.done.lock().expect("flight lock");
+        while done.is_none() {
+            done = flight.cv.wait(done).expect("flight wait");
+        }
+        (
+            done.as_ref().expect("flight finished").clone(),
+            Outcome::Coalesced,
+        )
+    }
+
+    fn run_flight(
+        &self,
+        key: u128,
+        flight: Arc<Flight>,
+        compute: impl FnOnce() -> Result<String, String>,
+    ) -> ComputeResult {
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let result: ComputeResult = match catch_unwind(AssertUnwindSafe(compute)) {
+            Ok(Ok(body)) => Ok(Arc::new(body)),
+            Ok(Err(e)) => Err(e),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(ToString::to_string)
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "computation panicked".into());
+                Err(format!("computation panicked: {msg}"))
+            }
+        };
+        if result.is_err() {
+            self.stats.failures.fetch_add(1, Ordering::Relaxed);
+        }
+        {
+            let mut shard = self.shard_for(key).lock().expect("cache shard lock");
+            match &result {
+                Ok(value) => {
+                    if let Some(entry) = shard.map.get_mut(&key) {
+                        entry.slot = Slot::Ready(Arc::clone(value));
+                        entry.last_used = self.touch();
+                    }
+                    self.evict_if_needed(&mut shard);
+                }
+                Err(_) => {
+                    // Drop the pending slot so a later request retries.
+                    shard.map.remove(&key);
+                }
+            }
+        }
+        // Wake everyone coalesced on this flight.
+        *flight.done.lock().expect("flight lock") = Some(result.clone());
+        flight.cv.notify_all();
+        result
+    }
+
+    /// Evict least-recently-used *ready* entries until the shard is at
+    /// capacity. Pending flights are never evicted.
+    fn evict_if_needed(&self, shard: &mut Shard) {
+        loop {
+            let ready = shard
+                .map
+                .values()
+                .filter(|e| matches!(e.slot, Slot::Ready(_)))
+                .count();
+            if ready <= self.per_shard_capacity {
+                return;
+            }
+            let Some((&victim, _)) = shard
+                .map
+                .iter()
+                .filter(|(_, e)| matches!(e.slot, Slot::Ready(_)))
+                .min_by_key(|(_, e)| e.last_used)
+            else {
+                return;
+            };
+            shard.map.remove(&victim);
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Hit rate over all lookups so far (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let hits =
+            self.stats.hits.load(Ordering::Relaxed) + self.stats.coalesced.load(Ordering::Relaxed);
+        let total = hits + self.stats.misses.load(Ordering::Relaxed);
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn second_lookup_hits_with_identical_value() {
+        let cache = MemoCache::new(8, 2);
+        let (first, o1) = cache.get_or_compute(42, || Ok("body".into()));
+        let (second, o2) = cache.get_or_compute(42, || Ok("OTHER".into()));
+        assert_eq!(o1, Outcome::Miss);
+        assert_eq!(o2, Outcome::Hit);
+        assert!(Arc::ptr_eq(&first.expect("ok"), &second.expect("ok")));
+        assert_eq!(cache.stats.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.stats.misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn concurrent_identical_queries_compute_once() {
+        let cache = Arc::new(MemoCache::new(8, 4));
+        let computes = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let cache = Arc::clone(&cache);
+            let computes = Arc::clone(&computes);
+            handles.push(std::thread::spawn(move || {
+                let (value, _) = cache.get_or_compute(7, || {
+                    computes.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    Ok("expensive".into())
+                });
+                value.expect("ok")
+            }));
+        }
+        let values: Vec<Arc<String>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect();
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "single-flight");
+        assert!(values.iter().all(|v| v.as_str() == "expensive"));
+    }
+
+    #[test]
+    fn capacity_bound_evicts_lru() {
+        let cache = MemoCache::new(4, 1);
+        for key in 0..8u128 {
+            let (v, _) = cache.get_or_compute(key, || Ok(format!("v{key}")));
+            v.expect("ok");
+        }
+        assert!(cache.len() <= 4, "len {} over capacity", cache.len());
+        assert!(cache.stats.evictions.load(Ordering::Relaxed) >= 4);
+        // The most recent key is still resident.
+        let (_, outcome) = cache.get_or_compute(7, || Ok("recomputed".into()));
+        assert_eq!(outcome, Outcome::Hit);
+    }
+
+    #[test]
+    fn failed_computes_are_not_cached_and_retry() {
+        let cache = MemoCache::new(8, 1);
+        let (r1, _) = cache.get_or_compute(1, || Err("boom".into()));
+        assert!(r1.is_err());
+        let (r2, outcome) = cache.get_or_compute(1, || Ok("recovered".into()));
+        assert_eq!(outcome, Outcome::Miss);
+        assert_eq!(r2.expect("ok").as_str(), "recovered");
+        assert_eq!(cache.stats.failures.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn panicking_computes_become_errors() {
+        let cache = MemoCache::new(8, 1);
+        let (r, _) = cache.get_or_compute(2, || panic!("kaboom"));
+        let err = r.expect_err("panic becomes error");
+        assert!(err.contains("kaboom"), "{err}");
+        // Cache stays usable.
+        let (r2, _) = cache.get_or_compute(2, || Ok("fine".into()));
+        assert_eq!(r2.expect("ok").as_str(), "fine");
+    }
+}

@@ -1,0 +1,237 @@
+//! Minimal HTTP/1.1 request parsing and response writing over `std::net`.
+//!
+//! Only what the query API needs: `GET`/`HEAD`, a path + query target, and
+//! headers we ignore (except for reading until the blank line). Every
+//! malformed input path returns a structured [`HttpError`] → the caller
+//! renders a JSON 400; oversized or slow requests are bounded by a byte cap
+//! and socket read timeout. Responses always carry `Content-Length` and
+//! `Connection: close`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// How long a client may dribble its request head.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A parse-level failure with the status it should produce.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HttpError {
+    /// Status code (400, 405, 414, 431, 505…).
+    pub status: u16,
+    /// Machine-readable code.
+    pub code: &'static str,
+    /// Human detail.
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, code: &'static str, message: impl Into<String>) -> HttpError {
+        HttpError {
+            status,
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// `GET` or `HEAD`.
+    pub method: String,
+    /// Decoded path component (no query).
+    pub path: String,
+    /// Raw query string (after `?`, may be empty).
+    pub query: String,
+}
+
+/// Read and parse one request head from `stream`.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(HttpError::new(
+                431,
+                "head_too_large",
+                "request head over 8 KiB",
+            ));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| HttpError::new(400, "read_failed", e.to_string()))?;
+        if n == 0 {
+            return Err(HttpError::new(
+                400,
+                "truncated",
+                "connection closed mid-request",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if find_head_end(&buf).is_some() {
+            break;
+        }
+    }
+    let head_end = find_head_end(&buf).expect("checked");
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::new(400, "bad_encoding", "request head is not UTF-8"))?;
+    parse_request_line(head.lines().next().unwrap_or(""))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").or_else(|| {
+        // Be lenient with bare-LF clients (telnet, printf tests).
+        buf.windows(2).position(|w| w == b"\n\n")
+    })
+}
+
+/// Parse `GET /path?query HTTP/1.1`.
+pub fn parse_request_line(line: &str) -> Result<Request, HttpError> {
+    let mut parts = line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::new(
+            400,
+            "bad_request_line",
+            format!("malformed request line {line:?}"),
+        ));
+    };
+    if method.is_empty() || target.is_empty() {
+        return Err(HttpError::new(
+            400,
+            "bad_request_line",
+            "empty method or target",
+        ));
+    }
+    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return Err(HttpError::new(
+            505,
+            "bad_version",
+            format!("unsupported version {version:?}"),
+        ));
+    }
+    if !matches!(method, "GET" | "HEAD") {
+        return Err(HttpError::new(
+            405,
+            "method_not_allowed",
+            format!("method {method} not allowed; use GET"),
+        ));
+    }
+    if target.len() > 4096 {
+        return Err(HttpError::new(
+            414,
+            "uri_too_long",
+            "request target over 4096 bytes",
+        ));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::new(
+            400,
+            "bad_target",
+            format!("target {target:?} must be absolute"),
+        ));
+    }
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query: query.to_string(),
+    })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        414 => "URI Too Long",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Response",
+    }
+}
+
+/// Write a JSON response. `head_only` elides the body (HEAD requests).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    cache_state: Option<&str>,
+    head_only: bool,
+) -> std::io::Result<()> {
+    let _ = stream.set_write_timeout(Some(READ_TIMEOUT));
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        reason(status),
+        body.len(),
+    );
+    if let Some(state) = cache_state {
+        head.push_str("x-cache: ");
+        head.push_str(state);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    if !head_only {
+        stream.write_all(body.as_bytes())?;
+    }
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_target_with_query() {
+        let r = parse_request_line("GET /v1/characterize?domain=wordlm HTTP/1.1").expect("ok");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/v1/characterize");
+        assert_eq!(r.query, "domain=wordlm");
+        let r = parse_request_line("HEAD / HTTP/1.0").expect("ok");
+        assert_eq!(r.method, "HEAD");
+        assert_eq!(r.query, "");
+    }
+
+    #[test]
+    fn malformed_request_lines_are_structured_errors() {
+        assert_eq!(parse_request_line("").unwrap_err().status, 400);
+        assert_eq!(parse_request_line("GET").unwrap_err().status, 400);
+        assert_eq!(parse_request_line("GET /").unwrap_err().status, 400);
+        assert_eq!(
+            parse_request_line("GET / HTTP/1.1 extra")
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            parse_request_line("POST / HTTP/1.1").unwrap_err().status,
+            405
+        );
+        assert_eq!(parse_request_line("GET / SPDY/9").unwrap_err().status, 505);
+        assert_eq!(
+            parse_request_line("GET noslash HTTP/1.1")
+                .unwrap_err()
+                .status,
+            400
+        );
+        let long = format!("GET /{} HTTP/1.1", "a".repeat(5000));
+        assert_eq!(parse_request_line(&long).unwrap_err().status, 414);
+    }
+
+    #[test]
+    fn head_end_detection_handles_both_line_endings() {
+        assert!(find_head_end(b"GET / HTTP/1.1\r\n\r\n").is_some());
+        assert!(find_head_end(b"GET / HTTP/1.1\n\n").is_some());
+        assert!(find_head_end(b"GET / HTTP/1.1\r\n").is_none());
+    }
+}

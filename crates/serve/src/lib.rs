@@ -1,0 +1,256 @@
+//! Concurrent HTTP/1.1 JSON query server over the characterization
+//! pipeline.
+//!
+//! The paper's analyses (characterization sweeps, frontier projections,
+//! subbatch selection, parallelism planning) are deterministic pure
+//! functions of `(domain, model config, bindings)` — ideal memoization
+//! targets. This crate serves them over plain `std::net` sockets:
+//!
+//! ```text
+//! accept loop (nonblocking, polls shutdown flag)
+//!   └─ bounded worker pool ──► http parse ──► route dispatch
+//!                                               └─ sharded single-flight
+//!                                                  memo cache ──► analysis
+//! ```
+//!
+//! Everything is `std`-only: hand-rolled HTTP, JSON, histogram, LRU. See
+//! `DESIGN.md` § "Serving layer" for the reasoning behind the cache keying
+//! and shutdown semantics.
+
+pub mod cache;
+pub mod flags;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod pool;
+pub mod query;
+pub mod routes;
+pub mod signal;
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use roofline::Accelerator;
+
+use cache::MemoCache;
+use metrics::Metrics;
+use pool::{SubmitError, WorkerPool};
+
+/// Server construction parameters (see the `serve` binary's flags).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:8080`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub threads: usize,
+    /// Memoization cache capacity, in resident response bodies.
+    pub cache_entries: usize,
+    /// Bounded queue depth between accept loop and workers.
+    pub queue_depth: usize,
+    /// Per-request deadline: a connection still queued after this long is
+    /// answered 503 instead of computed.
+    pub deadline: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            threads: std::thread::available_parallelism().map_or(4, usize::from),
+            cache_entries: 1024,
+            queue_depth: 256,
+            deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Shared server state: the cache, metrics, and the reference accelerator
+/// all roofline-derived endpoints price against.
+pub struct AppState {
+    /// Memoized response bodies.
+    pub cache: MemoCache,
+    /// Request counters and latency histogram.
+    pub metrics: Metrics,
+    /// Reference accelerator (Table 4's V100-like part).
+    pub accel: Accelerator,
+    /// Server start time (for uptime reporting).
+    pub started: Instant,
+    /// Queued-request deadline.
+    pub deadline: Duration,
+}
+
+/// A running server. Dropping it (or calling [`Server::shutdown`]) stops
+/// accepting, drains in-flight requests, and joins every thread.
+pub struct Server {
+    state: Arc<AppState>,
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start accepting.
+    pub fn start(config: &ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shards = config.threads.clamp(1, 16);
+        let state = Arc::new(AppState {
+            cache: MemoCache::new(config.cache_entries.max(1), shards),
+            metrics: Metrics::default(),
+            accel: Accelerator::v100_like(),
+            started: Instant::now(),
+            deadline: config.deadline,
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            let pool = WorkerPool::new(config.threads, config.queue_depth);
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(&listener, &state, &stop, pool))
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            state,
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Shared state handle (tests inspect metrics through this).
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued and in-flight
+    /// requests, join all threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Serve until SIGTERM/SIGINT, then shut down gracefully.
+    pub fn run_until_signal(mut self) {
+        signal::install();
+        while !signal::requested() && !self.stop.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    state: &Arc<AppState>,
+    stop: &Arc<AtomicBool>,
+    mut pool: WorkerPool,
+) {
+    while !stop.load(Ordering::SeqCst) && !signal::requested() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let accepted_at = Instant::now();
+                let job_state = Arc::clone(state);
+                let job_stream = stream;
+                let submitted = pool.submit(move || {
+                    handle_connection(&job_state, job_stream, accepted_at);
+                });
+                match submitted {
+                    Ok(()) => {}
+                    Err(SubmitError::QueueFull | SubmitError::ShuttingDown) => {
+                        state
+                            .metrics
+                            .rejected_queue_full
+                            .fetch_add(1, Ordering::Relaxed);
+                        // The job (and its stream) was dropped; nothing more
+                        // to send — the client sees a closed connection,
+                        // which is the honest overload signal at this layer.
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => {
+                // Transient accept errors (ECONNABORTED etc.): keep serving.
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    // Drain: queued connections still get answers, then workers exit.
+    pool.shutdown();
+}
+
+/// Handle one connection end to end (runs on a worker thread).
+fn handle_connection(state: &Arc<AppState>, mut stream: TcpStream, accepted_at: Instant) {
+    state.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+    // The stream arrived nonblocking from the nonblocking listener; request
+    // handling wants blocking reads bounded by timeouts.
+    let _ = stream.set_nonblocking(false);
+    if accepted_at.elapsed() > state.deadline {
+        state
+            .metrics
+            .rejected_deadline
+            .fetch_add(1, Ordering::Relaxed);
+        let body = query::ApiError {
+            status: 503,
+            code: "deadline_exceeded",
+            message: "request sat in queue past its deadline".to_string(),
+        }
+        .body()
+        .render();
+        let _ = http::write_response(&mut stream, 503, &body, None, false);
+        finish(state, 503, accepted_at);
+        return;
+    }
+    match http::read_request(&mut stream) {
+        Ok(req) => {
+            let head_only = req.method == "HEAD";
+            let routed = routes::dispatch(state, &req);
+            let _ = http::write_response(
+                &mut stream,
+                routed.status,
+                &routed.body,
+                routed.cache_state,
+                head_only,
+            );
+            finish(state, routed.status, accepted_at);
+        }
+        Err(e) => {
+            let body = query::ApiError {
+                status: e.status,
+                code: e.code,
+                message: e.message,
+            }
+            .body()
+            .render();
+            let _ = http::write_response(&mut stream, e.status, &body, None, false);
+            finish(state, e.status, accepted_at);
+        }
+    }
+}
+
+fn finish(state: &Arc<AppState>, status: u16, accepted_at: Instant) {
+    let elapsed_us = u64::try_from(accepted_at.elapsed().as_micros()).unwrap_or(u64::MAX);
+    state.metrics.record_response(status, elapsed_us);
+    state.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+}

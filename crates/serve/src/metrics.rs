@@ -1,0 +1,183 @@
+//! Request counters and a hand-rolled latency histogram.
+//!
+//! The histogram is log₂-bucketed in microseconds (64 buckets cover 1 µs to
+//! ~150 minutes), all-atomic, so recording is lock-free and quantiles are a
+//! cumulative walk. Quantile answers are the upper bound of the bucket the
+//! rank falls in — ≤ 2× relative error, plenty for p50/p95/p99 reporting.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const BUCKETS: usize = 64;
+
+/// Lock-free log₂ latency histogram (microsecond resolution).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(us: u64) -> usize {
+        // Bucket i holds [2^i, 2^(i+1)) µs; bucket 0 holds 0–1 µs.
+        (63 - u64::leading_zeros(us.max(1)) as usize).min(BUCKETS - 1)
+    }
+
+    /// Record one observation.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Largest observation in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile (`q` in 0..=1) in microseconds: the upper bound
+    /// of the bucket containing the rank, clamped to the observed max.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return upper.min(self.max_us());
+            }
+        }
+        self.max_us()
+    }
+}
+
+/// Server-wide metrics.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Total requests (all endpoints, all statuses).
+    pub requests: AtomicU64,
+    /// Requests per endpoint label. A coarse mutex is fine: the hot path
+    /// takes it for one BTreeMap bump per request.
+    pub endpoint_counts: Mutex<BTreeMap<String, u64>>,
+    /// Responses by status class: [2xx, 4xx, 5xx, other].
+    pub by_class: [AtomicU64; 4],
+    /// Requests currently being handled.
+    pub in_flight: AtomicU64,
+    /// Requests refused because the queue was full.
+    pub rejected_queue_full: AtomicU64,
+    /// Requests refused because their deadline passed while queued.
+    pub rejected_deadline: AtomicU64,
+    /// End-to-end request latency.
+    pub latency: Histogram,
+}
+
+impl Metrics {
+    /// Count a request against its endpoint label.
+    pub fn record_endpoint(&self, endpoint: &str) {
+        let mut counts = self.endpoint_counts.lock().expect("endpoint counts lock");
+        *counts.entry(endpoint.to_string()).or_insert(0) += 1;
+    }
+
+    /// Record a finished request.
+    pub fn record_response(&self, status: u16, elapsed_us: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let class = match status {
+            200..=299 => 0,
+            400..=499 => 1,
+            500..=599 => 2,
+            _ => 3,
+        };
+        self.by_class[class].fetch_add(1, Ordering::Relaxed);
+        self.latency.record_us(elapsed_us);
+    }
+
+    /// Count of responses in the given class index ([2xx, 4xx, 5xx, other]).
+    pub fn class_count(&self, class: usize) -> u64 {
+        self.by_class[class].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let h = Histogram::default();
+        for us in [10u64, 10, 10, 10, 10, 10, 10, 10, 10, 5000] {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 10);
+        // p50 lands in the 8–15 µs bucket.
+        assert!(h.quantile_us(0.5) <= 15, "{}", h.quantile_us(0.5));
+        // p99 must reflect the outlier (clamped to max).
+        assert_eq!(h.quantile_us(0.99), 5000);
+        assert_eq!(h.max_us(), 5000);
+        assert!((h.mean_us() - 509.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow() {
+        let h = Histogram::default();
+        h.record_us(u64::MAX);
+        assert_eq!(h.quantile_us(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn status_classes_bucket_correctly() {
+        let m = Metrics::default();
+        m.record_response(200, 10);
+        m.record_response(404, 10);
+        m.record_response(503, 10);
+        m.record_response(200, 10);
+        assert_eq!(m.class_count(0), 2);
+        assert_eq!(m.class_count(1), 1);
+        assert_eq!(m.class_count(2), 1);
+        assert_eq!(m.requests.load(Ordering::Relaxed), 4);
+    }
+}

@@ -1,0 +1,207 @@
+//! Fixed-size worker thread pool with a bounded job queue and graceful
+//! drain.
+//!
+//! The accept loop pushes jobs; `submit` fails fast when the queue is full
+//! (the caller turns that into an HTTP 503) or after shutdown began (refuse
+//! new work). `shutdown` drains: queued jobs still run, workers exit once
+//! the queue is empty, and `join` blocks until every in-flight job
+//! finished.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Why a job was not accepted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity.
+    QueueFull,
+    /// The pool is shutting down and refuses new work.
+    ShuttingDown,
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutting_down: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    available: Condvar,
+    capacity: usize,
+}
+
+/// The pool handle.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `threads` workers sharing a queue bounded to `queue_depth`.
+    pub fn new(threads: usize, queue_depth: usize) -> WorkerPool {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                shutting_down: false,
+            }),
+            available: Condvar::new(),
+            capacity: queue_depth.max(1),
+        });
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Enqueue a job, failing fast when full or shutting down.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
+        let mut queue = self.shared.queue.lock().expect("pool queue lock");
+        if queue.shutting_down {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if queue.jobs.len() >= self.shared.capacity {
+            return Err(SubmitError::QueueFull);
+        }
+        queue.jobs.push_back(Box::new(job));
+        drop(queue);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Current queue depth.
+    pub fn queued(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("pool queue lock")
+            .jobs
+            .len()
+    }
+
+    /// Begin graceful shutdown: refuse new jobs, let queued jobs drain, then
+    /// join every worker. Idempotent.
+    pub fn shutdown(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue lock");
+            queue.shutting_down = true;
+        }
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue lock");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.shutting_down {
+                    return;
+                }
+                queue = shared.available.wait(queue).expect("pool queue wait");
+            }
+        };
+        // A panicking job must not kill the worker.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn runs_submitted_jobs() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut pool = WorkerPool::new(4, 64);
+        for _ in 0..32 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+            .expect("submit");
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overflow() {
+        let pool = WorkerPool::new(1, 2);
+        let block = Arc::new(Mutex::new(()));
+        let guard = block.lock().expect("lock");
+        // One job occupies the worker, two fill the queue, the next must
+        // bounce.
+        let mut rejected = 0;
+        for _ in 0..8 {
+            let block = Arc::clone(&block);
+            if pool
+                .submit(move || {
+                    let _wait = block.lock().expect("lock");
+                })
+                .is_err()
+            {
+                rejected += 1;
+            }
+        }
+        assert!(rejected >= 5, "rejected {rejected}");
+        drop(guard);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs_and_refuses_new() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut pool = WorkerPool::new(2, 64);
+        for _ in 0..16 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                std::thread::sleep(Duration::from_millis(2));
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+            .expect("submit");
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 16, "queued jobs drained");
+        assert_eq!(
+            pool.submit(|| {}).unwrap_err(),
+            SubmitError::ShuttingDown,
+            "new work refused after shutdown"
+        );
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_workers() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut pool = WorkerPool::new(1, 8);
+        pool.submit(|| panic!("job panic")).expect("submit");
+        let d = Arc::clone(&done);
+        pool.submit(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        })
+        .expect("submit");
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,451 @@
+//! Endpoint handlers: URL → (validated query) → memoized analysis → JSON.
+//!
+//! Expensive endpoints (`characterize`, `project`, `subbatch`, `plan`) run
+//! through the [`MemoCache`](crate::cache::MemoCache) keyed by
+//! [`frontier::QueryKey`], so a repeat query is a hash lookup returning the
+//! byte-identical body. `healthz` and `metrics` are always live.
+
+use std::sync::atomic::Ordering;
+
+use analysis::{characterize, fig11_batches, frontier_row, subbatch_analysis};
+use frontier::QueryKey;
+use modelzoo::{Domain, ModelConfig};
+use parsim::{
+    plan as parallelism_plan, CommConfig, ModelParallelism, Plan, PlanRequest, Stage, WorkerStep,
+};
+use scaling::scaling_for;
+
+use crate::cache::Outcome;
+use crate::http::Request;
+use crate::json::Json;
+use crate::query::{ApiError, Query};
+use crate::AppState;
+
+/// Bounds on user-supplied model scale, keeping hostile queries from
+/// requesting a graph build that exhausts the machine.
+const MIN_PARAMS: u64 = 100_000;
+const MAX_PARAMS: u64 = 200_000_000_000;
+const MAX_SUBBATCH: u64 = 1 << 20;
+/// Accelerator-count search caps for `/v1/plan`.
+const MAX_ACCELS: u64 = 1 << 22;
+
+/// One endpoint's handler function.
+type Handler = fn(&AppState, &Query) -> Result<Routed, ApiError>;
+
+/// A routed response, ready to serialize.
+pub struct Routed {
+    /// HTTP status.
+    pub status: u16,
+    /// JSON body.
+    pub body: String,
+    /// `hit` / `miss` / `coalesced` for cacheable endpoints.
+    pub cache_state: Option<&'static str>,
+    /// Endpoint label for metrics.
+    pub endpoint: &'static str,
+}
+
+impl Routed {
+    fn ok(body: String, endpoint: &'static str) -> Routed {
+        Routed {
+            status: 200,
+            body,
+            cache_state: None,
+            endpoint,
+        }
+    }
+
+    fn err(e: &ApiError, endpoint: &'static str) -> Routed {
+        Routed {
+            status: e.status,
+            body: e.body().render(),
+            cache_state: None,
+            endpoint,
+        }
+    }
+}
+
+/// Dispatch one parsed request.
+pub fn dispatch(state: &AppState, req: &Request) -> Routed {
+    let _span = obs::span("serve.request").with_arg("path", req.path.as_str());
+    let (endpoint, handler): (&'static str, Handler) = match req.path.as_str() {
+        "/v1/characterize" => ("characterize", characterize_route),
+        "/v1/project" => ("project", project_route),
+        "/v1/subbatch" => ("subbatch", subbatch_route),
+        "/v1/plan" => ("plan", plan_route),
+        "/v1/healthz" => ("healthz", healthz_route),
+        "/v1/metrics" => ("metrics", metrics_route),
+        "/" | "/v1" => ("index", index_route),
+        _ => {
+            let e = ApiError {
+                status: 404,
+                code: "not_found",
+                message: format!("no route for {:?}", req.path),
+            };
+            return Routed::err(&e, "unknown");
+        }
+    };
+    state.metrics.record_endpoint(endpoint);
+    let result = Query::parse(&req.query).and_then(|q| handler(state, &q));
+    match result {
+        Ok(routed) => routed,
+        Err(e) => Routed::err(&e, endpoint),
+    }
+}
+
+/// Run `render` through the memo cache under `key`.
+fn memoized(
+    state: &AppState,
+    key: &QueryKey,
+    endpoint: &'static str,
+    render: impl FnOnce() -> Json,
+) -> Result<Routed, ApiError> {
+    let (result, outcome) = state
+        .cache
+        .get_or_compute(key.hash128(), || Ok(render().render()));
+    let cache_state = match outcome {
+        Outcome::Hit => "hit",
+        Outcome::Miss => "miss",
+        Outcome::Coalesced => "coalesced",
+    };
+    match result {
+        Ok(body) => Ok(Routed {
+            status: 200,
+            body: body.as_str().to_string(),
+            cache_state: Some(cache_state),
+            endpoint,
+        }),
+        Err(message) => Err(ApiError {
+            status: 500,
+            code: "compute_failed",
+            message,
+        }),
+    }
+}
+
+fn bounded_params(q: &Query) -> Result<Option<u64>, ApiError> {
+    let Some(params) = q.opt::<u64>("params")? else {
+        return Ok(None);
+    };
+    if !(MIN_PARAMS..=MAX_PARAMS).contains(&params) {
+        return Err(ApiError::bad_request(
+            "params_out_of_range",
+            format!("params must be in {MIN_PARAMS}..={MAX_PARAMS}, got {params}"),
+        ));
+    }
+    Ok(Some(params))
+}
+
+fn config_for(domain: Domain, params: Option<u64>) -> ModelConfig {
+    let cfg = ModelConfig::default_for(domain);
+    match params {
+        Some(target) => cfg.with_target_params(target),
+        None => cfg,
+    }
+}
+
+// ---------------------------------------------------------------- endpoints
+
+/// `GET /v1/characterize?domain=&params=&subbatch=` — one Table 2 / Figures
+/// 7–10 measurement.
+fn characterize_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
+    q.check_known(&["domain", "params", "subbatch"])?;
+    let domain = q.domain()?;
+    let params = bounded_params(q)?;
+    let subbatch = q
+        .opt::<u64>("subbatch")?
+        .unwrap_or_else(|| domain.default_subbatch());
+    if !(1..=MAX_SUBBATCH).contains(&subbatch) {
+        return Err(ApiError::bad_request(
+            "subbatch_out_of_range",
+            format!("subbatch must be in 1..={MAX_SUBBATCH}, got {subbatch}"),
+        ));
+    }
+    let cfg = config_for(domain, params);
+    let bindings = symath::Bindings::new().with(modelzoo::BATCH_SYM, subbatch as f64);
+    let key = QueryKey::new("characterize")
+        .config(&cfg)
+        .bindings(&bindings);
+    memoized(state, &key, "characterize", move || {
+        let point = characterize(&cfg, subbatch);
+        Json::obj()
+            .set("domain", domain.key())
+            .set("subbatch", subbatch)
+            .set(
+                "point",
+                Json::obj()
+                    .set("params", point.params)
+                    .set("flops_per_step", point.flops_per_step)
+                    .set("flops_per_sample", point.flops_per_sample)
+                    .set("bytes_per_step", point.bytes_per_step)
+                    .set("op_intensity", point.op_intensity)
+                    .set("footprint_bytes", point.footprint_bytes)
+                    .set("seq_len", point.seq_len),
+            )
+    })
+}
+
+/// `GET /v1/project?domain=` — Table 1 projection + Table 3 frontier row.
+fn project_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
+    q.check_known(&["domain"])?;
+    let domain = q.domain()?;
+    let key = QueryKey::new("project")
+        .domain(domain)
+        .field("accel", &state.accel.name);
+    let accel = state.accel.clone();
+    memoized(state, &key, "project", move || {
+        let projection = scaling_for(domain).project();
+        let row = frontier_row(domain, &accel);
+        Json::obj()
+            .set("domain", domain.key())
+            .set("label", domain.label())
+            .set(
+                "projection",
+                Json::obj()
+                    .set("data_scale", projection.data_scale)
+                    .set("model_scale", projection.model_scale)
+                    .set("target_data_samples", projection.target_data_samples)
+                    .set("target_data_gb", projection.target_data_gb)
+                    .set("target_params", projection.target_params),
+            )
+            .set(
+                "requirements",
+                Json::obj()
+                    .set("built_params", row.built_params)
+                    .set("subbatch", row.subbatch)
+                    .set("tflops_per_step", row.tflops_per_step)
+                    .set("mem_tb_per_step", row.mem_tb_per_step)
+                    .set("min_mem_gb", row.min_mem_gb)
+                    .set("step_seconds", row.step.seconds)
+                    .set("step_bound", format!("{:?}", row.step.bound))
+                    .set("flop_utilization", row.step.flop_utilization)
+                    .set("epoch_days", row.epoch_days),
+            )
+    })
+}
+
+/// `GET /v1/subbatch?domain=&params=` — Figure 11 sweep + points of
+/// interest. Defaults to the frontier-scale model of the domain.
+fn subbatch_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
+    q.check_known(&["domain", "params"])?;
+    let domain = q.domain()?;
+    let params = bounded_params(q)?;
+    let target =
+        params.unwrap_or_else(|| scaling_for(domain).project().target_params.round() as u64);
+    let cfg =
+        ModelConfig::default_for(domain).with_target_params(target.clamp(MIN_PARAMS, MAX_PARAMS));
+    let key = QueryKey::new("subbatch")
+        .config(&cfg)
+        .field("accel", &state.accel.name);
+    let accel = state.accel.clone();
+    memoized(state, &key, "subbatch", move || {
+        let analysis = subbatch_analysis(&cfg, &fig11_batches(), &accel, false);
+        let points: Vec<Json> = analysis
+            .points
+            .iter()
+            .map(|p| {
+                Json::obj()
+                    .set("batch", p.batch)
+                    .set("op_intensity", p.op_intensity)
+                    .set("step_seconds", p.step_seconds)
+                    .set("sec_per_sample", p.sec_per_sample)
+            })
+            .collect();
+        Json::obj()
+            .set("domain", domain.key())
+            .set("params", cfg.param_formula())
+            .set("chosen", analysis.chosen)
+            .set("saturation", analysis.saturation)
+            .set(
+                "ridge_match",
+                analysis.ridge_match.map_or(Json::Null, Json::Num),
+            )
+            .set("intensity_limit", analysis.intensity_limit)
+            .set("points", points)
+    })
+}
+
+/// Derive a [`PlanRequest`] for a domain's frontier model from its Table 3
+/// row: per-worker step profile, footprint split into just enough equal
+/// layer stages that one stage fits an accelerator, and a power-of-two
+/// worker search capped at `max_accels`.
+fn plan_request_for(
+    row: &analysis::FrontierRow,
+    accel: &roofline::Accelerator,
+    target_epoch_days: f64,
+    max_accels: u64,
+) -> PlanRequest {
+    let samples_per_step = row.data_samples * row.step.seconds / (row.epoch_days * 86_400.0);
+    let step = WorkerStep {
+        compute_seconds: row.step.seconds,
+        alg_flops: row.tflops_per_step * 1e12,
+        gradient_bytes: 4.0 * row.built_params,
+        samples_per_step,
+    };
+    let footprint_bytes = row.min_mem_gb * 1e9;
+    let usable = accel.mem_capacity * 0.8;
+    let n_stages = ((footprint_bytes / (usable * 0.9)).ceil() as usize).max(1);
+    let stages: Vec<Stage> = (0..n_stages)
+        .map(|i| Stage {
+            name: format!("stage{i}"),
+            weight_bytes: footprint_bytes * 0.5 / n_stages as f64,
+            activation_bytes: footprint_bytes * 0.5 / n_stages as f64,
+        })
+        .collect();
+    let worker_candidates: Vec<u64> = (0..=22)
+        .map(|i| 1u64 << i)
+        .filter(|&w| w.saturating_mul(n_stages as u64) <= max_accels)
+        .collect();
+    PlanRequest {
+        step,
+        footprint_bytes,
+        stages,
+        dataset_samples: row.data_samples,
+        target_epoch_days,
+        usable_mem_fraction: 0.8,
+        worker_candidates,
+        model_parallelism: ModelParallelism::LayerPipeline { microbatches: 2 },
+    }
+}
+
+fn plan_json(plan: &Plan) -> Json {
+    Json::obj()
+        .set("dp_workers", plan.dp_workers)
+        .set("mp_ways", plan.mp_ways)
+        .set("total_accelerators", plan.total_accelerators)
+        .set("step_seconds", plan.step_seconds)
+        .set("epoch_days", plan.epoch_days)
+        .set("flop_utilization", plan.flop_utilization)
+        .set("mem_per_accel_gb", plan.mem_per_accel_gb)
+}
+
+/// `GET /v1/plan?domain=&accels=&days=` — auto-parallelism plan for the
+/// domain's frontier model: fewest accelerators (≤ `accels`) meeting the
+/// `days` epoch deadline (default 7).
+fn plan_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
+    q.check_known(&["domain", "accels", "days"])?;
+    let domain = q.domain()?;
+    let max_accels = q.opt::<u64>("accels")?.unwrap_or(16_384);
+    if !(1..=MAX_ACCELS).contains(&max_accels) {
+        return Err(ApiError::bad_request(
+            "accels_out_of_range",
+            format!("accels must be in 1..={MAX_ACCELS}, got {max_accels}"),
+        ));
+    }
+    let days = q.opt::<f64>("days")?.unwrap_or(7.0);
+    if !days.is_finite() || days <= 0.0 || days > 100_000.0 {
+        return Err(ApiError::bad_request(
+            "days_out_of_range",
+            format!("days must be a positive number of days, got {days}"),
+        ));
+    }
+    let key = QueryKey::new("plan")
+        .domain(domain)
+        .field("accels", max_accels)
+        .field("days", format!("{days:?}"))
+        .field("accel", &state.accel.name);
+    let accel = state.accel.clone();
+    memoized(state, &key, "plan", move || {
+        let row = frontier_row(domain, &accel);
+        let request = plan_request_for(&row, &accel, days, max_accels);
+        let result = parallelism_plan(&request, &accel, &CommConfig::default());
+        let base = Json::obj()
+            .set("domain", domain.key())
+            .set("target_epoch_days", days)
+            .set("max_accelerators", max_accels)
+            .set("stages", request.stages.len())
+            .set("single_worker_epoch_days", row.epoch_days)
+            .set("feasible", result.is_some());
+        match result {
+            Some(plan) => base.set("plan", plan_json(&plan)),
+            None => base.set("plan", Json::Null),
+        }
+    })
+}
+
+/// `GET /v1/healthz` — liveness.
+fn healthz_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
+    q.check_known(&[])?;
+    let body = Json::obj()
+        .set("status", "ok")
+        .set("uptime_seconds", state.started.elapsed().as_secs_f64())
+        .render();
+    Ok(Routed::ok(body, "healthz"))
+}
+
+/// `GET /v1/metrics` — request counts, cache effectiveness, latency
+/// quantiles.
+fn metrics_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
+    q.check_known(&[])?;
+    let m = &state.metrics;
+    let c = &state.cache.stats;
+    let lat = &m.latency;
+    let by_endpoint = m
+        .endpoint_counts
+        .lock()
+        .expect("endpoint counts lock")
+        .iter()
+        .fold(Json::obj(), |acc, (name, count)| acc.set(name, *count));
+    let body = Json::obj()
+        .set("uptime_seconds", state.started.elapsed().as_secs_f64())
+        .set(
+            "requests",
+            Json::obj()
+                .set("total", m.requests.load(Ordering::Relaxed))
+                .set("in_flight", m.in_flight.load(Ordering::Relaxed))
+                .set("status_2xx", m.class_count(0))
+                .set("status_4xx", m.class_count(1))
+                .set("status_5xx", m.class_count(2))
+                .set(
+                    "rejected_queue_full",
+                    m.rejected_queue_full.load(Ordering::Relaxed),
+                )
+                .set(
+                    "rejected_deadline",
+                    m.rejected_deadline.load(Ordering::Relaxed),
+                )
+                .set("by_endpoint", by_endpoint),
+        )
+        .set(
+            "cache",
+            Json::obj()
+                .set("entries", state.cache.len())
+                .set("capacity", state.cache.capacity())
+                .set("hits", c.hits.load(Ordering::Relaxed))
+                .set("misses", c.misses.load(Ordering::Relaxed))
+                .set("coalesced", c.coalesced.load(Ordering::Relaxed))
+                .set("evictions", c.evictions.load(Ordering::Relaxed))
+                .set("failures", c.failures.load(Ordering::Relaxed))
+                .set("hit_rate", state.cache.hit_rate()),
+        )
+        .set(
+            "latency_us",
+            Json::obj()
+                .set("count", lat.count())
+                .set("mean", lat.mean_us())
+                .set("p50", lat.quantile_us(0.50))
+                .set("p90", lat.quantile_us(0.90))
+                .set("p95", lat.quantile_us(0.95))
+                .set("p99", lat.quantile_us(0.99))
+                .set("max", lat.max_us()),
+        )
+        .render();
+    Ok(Routed::ok(body, "metrics"))
+}
+
+/// `GET /` — endpoint index.
+fn index_route(_state: &AppState, q: &Query) -> Result<Routed, ApiError> {
+    q.check_known(&[])?;
+    let endpoints = vec![
+        Json::Str("/v1/characterize?domain=&params=&subbatch=".into()),
+        Json::Str("/v1/project?domain=".into()),
+        Json::Str("/v1/subbatch?domain=&params=".into()),
+        Json::Str("/v1/plan?domain=&accels=&days=".into()),
+        Json::Str("/v1/healthz".into()),
+        Json::Str("/v1/metrics".into()),
+    ];
+    let body = Json::obj()
+        .set("service", "frontier-serve")
+        .set("endpoints", endpoints)
+        .render();
+    Ok(Routed::ok(body, "index"))
+}

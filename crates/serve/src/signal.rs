@@ -1,0 +1,59 @@
+//! SIGTERM / SIGINT → graceful-shutdown flag, without a libc crate.
+//!
+//! The workspace has no external dependencies, but the `signal` symbol is
+//! in the C library every Rust binary already links. The handler only sets
+//! an `AtomicBool` (async-signal-safe); the accept loop polls it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::{AtomicBool, Ordering, REQUESTED};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+
+    // Keep the unused-import lint quiet on non-test builds.
+    #[allow(unused)]
+    fn _assert_type(_: &AtomicBool) {}
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal wiring off Unix; shutdown happens via [`Server::shutdown`].
+    pub fn install() {}
+}
+
+/// Install the SIGINT/SIGTERM handlers (idempotent).
+pub fn install() {
+    imp::install();
+}
+
+/// Has a shutdown signal arrived?
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Test hook: simulate a received signal.
+#[doc(hidden)]
+pub fn request_for_test() {
+    REQUESTED.store(true, Ordering::SeqCst);
+}

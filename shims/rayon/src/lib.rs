@@ -1,82 +1,342 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate — now actually parallel.
 //!
-//! `par_iter()`/`into_par_iter()` return the ordinary sequential iterators, so
-//! every rayon call site compiles and produces identical results, just without
-//! parallel speedup. The characterization sweeps that use it remain correct;
-//! re-enabling real parallelism is a one-line Cargo.toml change once a
-//! registry is reachable.
+//! `par_iter()` / `into_par_iter()` / `par_iter_mut()` fan work out over
+//! `std::thread::scope` in contiguous chunks, one chunk per available core.
+//! Results are collected **in input order**, so every combinator is
+//! bit-identical to its sequential counterpart: `collect` concatenates the
+//! per-chunk outputs in chunk order, and `sum` folds the mapped values
+//! left-to-right exactly as `Iterator::sum` would — only the element
+//! *computation* runs concurrently.
+//!
+//! Only the combinator subset this workspace uses is implemented: `map` +
+//! `collect`, `for_each`, and `sum`. Small inputs (or single-core hosts)
+//! skip thread spawning entirely and run inline.
 
 #![warn(missing_docs)]
 
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel call may use.
+fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Below this many items per thread the scheduling overhead dominates.
+const MIN_ITEMS_PER_THREAD: usize = 2;
+
+/// Split `len` items into at most `max_threads()` contiguous chunk ranges.
+fn chunk_ranges(len: usize) -> Vec<(usize, usize)> {
+    let threads = max_threads().min(len / MIN_ITEMS_PER_THREAD).max(1);
+    let base = len / threads;
+    let extra = len % threads;
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0;
+    for i in 0..threads {
+        let size = base + usize::from(i < extra);
+        ranges.push((start, start + size));
+        start += size;
+    }
+    ranges
+}
+
+/// Map `f` over `items` on scoped threads, preserving input order.
+fn parallel_map<'data, T, R, F>(items: &'data [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    let ranges = chunk_ranges(items.len());
+    if ranges.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut chunks: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| scope.spawn(move || items[lo..hi].iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        chunks = handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon-shim worker panicked"))
+            .collect();
+    });
+    let mut flat = Vec::with_capacity(items.len());
+    for chunk in chunks {
+        flat.extend(chunk);
+    }
+    flat
+}
+
+/// Map `f` over owned `items` on scoped threads, preserving input order.
+fn parallel_map_owned<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let ranges = chunk_ranges(items.len());
+    if ranges.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let sizes: Vec<usize> = ranges.iter().map(|&(lo, hi)| hi - lo).collect();
+    let mut chunks: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut rest: &mut [Option<T>] = &mut slots;
+        let mut handles = Vec::with_capacity(sizes.len());
+        for size in sizes {
+            let (chunk, tail) = rest.split_at_mut(size);
+            rest = tail;
+            handles.push(scope.spawn(move || {
+                chunk
+                    .iter_mut()
+                    .map(|t| f(t.take().expect("slot filled")))
+                    .collect::<Vec<R>>()
+            }));
+        }
+        chunks = handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon-shim worker panicked"))
+            .collect();
+    });
+    let mut flat = Vec::with_capacity(slots.len());
+    for chunk in chunks {
+        flat.extend(chunk);
+    }
+    flat
+}
+
+/// Parallel iterator over `&[T]` (what `par_iter()` returns).
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Lazily attach a map stage.
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'data T) + Sync,
+    {
+        parallel_map(self.items, &|t| f(t));
+    }
+
+    /// Sum the elements left-to-right (bit-identical to sequential).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<&'data T>,
+    {
+        self.items.iter().sum()
+    }
+}
+
+/// A mapped parallel iterator (what `.par_iter().map(f)` returns).
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T, R, F> ParMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    /// Evaluate the map in parallel and collect in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(parallel_map(self.items, &self.f))
+    }
+
+    /// Evaluate the map in parallel and sum the results left-to-right.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R>,
+    {
+        parallel_map(self.items, &self.f).into_iter().sum()
+    }
+
+    /// Evaluate the map in parallel, then consume each result in order.
+    pub fn for_each(self, consume: impl Fn(R)) {
+        parallel_map(self.items, &self.f)
+            .into_iter()
+            .for_each(consume);
+    }
+}
+
+/// Parallel iterator over owned items (what `into_par_iter()` returns).
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParVec<T> {
+    /// Lazily attach a by-value map stage.
+    pub fn map<R, F>(self, f: F) -> ParVecMap<T, F>
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+    {
+        ParVecMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        parallel_map_owned(self.items, &|t| f(t));
+    }
+
+    /// Sum the elements left-to-right.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+
+    /// Collect back into a container (no-op reshuffle).
+    pub fn collect<C: From<Vec<T>>>(self) -> C {
+        C::from(self.items)
+    }
+}
+
+/// A mapped owned parallel iterator.
+pub struct ParVecMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParVecMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Evaluate in parallel, preserving input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(parallel_map_owned(self.items, &self.f))
+    }
+
+    /// Evaluate in parallel and sum left-to-right.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R>,
+    {
+        parallel_map_owned(self.items, &self.f).into_iter().sum()
+    }
+}
+
+/// Mutable parallel iterator (what `par_iter_mut()` returns).
+pub struct ParIterMut<'data, T> {
+    items: &'data mut [T],
+}
+
+impl<'data, T: Send> ParIterMut<'data, T> {
+    /// Apply `f` to every element in place, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let ranges = chunk_ranges(self.items.len());
+        if ranges.len() <= 1 {
+            self.items.iter_mut().for_each(f);
+            return;
+        }
+        let sizes: Vec<usize> = ranges.iter().map(|&(lo, hi)| hi - lo).collect();
+        std::thread::scope(|scope| {
+            let mut rest: &mut [T] = self.items;
+            for size in sizes {
+                let (chunk, tail) = rest.split_at_mut(size);
+                rest = tail;
+                let f = &f;
+                scope.spawn(move || chunk.iter_mut().for_each(f));
+            }
+        });
+    }
+}
+
 /// The traits rayon call sites import via `use rayon::prelude::*`.
 pub mod prelude {
-    /// `.par_iter()` on `&self`: sequential fallback.
+    use super::{ParIter, ParIterMut, ParVec};
+
+    /// `.par_iter()` on `&self`.
     pub trait IntoParallelRefIterator<'data> {
-        /// Item yielded by the iterator.
+        /// Element type yielded by reference.
         type Item: 'data;
-        /// The (sequential) iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Iterate; sequential in this shim.
-        fn par_iter(&'data self) -> Self::Iter;
+        /// Iterate in parallel.
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
-        type Item = &'data T;
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
         }
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
-        type Item = &'data T;
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
         }
     }
 
-    /// `.par_iter_mut()` on `&mut self`: sequential fallback.
+    /// `.par_iter_mut()` on `&mut self`.
     pub trait IntoParallelRefMutIterator<'data> {
-        /// Item yielded by the iterator.
+        /// Element type yielded by mutable reference.
         type Item: 'data;
-        /// The (sequential) iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Iterate mutably; sequential in this shim.
-        fn par_iter_mut(&'data mut self) -> Self::Iter;
+        /// Iterate mutably in parallel.
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, Self::Item>;
     }
 
-    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
-        type Item = &'data mut T;
-        type Iter = std::slice::IterMut<'data, T>;
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.iter_mut()
+    impl<'data, T: 'data + Send> IntoParallelRefMutIterator<'data> for [T] {
+        type Item = T;
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+            ParIterMut { items: self }
         }
     }
 
-    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
-        type Item = &'data mut T;
-        type Iter = std::slice::IterMut<'data, T>;
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.iter_mut()
+    impl<'data, T: 'data + Send> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Item = T;
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+            ParIterMut { items: self }
         }
     }
 
-    /// `.into_par_iter()` by value: sequential fallback over any `IntoIterator`.
+    /// `.into_par_iter()` by value over any `IntoIterator`.
     pub trait IntoParallelIterator {
-        /// Item yielded by the iterator.
-        type Item;
-        /// The (sequential) iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Convert into an iterator; sequential in this shim.
-        fn into_par_iter(self) -> Self::Iter;
+        /// Element type yielded by value.
+        type Item: Send;
+        /// Convert into a parallel iterator.
+        fn into_par_iter(self) -> ParVec<Self::Item>;
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
+    impl<I: IntoIterator> IntoParallelIterator for I
+    where
+        I::Item: Send,
+    {
         type Item = I::Item;
-        type Iter = I::IntoIter;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+        fn into_par_iter(self) -> ParVec<I::Item> {
+            ParVec {
+                items: self.into_iter().collect(),
+            }
         }
     }
 }
@@ -103,5 +363,73 @@ mod tests {
         let mut v = vec![1, 2, 3];
         v.par_iter_mut().for_each(|x| *x += 10);
         assert_eq!(v, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn large_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let sq: Vec<u64> = v.par_iter().map(|x| x * x).collect();
+        let expect: Vec<u64> = v.iter().map(|x| x * x).collect();
+        assert_eq!(sq, expect);
+    }
+
+    #[test]
+    fn large_into_par_iter_map_preserves_order() {
+        let out: Vec<String> = (0..5_000u32)
+            .into_par_iter()
+            .map(|x| format!("{x}"))
+            .collect();
+        for (i, s) in out.iter().enumerate() {
+            assert_eq!(s, &format!("{i}"));
+        }
+    }
+
+    #[test]
+    fn float_sums_are_bit_identical_to_sequential() {
+        let v: Vec<f64> = (0..4_321).map(|i| (i as f64).sin() * 1e-3).collect();
+        let par: f64 = v.par_iter().map(|x| x * 1.000001).sum();
+        let seq: f64 = v.iter().map(|x| x * 1.000001).sum();
+        assert_eq!(par.to_bits(), seq.to_bits());
+    }
+
+    #[test]
+    fn par_iter_mut_large_matches_sequential() {
+        let mut a: Vec<u64> = (0..9_999).collect();
+        let mut b = a.clone();
+        a.par_iter_mut().for_each(|x| *x = x.wrapping_mul(31) ^ 7);
+        b.iter_mut().for_each(|x| *x = x.wrapping_mul(31) ^ 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn for_each_visits_every_element() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let v: Vec<u64> = (1..=1_000).collect();
+        let total = AtomicU64::new(0);
+        v.par_iter().for_each(|x| {
+            total.fetch_add(*x, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 500_500);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads_on_blocking_work() {
+        // With >1 core, parallel 30 ms sleeps finish well under the
+        // sequential total.
+        if std::thread::available_parallelism().map_or(1, |n| n.get()) < 2 {
+            return;
+        }
+        let items: Vec<u32> = (0..super::max_threads() as u32 * 2).collect();
+        let start = std::time::Instant::now();
+        let _: Vec<()> = items
+            .par_iter()
+            .map(|_| std::thread::sleep(std::time::Duration::from_millis(30)))
+            .collect();
+        let elapsed = start.elapsed();
+        let sequential = std::time::Duration::from_millis(30) * items.len() as u32;
+        assert!(
+            elapsed < sequential * 3 / 4,
+            "no speedup: {elapsed:?} vs sequential {sequential:?}"
+        );
     }
 }

@@ -1,0 +1,304 @@
+//! End-to-end tests of the `serve` HTTP query server: boot on an ephemeral
+//! port, hit every endpoint, and check the memoization contract — repeated
+//! queries return byte-identical bodies from cache, concurrent identical
+//! queries compute once, and hostile input gets structured errors, never a
+//! crash.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use serve::json::Json;
+use serve::{ServeConfig, Server};
+
+/// Boot a server on an ephemeral port with small limits suited to tests.
+fn test_server() -> Server {
+    Server::start(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 4,
+        cache_entries: 64,
+        queue_depth: 64,
+        deadline: Duration::from_secs(30),
+    })
+    .expect("bind ephemeral port")
+}
+
+/// Plain-text HTTP GET; returns (status, x-cache header, body).
+fn get(addr: SocketAddr, path: &str) -> (u16, Option<String>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nhost: test\r\nconnection: close\r\n\r\n").as_bytes(),
+        )
+        .expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("UTF-8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("head/body split");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let cache = head
+        .lines()
+        .find_map(|l| l.strip_prefix("x-cache: ").map(str::to_string));
+    (status, cache, body.to_string())
+}
+
+/// Write raw bytes and read whatever comes back (for malformed-input tests).
+fn raw_exchange(addr: SocketAddr, bytes: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let _ = stream.write_all(bytes);
+    let mut out = Vec::new();
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.read_to_end(&mut out);
+    String::from_utf8_lossy(&out).to_string()
+}
+
+#[test]
+fn every_endpoint_returns_parsable_json() {
+    let server = test_server();
+    let addr = server.local_addr();
+    let endpoints = [
+        "/",
+        "/v1/healthz",
+        "/v1/characterize?domain=wordlm&subbatch=16",
+        "/v1/project?domain=resnet",
+        "/v1/subbatch?domain=charlm&params=10000000",
+        "/v1/plan?domain=resnet&accels=16384",
+        "/v1/metrics",
+    ];
+    for path in endpoints {
+        let (status, _, body) = get(addr, path);
+        assert_eq!(status, 200, "{path}: {body}");
+        let doc = Json::parse(&body).unwrap_or_else(|e| panic!("{path}: bad JSON ({e}): {body}"));
+        assert!(matches!(doc, Json::Obj(_)), "{path}: non-object body");
+    }
+    // The metrics endpoint saw all of the traffic above.
+    let (_, _, body) = get(addr, "/v1/metrics");
+    let doc = Json::parse(&body).expect("metrics JSON");
+    let total = doc
+        .path("requests.total")
+        .and_then(Json::as_f64)
+        .expect("total");
+    assert!(total >= endpoints.len() as f64, "metrics counted {total}");
+}
+
+#[test]
+fn repeated_query_is_a_cache_hit_with_identical_body() {
+    let server = test_server();
+    let addr = server.local_addr();
+    let path = "/v1/characterize?domain=nmt&subbatch=32";
+    let (s1, c1, b1) = get(addr, path);
+    let (s2, c2, b2) = get(addr, path);
+    assert_eq!((s1, s2), (200, 200));
+    assert_eq!(c1.as_deref(), Some("miss"));
+    assert_eq!(c2.as_deref(), Some("hit"));
+    assert_eq!(b1, b2, "cached body must be byte-identical");
+    // And the hit is visible in metrics.
+    let (_, _, metrics) = get(addr, "/v1/metrics");
+    let doc = Json::parse(&metrics).expect("metrics JSON");
+    assert_eq!(doc.path("cache.hits").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(doc.path("cache.misses").and_then(Json::as_f64), Some(1.0));
+}
+
+#[test]
+fn concurrent_identical_queries_compute_once() {
+    let server = test_server();
+    let addr = server.local_addr();
+    let path = "/v1/subbatch?domain=wordlm&params=50000000";
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(move || {
+                    let (status, _, body) = get(addr, path);
+                    assert_eq!(status, 200, "{body}");
+                    body
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+    assert!(bodies.windows(2).all(|w| w[0] == w[1]), "divergent bodies");
+    // Single-flight: exactly one compute; everyone else hit or coalesced.
+    let stats = &server.state().cache.stats;
+    assert_eq!(stats.misses.load(Ordering::Relaxed), 1, "computed once");
+    assert_eq!(
+        stats.hits.load(Ordering::Relaxed) + stats.coalesced.load(Ordering::Relaxed),
+        7,
+        "other seven requests served from the flight or the cache"
+    );
+}
+
+#[test]
+fn malformed_requests_get_structured_errors_and_never_kill_the_server() {
+    let server = test_server();
+    let addr = server.local_addr();
+    let attacks: &[&[u8]] = &[
+        b"BLARG\r\n\r\n",
+        b"GET\r\n\r\n",
+        b"GET / HTTP/1.1 junk\r\n\r\n",
+        b"POST /v1/healthz HTTP/1.1\r\n\r\n",
+        b"GET /v1/healthz SPDY/9\r\n\r\n",
+        b"GET noslash HTTP/1.1\r\n\r\n",
+        b"\xff\xfe\x00\x01\r\n\r\n",
+        b"GET /v1/characterize?domain=%zz HTTP/1.1\r\n\r\n",
+        b"GET /v1/characterize?domain=wordlm&domain=nmt HTTP/1.1\r\n\r\n",
+        b"GET /v1/characterize?domain=wordlm&subbatch=banana HTTP/1.1\r\n\r\n",
+        b"GET /v1/characterize?domain=wordlm&subbatch=184467440737095516159999 HTTP/1.1\r\n\r\n",
+        b"GET /v1/characterize?domain=wordlm&params=1 HTTP/1.1\r\n\r\n",
+        b"GET /v1/plan?domain=wordlm&days=-4 HTTP/1.1\r\n\r\n",
+        b"GET /v1/plan?domain=wordlm&days=nan HTTP/1.1\r\n\r\n",
+        b"GET /v1/healthz?surprise=1 HTTP/1.1\r\n\r\n",
+    ];
+    for attack in attacks {
+        let response = raw_exchange(addr, attack);
+        let status: u16 = response
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                panic!(
+                    "no status for {:?}: {response:?}",
+                    String::from_utf8_lossy(attack)
+                )
+            });
+        assert!(
+            (400..=599).contains(&status),
+            "{:?} -> {status}",
+            String::from_utf8_lossy(attack)
+        );
+        let body = response.split("\r\n\r\n").nth(1).unwrap_or("");
+        let doc =
+            Json::parse(body).unwrap_or_else(|e| panic!("unparsable error body ({e}): {body:?}"));
+        assert!(
+            doc.get("error").is_some(),
+            "error body missing code: {body}"
+        );
+    }
+    // Oversized request head.
+    let mut huge = Vec::from(&b"GET /v1/healthz HTTP/1.1\r\n"[..]);
+    huge.extend(std::iter::repeat_n(b'x', 10_000));
+    let response = raw_exchange(addr, &huge);
+    assert!(
+        response.contains("431") || response.contains("414"),
+        "{response:?}"
+    );
+    // A long query string (within URI bounds) is a structured 400.
+    let long_query = format!(
+        "GET /v1/characterize?domain={} HTTP/1.1\r\n\r\n",
+        "x".repeat(3000)
+    );
+    let response = raw_exchange(addr, long_query.as_bytes());
+    assert!(response.contains("query_too_long"), "{response:?}");
+
+    // After all of that abuse the server still answers cleanly.
+    let (status, _, body) = get(addr, "/v1/healthz");
+    assert_eq!(status, 200, "{body}");
+    let (_, _, metrics) = get(addr, "/v1/metrics");
+    let doc = Json::parse(&metrics).expect("metrics JSON");
+    // Exactly one 5xx: the 505 protocol rejection for the SPDY probe. Any
+    // more would mean a handler turned hostile input into an internal error.
+    assert_eq!(
+        doc.path("requests.status_5xx").and_then(Json::as_f64),
+        Some(1.0),
+        "malformed input must never be an internal server error: {metrics}"
+    );
+}
+
+#[test]
+fn head_requests_elide_the_body() {
+    let server = test_server();
+    let addr = server.local_addr();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"HEAD /v1/healthz HTTP/1.1\r\nconnection: close\r\n\r\n")
+        .expect("write");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("head");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(body.is_empty(), "HEAD must not carry a body: {body:?}");
+    // Content-length still reflects the would-be body.
+    let len: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("content-length: "))
+        .and_then(|v| v.parse().ok())
+        .expect("content-length");
+    assert!(len > 0);
+}
+
+#[test]
+fn graceful_shutdown_drains_and_stops_accepting() {
+    let mut server = test_server();
+    let addr = server.local_addr();
+    let (status, _, _) = get(addr, "/v1/healthz");
+    assert_eq!(status, 200);
+    server.shutdown();
+    // New connections are refused (or reset) once the listener is gone.
+    let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+    assert!(
+        refused.is_err() || {
+            // Accept loop may leave the socket in a transient state; a
+            // request on it must not succeed.
+            let mut s = refused.expect("connected");
+            let _ = s.write_all(b"GET /v1/healthz HTTP/1.1\r\n\r\n");
+            let mut out = Vec::new();
+            let _ = s.set_read_timeout(Some(Duration::from_secs(2)));
+            let _ = s.read_to_end(&mut out);
+            out.is_empty()
+        },
+        "server answered after shutdown"
+    );
+}
+
+fn arb_domain() -> impl Strategy<Value = modelzoo::Domain> {
+    prop_oneof![
+        Just(modelzoo::Domain::WordLm),
+        Just(modelzoo::Domain::CharLm),
+        Just(modelzoo::Domain::Nmt),
+        Just(modelzoo::Domain::Speech),
+        Just(modelzoo::Domain::ImageClassification),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The memoized path returns exactly what a fresh computation returns:
+    /// for randomized small configs, the cached second response is
+    /// byte-identical to the first, and its numbers agree with calling the
+    /// analysis layer directly.
+    #[test]
+    fn cache_hit_equals_fresh_computation(
+        domain in arb_domain(),
+        params in 1_000_000u64..20_000_000,
+        subbatch_pow in 0u32..6,
+    ) {
+        let subbatch = 1u64 << subbatch_pow;
+        let server = test_server();
+        let addr = server.local_addr();
+        let path = format!("/v1/characterize?domain={}&params={params}&subbatch={subbatch}", domain.key());
+        let (s1, c1, fresh) = get(addr, &path);
+        let (s2, c2, cached) = get(addr, &path);
+        prop_assert_eq!((s1, s2), (200, 200));
+        prop_assert_eq!(c1.as_deref(), Some("miss"));
+        prop_assert_eq!(c2.as_deref(), Some("hit"));
+        prop_assert_eq!(&fresh, &cached);
+
+        let doc = Json::parse(&cached).expect("JSON");
+        let got_params = doc.path("point.params").and_then(Json::as_f64).expect("params");
+        let cfg = modelzoo::ModelConfig::default_for(domain).with_target_params(params);
+        let expect = analysis::characterize(&cfg, subbatch);
+        prop_assert_eq!(got_params, expect.params);
+        let got_flops = doc.path("point.flops_per_step").and_then(Json::as_f64).expect("flops");
+        // JSON round-trips f64 exactly (integral or {:?} formatting).
+        prop_assert_eq!(got_flops, expect.flops_per_step);
+    }
+}
