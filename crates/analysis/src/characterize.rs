@@ -100,7 +100,10 @@ pub fn characterize_averaged(
 }
 
 /// Sweep a domain across log-spaced parameter targets at its default
-/// subbatch (Figures 7–10 x-axes). Points are computed in parallel.
+/// subbatch (Figures 7–10 x-axes). Points are computed in parallel through
+/// the [`FamilyEngine`](crate::FamilyEngine): one width-symbolic family
+/// build per domain, then exact substitution per point — bit-identical to
+/// calling [`characterize`] per configuration, but without the N rebuilds.
 pub fn sweep_domain(
     domain: Domain,
     lo_params: u64,
@@ -112,9 +115,10 @@ pub fn sweep_domain(
         .with_arg("points", n_points);
     let subbatch = domain.default_subbatch();
     let configs = modelzoo::sweep_configs(domain, lo_params, hi_params, n_points);
+    let engine = crate::FamilyEngine::global();
     let mut points: Vec<CharacterizationPoint> = configs
         .par_iter()
-        .map(|cfg| characterize(cfg, subbatch))
+        .map(|cfg| engine.characterize(cfg, subbatch))
         .collect();
     points.sort_by(|a, b| a.params.partial_cmp(&b.params).expect("finite"));
     obs::recorder().counter("analysis.sweep_points", points.len() as f64);
@@ -122,7 +126,9 @@ pub fn sweep_domain(
 }
 
 /// Sweep a domain at several subbatch sizes (needed to fit the two-term
-/// access model `a(p,b) = λp + µb√p`).
+/// access model `a(p,b) = λp + µb√p`). Uses the symbolic engine: each
+/// configuration's closed form is substituted once and evaluated at every
+/// subbatch.
 pub fn sweep_domain_batches(
     domain: Domain,
     lo_params: u64,
@@ -139,8 +145,9 @@ pub fn sweep_domain_batches(
         .iter()
         .flat_map(|c| subbatches.iter().map(move |&b| (*c, b)))
         .collect();
+    let engine = crate::FamilyEngine::global();
     jobs.par_iter()
-        .map(|(cfg, b)| characterize(cfg, *b))
+        .map(|(cfg, b)| engine.characterize(cfg, *b))
         .collect()
 }
 

@@ -1,0 +1,240 @@
+//! The symbolic sweep engine: characterization sweeps evaluated as closed
+//! forms instead of per-point graph rebuilds.
+//!
+//! A Figure 7–10 sweep evaluates N configurations that differ only in one
+//! width hyperparameter. The brute-force path rebuilds the training graph and
+//! re-derives every cost expression N times. The engine instead:
+//!
+//! 1. builds the **family** graph once per structural family — the training
+//!    graph with the swept width left as a free symbol
+//!    ([`modelzoo::WIDTH_SYM`]), with repeated subgraphs folded by
+//!    [`cgraph::fold_classes`] inside `stats()`;
+//! 2. per configuration, substitutes the integer width into the cached
+//!    symbolic stats and per-tensor element expressions — an **exact**
+//!    rational-arithmetic substitution (`Expr::bind_all`), not a float
+//!    evaluation;
+//! 3. per sweep point, binds the subbatch symbol and evaluates the closed
+//!    form; the footprint simulation runs on the family graph against the
+//!    substituted size table.
+//!
+//! Every number produced this way is **bit-identical** to
+//! [`characterize`](crate::characterize): substitution commutes with the
+//! builders' ring operations on widths, so step 2 reproduces the concrete
+//! build's canonical expressions, and the footprint simulation sees the same
+//! graph structure and the same byte sizes. The golden equivalence suite
+//! (`tests/golden_sweep.rs`) asserts this with `==` on every field.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use cgraph::{footprint_with_sizes, GraphStats, InPlacePolicy, Scheduler};
+use modelzoo::{ModelConfig, ModelGraph, BATCH_SYM};
+use symath::{Bindings, Expr};
+
+use crate::characterize::CharacterizationPoint;
+
+/// One structural family: the width-symbolic training graph and its cost
+/// expressions, shared by every configuration in a sweep.
+struct Family {
+    model: ModelGraph,
+    /// Folded symbolic stats over the batch and width symbols.
+    stats: GraphStats,
+    /// Deduplicated element-count expressions: an unrolled graph repeats the
+    /// same tensor shapes across timesteps/blocks, so the thousands of
+    /// per-tensor expressions collapse to a handful of distinct ones.
+    /// Substitution and evaluation are pure functions of expression
+    /// structure, so sharing one bind/eval per distinct expression is exact.
+    uniq_elems: Vec<Expr>,
+    /// Per tensor (indexed like `model.graph.tensors()`): which entry of
+    /// `uniq_elems` counts its elements, and its element size in bytes.
+    elem_slot: Vec<(u32, u64)>,
+}
+
+/// One configuration: the family expressions with the width substituted,
+/// leaving only the batch symbol free.
+struct Instance {
+    family: Arc<Family>,
+    stats: GraphStats,
+    uniq_elems: Vec<Expr>,
+}
+
+/// A cache of width-symbolic model families and their per-configuration
+/// instantiations. Cheap to share across threads; sweeps call
+/// [`characterize`](FamilyEngine::characterize) from rayon workers.
+#[derive(Default)]
+pub struct FamilyEngine {
+    families: Mutex<HashMap<String, Arc<Family>>>,
+    instances: Mutex<HashMap<String, Arc<Instance>>>,
+}
+
+fn bind_stats(stats: &GraphStats, widths: &Bindings) -> GraphStats {
+    GraphStats {
+        flops: stats.flops.bind_all(widths),
+        flops_forward: stats.flops_forward.bind_all(widths),
+        flops_backward: stats.flops_backward.bind_all(widths),
+        flops_update: stats.flops_update.bind_all(widths),
+        bytes: stats.bytes.bind_all(widths),
+        bytes_read: stats.bytes_read.bind_all(widths),
+        bytes_written: stats.bytes_written.bind_all(widths),
+        params: stats.params.bind_all(widths),
+        io: stats.io.bind_all(widths),
+    }
+}
+
+impl FamilyEngine {
+    /// A fresh, empty engine (cold caches — what the sweep benchmark times).
+    pub fn new() -> FamilyEngine {
+        FamilyEngine::default()
+    }
+
+    /// The process-wide engine: families built by any sweep are reused by
+    /// later sweeps and by the query server.
+    pub fn global() -> &'static FamilyEngine {
+        static GLOBAL: OnceLock<FamilyEngine> = OnceLock::new();
+        GLOBAL.get_or_init(FamilyEngine::new)
+    }
+
+    fn family(&self, cfg: &ModelConfig) -> Arc<Family> {
+        let key = cfg.family_key();
+        if let Some(f) = self.families.lock().expect("poisoned").get(&key) {
+            return Arc::clone(f);
+        }
+        // Built outside the lock: concurrent misses may build twice, but the
+        // results are identical and the first insert wins.
+        let model = obs::time("modelzoo.build_family", || cfg.build_family_training());
+        let stats = obs::time("engine.family_stats", || model.graph.stats());
+        let mut uniq_elems: Vec<Expr> = Vec::new();
+        let mut slot_of: HashMap<Expr, u32> = HashMap::new();
+        let elem_slot = model
+            .graph
+            .tensors()
+            .iter()
+            .map(|t| {
+                let e = t.shape.elements();
+                let slot = *slot_of.entry(e.clone()).or_insert_with(|| {
+                    uniq_elems.push(e);
+                    (uniq_elems.len() - 1) as u32
+                });
+                (slot, t.dtype.size_bytes())
+            })
+            .collect();
+        let family = Arc::new(Family {
+            model,
+            stats,
+            uniq_elems,
+            elem_slot,
+        });
+        Arc::clone(
+            self.families
+                .lock()
+                .expect("poisoned")
+                .entry(key)
+                .or_insert(family),
+        )
+    }
+
+    fn instance(&self, cfg: &ModelConfig) -> Arc<Instance> {
+        let widths = cfg.family_widths();
+        let mut key = cfg.family_key();
+        for (sym, v) in widths.iter() {
+            key.push_str(&format!(";{sym}={v}"));
+        }
+        if let Some(i) = self.instances.lock().expect("poisoned").get(&key) {
+            return Arc::clone(i);
+        }
+        let family = self.family(cfg);
+        let stats = bind_stats(&family.stats, &widths);
+        let uniq_elems = family
+            .uniq_elems
+            .iter()
+            .map(|e| e.bind_all(&widths))
+            .collect();
+        let instance = Arc::new(Instance {
+            family,
+            stats,
+            uniq_elems,
+        });
+        Arc::clone(
+            self.instances
+                .lock()
+                .expect("poisoned")
+                .entry(key)
+                .or_insert(instance),
+        )
+    }
+
+    /// Symbolic counterpart of [`crate::characterize`]: the same
+    /// [`CharacterizationPoint`], bit-for-bit, from the cached closed forms.
+    pub fn characterize(&self, cfg: &ModelConfig, subbatch: u64) -> CharacterizationPoint {
+        let _span = obs::span("analysis.characterize_symbolic")
+            .with_arg("domain", cfg.domain().key())
+            .with_arg("subbatch", subbatch);
+        let inst = self.instance(cfg);
+        let bindings = Bindings::new().with(BATCH_SYM, subbatch as f64);
+        let n = inst.stats.eval(&bindings).expect("all symbols bound");
+        // Mirrors `cgraph::tensor_sizes` exactly: per-tensor rounded element
+        // count times the element size, with each distinct element
+        // expression evaluated once.
+        let uniq: Vec<u64> = inst
+            .uniq_elems
+            .iter()
+            .map(|e| e.eval_u64(&bindings).expect("all symbols bound"))
+            .collect();
+        let sizes: Vec<u64> = inst
+            .family
+            .elem_slot
+            .iter()
+            .map(|&(slot, db)| uniq[slot as usize] * db)
+            .collect();
+        let fp = footprint_with_sizes(
+            &inst.family.model.graph,
+            &sizes,
+            Scheduler::Best,
+            InPlacePolicy::Never,
+        );
+        CharacterizationPoint {
+            params: n.params,
+            subbatch,
+            flops_per_step: n.flops,
+            flops_per_sample: n.flops / subbatch as f64,
+            bytes_per_step: n.bytes,
+            op_intensity: n.flops / n.bytes,
+            footprint_bytes: fp.peak_bytes as f64,
+            seq_len: inst.family.model.seq_len,
+        }
+    }
+
+    /// Number of family graphs currently cached.
+    pub fn families_built(&self) -> usize {
+        self.families.lock().expect("poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modelzoo::Domain;
+
+    #[test]
+    fn engine_matches_brute_force_bitwise() {
+        let engine = FamilyEngine::new();
+        let cfg = ModelConfig::default_for(Domain::WordLm)
+            .with_seq_len(6)
+            .with_target_params(2_000_000);
+        let brute = crate::characterize(&cfg, 16);
+        let fast = engine.characterize(&cfg, 16);
+        assert_eq!(brute, fast);
+    }
+
+    #[test]
+    fn one_family_build_serves_a_whole_sweep() {
+        let engine = FamilyEngine::new();
+        for target in [1_000_000u64, 2_000_000, 4_000_000] {
+            let cfg = ModelConfig::default_for(Domain::Nmt)
+                .with_seq_len(4)
+                .with_target_params(target);
+            engine.characterize(&cfg, 8);
+        }
+        assert_eq!(engine.families_built(), 1);
+    }
+}

@@ -3,6 +3,9 @@
 //!
 //! * [`characterize`]/[`sweep_domain`] — Figures 7–10 measurements over
 //!   [`modelzoo`] graphs via [`cgraph`]'s cost model (rayon-parallel).
+//! * [`FamilyEngine`] — the symbolic sweep engine: one width-symbolic family
+//!   graph per domain, folded cost classes, exact per-point substitution —
+//!   bit-identical to the brute-force walk, an order of magnitude faster.
 //! * [`fit_trends`] — the Table 2 asymptotic coefficients (γ, λ, µ, δ).
 //! * [`subbatch_analysis`] — the §5.2.1 / Figure 11 subbatch selection.
 //! * [`frontier_row`]/[`table3`] — the Table 3 frontier training
@@ -18,6 +21,7 @@
 
 mod casestudy;
 mod characterize;
+mod engine;
 mod frontier;
 mod sensitivity;
 mod subbatch;
@@ -28,6 +32,7 @@ pub use casestudy::{lstm_p_config, word_lm_case_study, CaseStudy, CaseStudyRow};
 pub use characterize::{
     characterize, characterize_averaged, sweep_domain, sweep_domain_batches, CharacterizationPoint,
 };
+pub use engine::FamilyEngine;
 pub use frontier::{frontier_row, table3, FrontierRow};
 pub use sensitivity::{hardware_sensitivity, hardware_variants, HardwareVariant, SensitivityPoint};
 pub use subbatch::{fig11_batches, subbatch_analysis, SubbatchAnalysis, SubbatchPoint};

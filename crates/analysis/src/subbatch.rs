@@ -14,7 +14,7 @@
 //! * **saturation** (green): smallest power of two reaching 95% of the
 //!   intensity limit `f₁/a₁`.
 
-use cgraph::{footprint, Scheduler};
+use cgraph::{footprint_with_sizes, InPlacePolicy, Scheduler};
 use modelzoo::{ModelConfig, ModelGraph};
 use roofline::{roofline_time, Accelerator};
 use serde::{Deserialize, Serialize};
@@ -97,21 +97,32 @@ pub fn subbatch_analysis(
     assert!(f1 > 0.0 && a1 > 0.0);
     let intensity_limit = f1 / a1;
 
+    // Per-tensor element closed forms, extracted once; each footprint point
+    // binds the batch symbol instead of re-walking the graph (the exact
+    // rounding `cgraph::tensor_sizes` performs).
+    let size_exprs: Option<Vec<(Expr, u64)>> = with_footprints.then(|| {
+        model
+            .graph
+            .tensors()
+            .iter()
+            .map(|t| (t.shape.elements(), t.dtype.size_bytes()))
+            .collect()
+    });
+
     let eval_point = |b: u64| -> SubbatchPoint {
         let bf = b as f64;
         let flops = f1 * bf + f0;
         let bytes = a1 * bf + a0;
         let t = roofline_time(flops, bytes, accel);
-        let fp = if with_footprints {
+        let fp = size_exprs.as_ref().map(|exprs| {
             let bindings = model.bindings_with_batch(b);
-            Some(
-                footprint(&model.graph, &bindings, Scheduler::Best)
-                    .expect("bound")
-                    .peak_bytes as f64,
-            )
-        } else {
-            None
-        };
+            let sizes: Vec<u64> = exprs
+                .iter()
+                .map(|(e, db)| e.eval_u64(&bindings).expect("bound") * db)
+                .collect();
+            footprint_with_sizes(&model.graph, &sizes, Scheduler::Best, InPlacePolicy::Never)
+                .peak_bytes as f64
+        });
         SubbatchPoint {
             batch: b,
             op_intensity: flops / bytes,

@@ -1,0 +1,173 @@
+//! Golden equivalence suite for the symbolic sweep engine.
+//!
+//! The engine's contract is not "close": every `CharacterizationPoint` it
+//! produces must equal the brute-force per-configuration walk **bit for
+//! bit** — exact rational substitution into canonical expressions commutes
+//! with the concrete builders, and the footprint simulation sees identical
+//! byte sizes on an identical graph structure. These tests assert that with
+//! `==` on `f64`s, across all five domains, a model-size grid, a subbatch
+//! grid, and randomly drawn configurations.
+
+use analysis::{characterize, CharacterizationPoint, FamilyEngine};
+use modelzoo::{
+    CharLmConfig, Domain, ModelConfig, NmtConfig, ResNetConfig, ResNetDepth, SpeechConfig,
+    WordLmConfig,
+};
+use proptest::prelude::*;
+
+/// Down-scaled sweep seed per domain: same structures the real sweeps use,
+/// with short unrolls so the brute-force oracle stays fast.
+fn seed(domain: Domain) -> ModelConfig {
+    let q = match domain {
+        Domain::CharLm => 6,
+        Domain::Speech => 8,
+        _ => 5,
+    };
+    ModelConfig::default_for(domain).with_seq_len(q)
+}
+
+fn assert_bit_identical(cfg: &ModelConfig, subbatch: u64, engine: &FamilyEngine) {
+    let brute: CharacterizationPoint = characterize(cfg, subbatch);
+    let fast = engine.characterize(cfg, subbatch);
+    assert_eq!(
+        brute, fast,
+        "symbolic point diverges from brute force for {cfg:?} at subbatch {subbatch}"
+    );
+}
+
+#[test]
+fn golden_grid_all_domains() {
+    let engine = FamilyEngine::new();
+    for domain in Domain::ALL {
+        for target in [1_000_000u64, 4_000_000] {
+            let cfg = seed(domain).with_target_params(target);
+            for subbatch in [1u64, 16, 129] {
+                assert_bit_identical(&cfg, subbatch, &engine);
+            }
+        }
+        // The whole grid instantiated one family per domain.
+        assert_eq!(
+            engine.families_built(),
+            1 + Domain::ALL
+                .iter()
+                .position(|d| *d == domain)
+                .expect("domain in ALL")
+        );
+    }
+}
+
+#[test]
+fn golden_wordlm_variants() {
+    // The word LM has structural flags the other domains lack: weight tying
+    // and the LSTM projection (a second swept width).
+    let engine = FamilyEngine::new();
+    let base = WordLmConfig {
+        vocab: 800,
+        hidden: 72,
+        layers: 2,
+        seq_len: 5,
+        projection: None,
+        tied_embedding: false,
+    };
+    let variants = [
+        base,
+        WordLmConfig {
+            tied_embedding: true,
+            ..base
+        },
+        WordLmConfig {
+            projection: Some(9),
+            ..base
+        },
+    ];
+    for cfg in variants {
+        assert_bit_identical(&ModelConfig::WordLm(cfg), 32, &engine);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn golden_random_wordlm(
+        vocab in 100u64..2000,
+        hidden in 8u64..128,
+        layers in 1u64..4,
+        seq_len in 2u64..8,
+        tied in proptest::bool::ANY,
+        subbatch in 1u64..200,
+    ) {
+        let cfg = ModelConfig::WordLm(WordLmConfig {
+            vocab, hidden, layers, seq_len,
+            projection: None,
+            tied_embedding: tied,
+        });
+        assert_bit_identical(&cfg, subbatch, FamilyEngine::global());
+    }
+
+    #[test]
+    fn golden_random_charlm(
+        vocab in 30u64..120,
+        hidden in 8u64..96,
+        depth in 1u64..6,
+        seq_len in 2u64..8,
+        subbatch in 1u64..200,
+    ) {
+        let cfg = ModelConfig::CharLm(CharLmConfig { vocab, hidden, depth, seq_len });
+        assert_bit_identical(&cfg, subbatch, FamilyEngine::global());
+    }
+
+    #[test]
+    fn golden_random_nmt(
+        vocab in 100u64..1500,
+        hidden in 8u64..96,
+        decoder_layers in 1u64..4,
+        src_len in 2u64..6,
+        tgt_len in 2u64..6,
+        subbatch in 1u64..200,
+    ) {
+        let cfg = ModelConfig::Nmt(NmtConfig { vocab, hidden, decoder_layers, src_len, tgt_len });
+        assert_bit_identical(&cfg, subbatch, FamilyEngine::global());
+    }
+
+    #[test]
+    fn golden_random_speech(
+        features in 4u64..40,
+        vocab in 10u64..60,
+        hidden in 8u64..64,
+        encoder_layers in 1u64..4,
+        audio_granules in 1u64..4,
+        tgt_len in 2u64..5,
+        subbatch in 1u64..200,
+    ) {
+        let audio_len = audio_granules * (1 << (encoder_layers - 1)) * 2;
+        let cfg = ModelConfig::Speech(SpeechConfig {
+            features, vocab, hidden, encoder_layers, audio_len, tgt_len,
+        });
+        assert_bit_identical(&cfg, subbatch, FamilyEngine::global());
+    }
+
+    #[test]
+    fn golden_random_resnet(
+        depth_idx in 0usize..5,
+        width in 8u64..48,
+        image in 5u64..8,
+        classes in 10u64..200,
+        subbatch in 1u64..64,
+    ) {
+        let depth = [
+            ResNetDepth::D18,
+            ResNetDepth::D34,
+            ResNetDepth::D50,
+            ResNetDepth::D101,
+            ResNetDepth::D152,
+        ][depth_idx];
+        let cfg = ModelConfig::Resnet(ResNetConfig {
+            depth,
+            width,
+            image: image * 32, // keep the spatial chain well-formed
+            classes,
+        });
+        assert_bit_identical(&cfg, subbatch, FamilyEngine::global());
+    }
+}

@@ -21,9 +21,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use std::sync::Mutex;
+
 use serve::flags::Flags;
 use serve::json::Json;
-use serve::metrics::Histogram;
 use serve::{ServeConfig, Server};
 
 const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--threads N] [--requests M] \
@@ -40,6 +41,7 @@ const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--threads N] [--requests
 const MIX: &[&str] = &[
     "/v1/characterize?domain=wordlm&subbatch=16",
     "/v1/characterize?domain=nmt&subbatch=32",
+    "/v1/sweep?domain=wordlm&lo=1000000&hi=100000000&points=7",
     "/v1/project?domain=speech",
     "/v1/subbatch?domain=charlm&params=10000000",
     "/v1/plan?domain=resnet&accels=16384",
@@ -48,7 +50,7 @@ const MIX: &[&str] = &[
 ];
 
 /// The paths whose first computation is expensive (cold pass targets).
-const EXPENSIVE: usize = 5;
+const EXPENSIVE: usize = 6;
 
 /// One HTTP exchange: returns (status, x-cache header, body).
 fn fetch(addr: SocketAddr, path: &str) -> Result<(u16, Option<String>, String), String> {
@@ -78,6 +80,36 @@ fn fetch(addr: SocketAddr, path: &str) -> Result<(u16, Option<String>, String), 
         .lines()
         .find_map(|l| l.strip_prefix("x-cache: ").map(str::to_string));
     Ok((status, cache, body.to_string()))
+}
+
+/// Exact per-request latency samples. The server's own `Histogram` is
+/// log₂-bucketed — right for unbounded rolling metrics, but quantile
+/// readback returns bucket upper bounds, so a warm pass whose latencies all
+/// land in one bucket reports p50 == p95 == p99 == max. A load generator
+/// knows its request count up front; it can afford every sample and report
+/// true order statistics.
+#[derive(Default)]
+struct Samples(Mutex<Vec<u64>>);
+
+impl Samples {
+    fn record_us(&self, us: u64) {
+        self.0.lock().expect("samples lock").push(us);
+    }
+
+    fn sorted_us(&self) -> Vec<u64> {
+        let mut v = self.0.lock().expect("samples lock").clone();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Nearest-rank quantile of an ascending sample vector (0 when empty).
+fn quantile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 struct Counters {
@@ -121,13 +153,13 @@ impl Counters {
 fn timed_fetch(
     addr: SocketAddr,
     path: &str,
-    hist: &Histogram,
+    samples: &Samples,
     counters: &Counters,
 ) -> Result<(u16, Option<String>, String), String> {
     let start = Instant::now();
     let result = fetch(addr, path);
     let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-    hist.record_us(us);
+    samples.record_us(us);
     counters.record(&result);
     result
 }
@@ -193,7 +225,7 @@ fn main() -> ExitCode {
 
     // Cold pass: first touch of each expensive endpoint, sequentially, while
     // the cache has never seen them.
-    let cold = Histogram::default();
+    let cold = Samples::default();
     let cold_counters = Counters::new();
     for path in &MIX[..EXPENSIVE] {
         if let Err(e) = timed_fetch(addr, path, &cold, &cold_counters) {
@@ -203,8 +235,8 @@ fn main() -> ExitCode {
 
     // Warm pass: concurrent mixed traffic; every expensive query repeats the
     // cold pass, so it should be served from cache.
-    let warm = Arc::new(Histogram::default());
-    let warm_characterize = Arc::new(Histogram::default());
+    let warm = Arc::new(Samples::default());
+    let warm_characterize = Arc::new(Samples::default());
     let counters = Arc::new(Counters::new());
     let started = Instant::now();
     let mut handles = Vec::new();
@@ -215,12 +247,12 @@ fn main() -> ExitCode {
         handles.push(std::thread::spawn(move || {
             for i in 0..requests {
                 let path = MIX[(t + i) % MIX.len()];
-                let hist: &Histogram = if path.starts_with("/v1/characterize") {
+                let samples: &Samples = if path.starts_with("/v1/characterize") {
                     &warm_characterize
                 } else {
                     &warm
                 };
-                let _ = timed_fetch(addr, path, hist, &counters);
+                let _ = timed_fetch(addr, path, samples, &counters);
             }
         }));
     }
@@ -236,8 +268,11 @@ fn main() -> ExitCode {
     } else {
         0.0
     };
-    let cold_p50 = cold.quantile_us(0.5);
-    let warm_char_p50 = warm_characterize.quantile_us(0.5);
+    let cold_sorted = cold.sorted_us();
+    let warm_sorted = warm.sorted_us();
+    let warm_char_sorted = warm_characterize.sorted_us();
+    let cold_p50 = quantile_us(&cold_sorted, 0.5);
+    let warm_char_p50 = quantile_us(&warm_char_sorted, 0.5);
     let speedup = if warm_char_p50 > 0 {
         cold_p50 as f64 / warm_char_p50 as f64
     } else {
@@ -250,16 +285,16 @@ fn main() -> ExitCode {
     );
     println!(
         "  p50 {} us   max {} us",
-        cold.quantile_us(0.5),
-        cold.max_us()
+        cold_p50,
+        cold_sorted.last().copied().unwrap_or(0)
     );
     println!("warm pass ({total} requests in {elapsed:.2}s, {throughput:.0} req/s):");
     println!(
         "  characterize p50 {} us   all-endpoints p50 {} us  p95 {} us  p99 {} us",
         warm_char_p50,
-        warm.quantile_us(0.5),
-        warm.quantile_us(0.95),
-        warm.quantile_us(0.99),
+        quantile_us(&warm_sorted, 0.5),
+        quantile_us(&warm_sorted, 0.95),
+        quantile_us(&warm_sorted, 0.99),
     );
     println!("  cold/warm characterize p50 speedup: {speedup:.0}x");
     println!(
@@ -282,16 +317,16 @@ fn main() -> ExitCode {
                 "cold",
                 Json::obj()
                     .set("p50_us", cold_p50)
-                    .set("max_us", cold.max_us()),
+                    .set("max_us", cold_sorted.last().copied().unwrap_or(0)),
             )
             .set(
                 "warm",
                 Json::obj()
                     .set("characterize_p50_us", warm_char_p50)
-                    .set("p50_us", warm.quantile_us(0.5))
-                    .set("p95_us", warm.quantile_us(0.95))
-                    .set("p99_us", warm.quantile_us(0.99))
-                    .set("max_us", warm.max_us()),
+                    .set("p50_us", quantile_us(&warm_sorted, 0.5))
+                    .set("p95_us", quantile_us(&warm_sorted, 0.95))
+                    .set("p99_us", quantile_us(&warm_sorted, 0.99))
+                    .set("max_us", warm_sorted.last().copied().unwrap_or(0)),
             )
             .set("cold_over_warm_characterize_p50", speedup)
             .set(

@@ -1,0 +1,191 @@
+//! Repeated-subgraph folding: group cost-identical ops into classes.
+//!
+//! Unrolled models repeat the same block many times — an LSTM cell per
+//! timestep, an RHN sublayer per (timestep, depth), a residual block per
+//! stage. Every op's algorithmic cost ([`op_flops`](crate::op::op_flops) /
+//! [`op_bytes`](crate::op::op_bytes)) is a pure function of its kind, phase,
+//! and operand `(shape, dtype)` signatures, so two ops with equal signatures
+//! have *identical* symbolic cost expressions. Folding characterizes one
+//! representative per class and scales by the class size.
+//!
+//! This is exact, not approximate: `symath` expressions are kept in a
+//! canonical sum-of-terms form with exact rational coefficients, so
+//! `multiplicity × cost` equals `cost + cost + …` term for term, and the
+//! folded [`Graph::stats`](crate::graph::Graph) totals are the same `Expr` —
+//! hence bit-identical on evaluation — as the op-by-op walk
+//! (`stats_unfolded`).
+
+use std::collections::HashMap;
+
+use crate::graph::Graph;
+use crate::op::{OpId, OpKind, Phase};
+use crate::tensor::{DType, Shape};
+
+/// One class of cost-identical ops.
+#[derive(Clone, Debug)]
+pub struct FoldClass {
+    /// Representative op (the first of the class in program order).
+    pub rep: OpId,
+    /// Number of ops in the class (≥ 1).
+    pub count: u64,
+}
+
+/// The folding of a graph's op list into cost classes.
+#[derive(Clone, Debug)]
+pub struct FoldReport {
+    /// Classes in first-appearance order.
+    pub classes: Vec<FoldClass>,
+    /// Total op count (`Σ classes[i].count`).
+    pub ops: usize,
+}
+
+impl FoldReport {
+    /// Fold compression ratio `ops / classes` (1.0 = nothing repeated).
+    pub fn compression(&self) -> f64 {
+        if self.classes.is_empty() {
+            1.0
+        } else {
+            self.ops as f64 / self.classes.len() as f64
+        }
+    }
+}
+
+/// An op's cost signature: everything the per-op cost model reads. Operand
+/// tensors are reduced to interned `(shape, dtype)` class ids, so signature
+/// construction is two small `Vec`s per op instead of deep shape clones.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct OpSig {
+    kind: OpKind,
+    phase: Phase,
+    ins: Vec<u32>,
+    outs: Vec<u32>,
+}
+
+/// Group the graph's ops into cost-identical classes.
+pub fn fold_classes(graph: &Graph) -> FoldReport {
+    // Intern each tensor's (shape, dtype) once; ops then compare by class id.
+    let mut shape_ids: HashMap<(Shape, DType), u32> = HashMap::new();
+    let mut tensor_sig: Vec<u32> = Vec::with_capacity(graph.tensors().len());
+    for t in graph.tensors() {
+        let next = shape_ids.len() as u32;
+        let id = *shape_ids.entry((t.shape.clone(), t.dtype)).or_insert(next);
+        tensor_sig.push(id);
+    }
+
+    let mut class_of: HashMap<OpSig, usize> = HashMap::new();
+    let mut classes: Vec<FoldClass> = Vec::new();
+    for op in graph.ops() {
+        let sig = OpSig {
+            kind: op.kind.clone(),
+            phase: op.phase,
+            ins: op.inputs.iter().map(|t| tensor_sig[t.index()]).collect(),
+            outs: op.outputs.iter().map(|t| tensor_sig[t.index()]).collect(),
+        };
+        match class_of.get(&sig) {
+            Some(&i) => classes[i].count += 1,
+            None => {
+                class_of.insert(sig, classes.len());
+                classes.push(FoldClass {
+                    rep: op.id(),
+                    count: 1,
+                });
+            }
+        }
+    }
+    FoldReport {
+        classes,
+        ops: graph.ops().len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::op::PointwiseFn;
+    use crate::tensor::DType;
+    use symath::Expr;
+
+    /// An unrolled chain: `q` identical (matmul, tanh) steps.
+    fn unrolled(q: usize) -> Graph {
+        let mut g = Graph::new("unrolled");
+        let b = Expr::sym("fold_b");
+        let mut t = g
+            .input("x", [b.clone(), Expr::int(64)], DType::F32)
+            .unwrap();
+        let w = g.weight("w", [Expr::int(64), Expr::int(64)]).unwrap();
+        for i in 0..q {
+            t = g.matmul(&format!("fc{i}"), t, w, false, false).unwrap();
+            t = g.unary(&format!("act{i}"), PointwiseFn::Tanh, t).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn repeated_steps_fold_to_two_classes() {
+        let g = unrolled(16);
+        let fold = fold_classes(&g);
+        assert_eq!(fold.ops, 32);
+        assert_eq!(fold.classes.len(), 2);
+        assert_eq!(fold.classes[0].count, 16);
+        assert_eq!(fold.classes[1].count, 16);
+        assert!((fold.compression() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_shapes_do_not_fold() {
+        let mut g = Graph::new("distinct");
+        let a = g
+            .input("a", [Expr::int(4), Expr::int(8)], DType::F32)
+            .unwrap();
+        let b = g
+            .input("b", [Expr::int(4), Expr::int(16)], DType::F32)
+            .unwrap();
+        let _ = g.unary("ra", PointwiseFn::Relu, a).unwrap();
+        let _ = g.unary("rb", PointwiseFn::Relu, b).unwrap();
+        let fold = fold_classes(&g);
+        assert_eq!(fold.classes.len(), 2);
+    }
+
+    #[test]
+    fn phase_splits_classes() {
+        use crate::autodiff::build_training_step;
+        let mut g = unrolled(4);
+        let last = g.ops().last().unwrap().outputs[0];
+        let labels = g
+            .input("labels", [Expr::sym("fold_b")], DType::I32)
+            .unwrap();
+        let loss = g.cross_entropy("loss", last, labels).unwrap();
+        build_training_step(&mut g, loss).unwrap();
+        let fold = fold_classes(&g);
+        // Forward and backward versions of the repeated step must not merge.
+        let phases: std::collections::HashSet<_> =
+            fold.classes.iter().map(|c| g.op(c.rep).phase).collect();
+        assert_eq!(phases.len(), 3, "classes span all three phases");
+        assert!(fold.classes.len() < fold.ops, "training unroll still folds");
+    }
+
+    #[test]
+    fn folded_stats_equal_unfolded_exactly() {
+        use crate::autodiff::build_training_step;
+        let mut g = unrolled(8);
+        let last = g.ops().last().unwrap().outputs[0];
+        let labels = g
+            .input("labels", [Expr::sym("fold_b")], DType::I32)
+            .unwrap();
+        let loss = g.cross_entropy("loss", last, labels).unwrap();
+        build_training_step(&mut g, loss).unwrap();
+        let folded = g.stats();
+        let brute = g.stats_unfolded();
+        // Canonical Exprs: structural equality ⇒ bit-identical evaluation.
+        assert_eq!(folded.flops, brute.flops);
+        assert_eq!(folded.flops_forward, brute.flops_forward);
+        assert_eq!(folded.flops_backward, brute.flops_backward);
+        assert_eq!(folded.flops_update, brute.flops_update);
+        assert_eq!(folded.bytes, brute.bytes);
+        assert_eq!(folded.bytes_read, brute.bytes_read);
+        assert_eq!(folded.bytes_written, brute.bytes_written);
+        assert_eq!(folded.params, brute.params);
+        assert_eq!(folded.io, brute.io);
+    }
+}

@@ -99,11 +99,19 @@ impl<'g> Sim<'g> {
         bindings: &Bindings,
         in_place: InPlacePolicy,
     ) -> Result<Sim<'g>, UnboundSymbol> {
+        Ok(Sim::with_sizes(
+            graph,
+            tensor_sizes(graph, bindings)?,
+            in_place,
+        ))
+    }
+
+    /// Build a simulation from precomputed per-tensor byte sizes (indexed by
+    /// [`TensorId::index`](crate::tensor::TensorId)). Lets callers evaluate
+    /// sizes once and share them across schedulers or sweep points.
+    fn with_sizes(graph: &'g Graph, size: Vec<u64>, in_place: InPlacePolicy) -> Sim<'g> {
         let n = graph.tensors().len();
-        let mut size = Vec::with_capacity(n);
-        for t in graph.tensors() {
-            size.push(t.bytes_u64(bindings)?);
-        }
+        debug_assert_eq!(size.len(), n);
         let refcount: Vec<usize> = graph
             .tensors()
             .iter()
@@ -126,7 +134,7 @@ impl<'g> Sim<'g> {
             }
         }
         sim.peak = sim.mem;
-        Ok(sim)
+        sim
     }
 
     fn alloc(&mut self, idx: usize) {
@@ -218,7 +226,10 @@ impl<'g> Sim<'g> {
     fn run(&mut self, op_id: OpId) {
         self.peak = self.peak.max(self.transient_peak(op_id));
         let in_place = self.runs_in_place(op_id);
-        let op = self.graph.op(op_id).clone();
+        // Borrow the op through the graph reference (not `self`) so the
+        // &mut self bookkeeping below needs no per-op clone of the op.
+        let graph = self.graph;
+        let op = graph.op(op_id);
         let out_size = op
             .outputs
             .first()
@@ -274,11 +285,45 @@ pub fn footprint_with(
     scheduler: Scheduler,
     in_place: InPlacePolicy,
 ) -> Result<FootprintReport, UnboundSymbol> {
+    let sizes = tensor_sizes(graph, bindings)?;
+    Ok(footprint_with_sizes(graph, &sizes, scheduler, in_place))
+}
+
+/// Evaluate every tensor's byte size under `bindings`, indexed by
+/// [`TensorId::index`](crate::tensor::TensorId). The exact per-tensor
+/// rounding the simulation uses; precompute once to share across schedulers
+/// or sweep points.
+pub fn tensor_sizes(graph: &Graph, bindings: &Bindings) -> Result<Vec<u64>, UnboundSymbol> {
+    graph
+        .tensors()
+        .iter()
+        .map(|t| t.bytes_u64(bindings))
+        .collect()
+}
+
+/// [`footprint_with`] over precomputed tensor sizes (no symbolic
+/// evaluation). `Scheduler::Best` runs both heuristics against the same size
+/// table instead of re-evaluating it.
+pub fn footprint_with_sizes(
+    graph: &Graph,
+    sizes: &[u64],
+    scheduler: Scheduler,
+    in_place: InPlacePolicy,
+) -> FootprintReport {
     let _span = obs::span("cgraph.footprint")
         .with_arg("graph", graph.name.as_str())
         .with_arg("scheduler", format!("{scheduler:?}"))
         .with_arg("ops", graph.ops().len());
-    let mut sim = Sim::new(graph, bindings, in_place)?;
+    if scheduler == Scheduler::Best {
+        let program = footprint_with_sizes(graph, sizes, Scheduler::ProgramOrder, in_place);
+        let greedy = footprint_with_sizes(graph, sizes, Scheduler::GreedyMinPeak, in_place);
+        return if greedy.peak_bytes <= program.peak_bytes {
+            greedy
+        } else {
+            program
+        };
+    }
+    let mut sim = Sim::with_sizes(graph, sizes.to_vec(), in_place);
     let persistent_bytes: u64 = graph
         .tensors()
         .iter()
@@ -295,17 +340,53 @@ pub fn footprint_with(
             order
         }
         Scheduler::GreedyMinPeak => greedy_schedule(graph, &mut sim),
-        Scheduler::Best => {
-            let program = footprint_with(graph, bindings, Scheduler::ProgramOrder, in_place)?;
-            let greedy = footprint_with(graph, bindings, Scheduler::GreedyMinPeak, in_place)?;
-            return Ok(if greedy.peak_bytes <= program.peak_bytes {
-                greedy
-            } else {
-                program
-            });
-        }
+        Scheduler::Best => unreachable!("handled above"),
     };
 
+    FootprintReport {
+        peak_bytes: sim.peak,
+        persistent_bytes,
+        schedule,
+    }
+}
+
+/// The pre-optimization reference simulation: the naive greedy selection
+/// loop that rescans every ready op per step. Kept as the brute-force
+/// oracle for the scheduler-equivalence tests and the sweep benchmark
+/// baseline; [`footprint`] produces the identical schedule faster.
+pub fn footprint_reference(
+    graph: &Graph,
+    bindings: &Bindings,
+    scheduler: Scheduler,
+) -> Result<FootprintReport, UnboundSymbol> {
+    let in_place = InPlacePolicy::Never;
+    if scheduler == Scheduler::Best {
+        let program = footprint_reference(graph, bindings, Scheduler::ProgramOrder)?;
+        let greedy = footprint_reference(graph, bindings, Scheduler::GreedyMinPeak)?;
+        return Ok(if greedy.peak_bytes <= program.peak_bytes {
+            greedy
+        } else {
+            program
+        });
+    }
+    let mut sim = Sim::new(graph, bindings, in_place)?;
+    let persistent_bytes: u64 = graph
+        .tensors()
+        .iter()
+        .filter(|t| t.kind.is_persistent())
+        .map(|t| sim.size[t.id().index()])
+        .sum();
+    let schedule = match scheduler {
+        Scheduler::ProgramOrder => {
+            let order: Vec<OpId> = graph.ops().iter().map(|o| o.id()).collect();
+            for &op in &order {
+                sim.run(op);
+            }
+            order
+        }
+        Scheduler::GreedyMinPeak => greedy_schedule_reference(graph, &mut sim),
+        Scheduler::Best => unreachable!("handled above"),
+    };
     Ok(FootprintReport {
         peak_bytes: sim.peak,
         persistent_bytes,
@@ -313,7 +394,98 @@ pub fn footprint_with(
     })
 }
 
+/// The scheduler's selection key for a ready op under the current state.
+///
+/// The reference loop minimizes `(delta, transient_peak, id)` where
+/// `transient_peak = mem + alloc_bytes`; `mem` is shared by every candidate
+/// within one selection step, so minimizing `(delta, alloc_bytes, id)` picks
+/// the same op — and unlike `transient_peak`, this key only changes when the
+/// state of the op's own input tensors changes, making it incrementally
+/// maintainable.
+fn greedy_key(sim: &Sim<'_>, op: OpId) -> (i128, u64, u32) {
+    (sim.delta(op), sim.alloc_bytes(op), op.0)
+}
+
+/// Greedy min-peak traversal with an incrementally maintained ready set.
+///
+/// Produces exactly the schedule of [`greedy_schedule_reference`]: same
+/// selection key ordering (see [`greedy_key`]), and keys are refreshed for
+/// precisely the ready ops whose key inputs changed — the consumers of the
+/// executed op's non-persistent operand tensors. Persistent tensors
+/// (weights, optimizer state) never satisfy the dying-input or in-place
+/// conditions the key reads, so their high-fanout consumer lists are
+/// skipped, which is what removes the O(ready²) rescan cost.
 fn greedy_schedule(graph: &Graph, sim: &mut Sim<'_>) -> Vec<OpId> {
+    let n_ops = graph.ops().len();
+    // deps[o] = not-yet-executed producer-backed input occurrences.
+    let mut deps = vec![0usize; n_ops];
+    for op in graph.ops() {
+        deps[op.id().index()] = op
+            .inputs
+            .iter()
+            .filter(|&&i| graph.producer(i).is_some())
+            .count();
+    }
+    let mut ready: std::collections::BTreeSet<(i128, u64, u32)> = std::collections::BTreeSet::new();
+    let mut cur_key: Vec<Option<(i128, u64, u32)>> = vec![None; n_ops];
+    for op in graph.ops() {
+        if deps[op.id().index()] == 0 {
+            let k = greedy_key(sim, op.id());
+            ready.insert(k);
+            cur_key[op.id().index()] = Some(k);
+        }
+    }
+    let mut schedule = Vec::with_capacity(n_ops);
+
+    while let Some(&k) = ready.iter().next() {
+        let op_id = OpId(k.2);
+        ready.remove(&k);
+        cur_key[op_id.index()] = None;
+        sim.run(op_id);
+        schedule.push(op_id);
+        let op = graph.op(op_id);
+        // Unlock dependents: one decrement per consumer edge matches the
+        // per-occurrence count in `deps`.
+        for &out in &op.outputs {
+            for &c in graph.consumers(out) {
+                let ci = c.index();
+                deps[ci] -= 1;
+                if deps[ci] == 0 {
+                    let k = greedy_key(sim, c);
+                    ready.insert(k);
+                    cur_key[ci] = Some(k);
+                }
+            }
+        }
+        // Refresh ready ops whose key may have changed: consumers of the
+        // tensors whose refcount/liveness this op just touched.
+        for &t in op.inputs.iter().chain(op.outputs.iter()) {
+            if sim.persistent(t.index()) {
+                continue;
+            }
+            for &c in graph.consumers(t) {
+                let ci = c.index();
+                if let Some(old) = cur_key[ci] {
+                    let new = greedy_key(sim, c);
+                    if new != old {
+                        ready.remove(&old);
+                        ready.insert(new);
+                        cur_key[ci] = Some(new);
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(
+        schedule.len(),
+        n_ops,
+        "greedy scheduler failed to schedule every op (cycle?)"
+    );
+    schedule
+}
+
+/// The original greedy loop: full rescan of the ready list per step.
+fn greedy_schedule_reference(graph: &Graph, sim: &mut Sim<'_>) -> Vec<OpId> {
     let n_ops = graph.ops().len();
     // Dependency counts: number of producer ops that must run first.
     let mut deps = vec![0usize; n_ops];
@@ -506,6 +678,70 @@ mod tests {
         let gr = footprint(&g, &Bindings::new(), Scheduler::GreedyMinPeak).unwrap();
         let best = footprint(&g, &Bindings::new(), Scheduler::Best).unwrap();
         assert_eq!(best.peak_bytes, po.peak_bytes.min(gr.peak_bytes));
+    }
+
+    /// A training graph with enough fan-out and reclaimable tensors to make
+    /// the greedy ready-set nontrivial.
+    fn equivalence_graph() -> Graph {
+        let mut g = Graph::new("equiv");
+        let b = Expr::sym("eq_b");
+        let mut t = g
+            .input("x", [b.clone(), Expr::int(48)], DType::F32)
+            .unwrap();
+        let w_shared = g
+            .weight("w_shared", [Expr::int(48), Expr::int(48)])
+            .unwrap();
+        for i in 0..6 {
+            let u = g
+                .matmul(&format!("fc{i}"), t, w_shared, false, false)
+                .unwrap();
+            let v = g.unary(&format!("act{i}"), PointwiseFn::Tanh, u).unwrap();
+            t = g
+                .binary(&format!("res{i}"), PointwiseFn::Add, v, t)
+                .unwrap();
+        }
+        let labels = g.input("labels", [b], DType::I32).unwrap();
+        let loss = g.cross_entropy("loss", t, labels).unwrap();
+        build_training_step(&mut g, loss).unwrap();
+        g
+    }
+
+    #[test]
+    fn incremental_greedy_matches_reference_schedule() {
+        let g = equivalence_graph();
+        let bind = Bindings::new().with("eq_b", 16.0);
+        let fast = footprint(&g, &bind, Scheduler::GreedyMinPeak).unwrap();
+        let reference = footprint_reference(&g, &bind, Scheduler::GreedyMinPeak).unwrap();
+        assert_eq!(fast.schedule, reference.schedule);
+        assert_eq!(fast.peak_bytes, reference.peak_bytes);
+        assert_eq!(fast.persistent_bytes, reference.persistent_bytes);
+    }
+
+    #[test]
+    fn incremental_greedy_matches_reference_in_place() {
+        let g = equivalence_graph();
+        let bind = Bindings::new().with("eq_b", 16.0);
+        let sizes = tensor_sizes(&g, &bind).unwrap();
+        let fast = footprint_with_sizes(
+            &g,
+            &sizes,
+            Scheduler::GreedyMinPeak,
+            InPlacePolicy::Elementwise,
+        );
+        let mut sim = Sim::with_sizes(&g, sizes.clone(), InPlacePolicy::Elementwise);
+        let reference = greedy_schedule_reference(&g, &mut sim);
+        assert_eq!(fast.schedule, reference);
+        assert_eq!(fast.peak_bytes, sim.peak);
+    }
+
+    #[test]
+    fn best_shares_sizes_and_matches_reference() {
+        let g = equivalence_graph();
+        let bind = Bindings::new().with("eq_b", 8.0);
+        let fast = footprint(&g, &bind, Scheduler::Best).unwrap();
+        let reference = footprint_reference(&g, &bind, Scheduler::Best).unwrap();
+        assert_eq!(fast.peak_bytes, reference.peak_bytes);
+        assert_eq!(fast.schedule, reference.schedule);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! a valid topological order. [`Graph::validate`] re-checks the invariants.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 use symath::Expr;
@@ -65,6 +66,17 @@ impl std::fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
+/// Flat CSR consumer index: the ops consuming tensor `t` are
+/// `edges[offsets[t] .. offsets[t + 1]]`, in op-insertion order (the same
+/// order the old per-tensor `Vec<OpId>` lists held). Built lazily from the
+/// append-only edge log, so graph construction does one `Vec` push per
+/// consumed operand instead of one heap allocation per tensor.
+#[derive(Clone, Debug, Default)]
+struct ConsumerCsr {
+    offsets: Vec<u32>,
+    edges: Vec<OpId>,
+}
+
 /// A deep-learning training-step compute graph.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Graph {
@@ -73,7 +85,10 @@ pub struct Graph {
     pub(crate) tensors: Vec<Tensor>,
     pub(crate) ops: Vec<Op>,
     pub(crate) producer: Vec<Option<OpId>>,
-    pub(crate) consumers: Vec<Vec<OpId>>,
+    /// Append-only `(tensor index, consuming op)` log; the queryable CSR view
+    /// lives in `csr` and is rebuilt on demand after mutation.
+    consumer_edges: Vec<(u32, OpId)>,
+    csr: OnceLock<ConsumerCsr>,
     name_set: HashMap<String, TensorId>,
 }
 
@@ -111,9 +126,40 @@ impl Graph {
         self.producer[id.index()]
     }
 
-    /// Ops that consume `id`.
+    /// Ops that consume `id` (with multiplicity: an op consuming a tensor
+    /// twice appears twice, matching refcount semantics).
     pub fn consumers(&self, id: TensorId) -> &[OpId] {
-        &self.consumers[id.index()]
+        let csr = self.csr.get_or_init(|| self.build_csr());
+        let lo = csr.offsets[id.index()] as usize;
+        let hi = csr.offsets[id.index() + 1] as usize;
+        &csr.edges[lo..hi]
+    }
+
+    /// Build the CSR view by stable counting sort over the edge log: within
+    /// one tensor, edges keep insertion (op) order.
+    fn build_csr(&self) -> ConsumerCsr {
+        let n = self.tensors.len();
+        let mut offsets = vec![0u32; n + 1];
+        for &(t, _) in &self.consumer_edges {
+            offsets[t as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut edges = vec![OpId(0); self.consumer_edges.len()];
+        for &(t, op) in &self.consumer_edges {
+            let slot = &mut cursor[t as usize];
+            edges[*slot as usize] = op;
+            *slot += 1;
+        }
+        ConsumerCsr { offsets, edges }
+    }
+
+    /// Record that `op` consumes `t`, invalidating the CSR view.
+    pub(crate) fn record_consumer(&mut self, t: TensorId, op: OpId) {
+        self.consumer_edges.push((t.index() as u32, op));
+        self.csr = OnceLock::new();
     }
 
     /// Find a tensor by name.
@@ -141,7 +187,8 @@ impl Graph {
             kind,
         });
         self.producer.push(None);
-        self.consumers.push(Vec::new());
+        // A fresh tensor widens the CSR offsets table.
+        self.csr = OnceLock::new();
         Ok(id)
     }
 
@@ -203,7 +250,7 @@ impl Graph {
             out_ids.push(tid);
         }
         for &t in &inputs {
-            self.consumers[t.index()].push(op_id);
+            self.record_consumer(t, op_id);
         }
         self.ops.push(Op {
             id: op_id,

@@ -39,6 +39,7 @@
 
 mod autodiff;
 mod export;
+mod fold;
 mod footprint;
 mod graph;
 mod op;
@@ -49,7 +50,11 @@ mod transform;
 
 pub use autodiff::{build_training_step, TrainingStep};
 pub use export::OpCensus;
-pub use footprint::{footprint, footprint_with, FootprintReport, InPlacePolicy, Scheduler};
+pub use fold::{fold_classes, FoldClass, FoldReport};
+pub use footprint::{
+    footprint, footprint_reference, footprint_with, footprint_with_sizes, tensor_sizes,
+    FootprintReport, InPlacePolicy, Scheduler,
+};
 pub use graph::{Graph, GraphError};
 pub use op::{
     conv_out_dim, op_bytes, op_flops, Op, OpId, OpKind, Phase, PointwiseFn, PoolKind, ReduceKind,

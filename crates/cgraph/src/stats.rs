@@ -124,7 +124,53 @@ impl Graph {
     }
 
     /// Compute the full symbolic cost summary.
+    ///
+    /// Repeated cost-identical ops (unrolled timesteps, residual blocks) are
+    /// folded via [`fold_classes`](crate::fold::fold_classes): one
+    /// representative cost expression per class, scaled by the class size.
+    /// Because `symath` keeps expressions in canonical form with exact
+    /// rational coefficients, the result is the *same* `Expr` — and therefore
+    /// bit-identical under evaluation — as the op-by-op
+    /// [`stats_unfolded`](Graph::stats_unfolded) walk.
     pub fn stats(&self) -> GraphStats {
+        let fold = crate::fold::fold_classes(self);
+        let mut flops = Expr::zero();
+        let mut flops_forward = Expr::zero();
+        let mut flops_backward = Expr::zero();
+        let mut flops_update = Expr::zero();
+        let mut bytes_read = Expr::zero();
+        let mut bytes_written = Expr::zero();
+        for class in &fold.classes {
+            let op = self.op(class.rep);
+            let m = Expr::from(class.count);
+            let f = self.op_flops(op) * m.clone();
+            match op.phase {
+                Phase::Forward => flops_forward = flops_forward + &f,
+                Phase::Backward => flops_backward = flops_backward + &f,
+                Phase::Update => flops_update = flops_update + &f,
+            }
+            flops = flops + f;
+            let (r, w) = self.op_bytes(op);
+            bytes_read = bytes_read + r * m.clone();
+            bytes_written = bytes_written + w * m;
+        }
+        GraphStats {
+            flops,
+            flops_forward,
+            flops_backward,
+            flops_update,
+            bytes: bytes_read.clone() + bytes_written.clone(),
+            bytes_read,
+            bytes_written,
+            params: self.params(),
+            io: self.io_bytes(),
+        }
+    }
+
+    /// The pre-folding reference: accumulate every op's cost individually.
+    /// Kept as the brute-force oracle for the fold equivalence suite and the
+    /// sweep benchmark baseline.
+    pub fn stats_unfolded(&self) -> GraphStats {
         let mut flops = Expr::zero();
         let mut flops_forward = Expr::zero();
         let mut flops_backward = Expr::zero();

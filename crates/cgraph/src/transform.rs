@@ -102,7 +102,7 @@ pub fn apply_optimizer(
         }
         // Maintain the consumer index for the new operands.
         for s in state {
-            graph.consumers[s.index()].push(op_id);
+            graph.record_consumer(s, op_id);
         }
         rewritten += 1;
     }

@@ -56,14 +56,14 @@ pub fn attention_combine(
     wname: &str,
     context: TensorId,
     hidden: TensorId,
-    out_dim: u64,
+    out_dim: impl Into<Expr>,
 ) -> Result<TensorId, GraphError> {
     let cat = g.concat(&format!("{name}.cat"), &[context, hidden], 1)?;
     let w = match g.find(wname) {
         Some(w) => w,
         None => {
             let in_dim = g.tensor(cat).shape.dim(1).clone();
-            g.weight(wname, [in_dim, Expr::from(out_dim)])?
+            g.weight(wname, [in_dim, out_dim.into()])?
         }
     };
     let mixed = g.matmul(&format!("{name}.mix"), cat, w, false, false)?;

@@ -70,10 +70,10 @@ struct RhnSublayer {
 fn rhn_sublayer_weights(
     g: &mut Graph,
     name: &str,
-    hidden: u64,
+    hidden: Expr,
     with_input: bool,
 ) -> Result<RhnSublayer, GraphError> {
-    let h = Expr::from(hidden);
+    let h = hidden;
     let make =
         |g: &mut Graph, suffix: &str| g.weight(format!("{name}.{suffix}"), [h.clone(), h.clone()]);
     let (wx_h, wx_t) = if with_input {
@@ -148,22 +148,33 @@ fn rhn_sublayer(
 
 /// Build the forward graph for `cfg`.
 pub fn build_char_lm(cfg: &CharLmConfig) -> ModelGraph {
-    let mut g = Graph::new(format!("charlm_h{}", cfg.hidden));
+    build_char_lm_dims(cfg, Expr::from(cfg.hidden))
+}
+
+/// Build the forward graph with the hidden width given as an expression
+/// (possibly a free symbol). See [`build_word_lm_dims`] for the exactness
+/// contract shared by all `_dims` builders.
+///
+/// [`build_word_lm_dims`]: crate::wordlm::build_word_lm_dims
+pub fn build_char_lm_dims(cfg: &CharLmConfig, h: Expr) -> ModelGraph {
+    let mut g = Graph::new(format!("charlm_h{h}"));
     let b = batch();
-    let (v, h, q, d) = (cfg.vocab, cfg.hidden, cfg.seq_len, cfg.depth);
+    let (v, q, d) = (cfg.vocab, cfg.seq_len, cfg.depth);
 
     let chars = g
         .input("chars", [b.clone(), Expr::from(q)], DType::I32)
         .expect("fresh graph");
     let table = g
-        .weight("embedding", [Expr::from(v), Expr::from(h)])
+        .weight("embedding", [Expr::from(v), h.clone()])
         .expect("fresh graph");
     let embedded = g.gather("embed", table, chars).expect("gather");
     let xs = split_timesteps(&mut g, "steps", embedded, q).expect("split");
 
     // Shared sublayer weights across timesteps (recurrent reuse).
     let sublayers: Vec<RhnSublayer> = (0..d)
-        .map(|s| rhn_sublayer_weights(&mut g, &format!("rhn{s}"), h, s == 0).expect("weights"))
+        .map(|s| {
+            rhn_sublayer_weights(&mut g, &format!("rhn{s}"), h.clone(), s == 0).expect("weights")
+        })
         .collect();
 
     let mut state: Option<TensorId> = None;
@@ -182,22 +193,16 @@ pub fn build_char_lm(cfg: &CharLmConfig) -> ModelGraph {
         .iter()
         .enumerate()
         .map(|(t, &x)| {
-            g.reshape(
-                &format!("unsq{t}"),
-                x,
-                [b.clone(), Expr::one(), Expr::from(h)],
-            )
-            .expect("reshape")
+            g.reshape(&format!("unsq{t}"), x, [b.clone(), Expr::one(), h.clone()])
+                .expect("reshape")
         })
         .collect();
     let seq = g.concat("restack", &stacked, 1).expect("concat");
     let flat = g
-        .reshape("flatten", seq, [b.clone() * Expr::from(q), Expr::from(h)])
+        .reshape("flatten", seq, [b.clone() * Expr::from(q), h.clone()])
         .expect("reshape");
 
-    let wo = g
-        .weight("out.w", [Expr::from(h), Expr::from(v)])
-        .expect("w");
+    let wo = g.weight("out.w", [h.clone(), Expr::from(v)]).expect("w");
     let bo = g.weight("out.b", [Expr::from(v)]).expect("b");
     let logits = g.matmul("out", flat, wo, false, false).expect("matmul");
     let logits = g.bias_add("out_bias", logits, bo).expect("bias");

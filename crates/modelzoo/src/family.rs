@@ -1,0 +1,242 @@
+//! Width-symbolic model families for the symbolic sweep engine.
+//!
+//! A Figure 7–10 sweep varies exactly one hyperparameter per domain — the
+//! recurrent hidden width or the ResNet stem width — while the *structure*
+//! (layer counts, unroll length, vocabulary) stays fixed. All graphs in such
+//! a sweep are therefore instances of one **family**: the graph built with
+//! the width left as a free symbol ([`WIDTH_SYM`]).
+//!
+//! Exactness contract: the builders combine width dimensions only with ring
+//! operations (`+`, `×`), and [`symath::Expr`] keeps sums-of-terms in a
+//! canonical form with exact rational coefficients. Substituting the integer
+//! width back into a family expression (`Expr::bind_all`) therefore yields
+//! the *identical* canonical expression the concrete builder produces — so
+//! every downstream `eval` is bit-identical, not merely close.
+
+use symath::{Bindings, Expr};
+
+use crate::common::ModelGraph;
+use crate::sweep::ModelConfig;
+
+/// The free symbol standing in for the swept width hyperparameter (`hidden`
+/// for recurrent models, `width` for ResNet).
+pub const WIDTH_SYM: &str = "fam_h";
+
+/// The free symbol for the word-LM projection width (only present when the
+/// configuration enables a projection; its concrete value is derived from
+/// `hidden`, so it sweeps alongside [`WIDTH_SYM`]).
+pub const PROJ_SYM: &str = "fam_p";
+
+impl ModelConfig {
+    /// The family this configuration belongs to: its structure with the
+    /// swept width(s) erased. Two configurations with equal keys build
+    /// graphs that differ only in the values bound to [`WIDTH_SYM`] /
+    /// [`PROJ_SYM`] — i.e. [`build_family`](ModelConfig::build_family)
+    /// returns the same graph for both.
+    pub fn family_key(&self) -> String {
+        match self {
+            ModelConfig::WordLm(c) => format!(
+                "wordlm;v={};l={};q={};proj={};tied={}",
+                c.vocab,
+                c.layers,
+                c.seq_len,
+                c.projection.is_some(),
+                c.tied_embedding
+            ),
+            ModelConfig::CharLm(c) => {
+                format!("charlm;v={};d={};q={}", c.vocab, c.depth, c.seq_len)
+            }
+            ModelConfig::Nmt(c) => format!(
+                "nmt;v={};l={};qs={};qt={}",
+                c.vocab, c.decoder_layers, c.src_len, c.tgt_len
+            ),
+            ModelConfig::Speech(c) => format!(
+                "speech;f={};v={};l={};qa={};qt={}",
+                c.features, c.vocab, c.encoder_layers, c.audio_len, c.tgt_len
+            ),
+            ModelConfig::Resnet(c) => format!(
+                "resnet{};img={};cls={}",
+                c.depth.layers(),
+                c.image,
+                c.classes
+            ),
+        }
+    }
+
+    /// The integer values of this configuration's swept width symbols.
+    /// Binding these into a family graph's expressions (`Expr::bind_all`)
+    /// recovers the concrete model exactly.
+    pub fn family_widths(&self) -> Bindings {
+        match self {
+            ModelConfig::WordLm(c) => {
+                let mut b = Bindings::new().with(WIDTH_SYM, c.hidden as f64);
+                if let Some(p) = c.projection {
+                    b.set(PROJ_SYM, p as f64);
+                }
+                b
+            }
+            ModelConfig::CharLm(c) => Bindings::new().with(WIDTH_SYM, c.hidden as f64),
+            ModelConfig::Nmt(c) => Bindings::new().with(WIDTH_SYM, c.hidden as f64),
+            ModelConfig::Speech(c) => Bindings::new().with(WIDTH_SYM, c.hidden as f64),
+            ModelConfig::Resnet(c) => Bindings::new().with(WIDTH_SYM, c.width as f64),
+        }
+    }
+
+    /// Build the forward graph with the swept width(s) as free symbols.
+    pub fn build_family(&self) -> ModelGraph {
+        let h = Expr::sym(WIDTH_SYM);
+        match self {
+            ModelConfig::WordLm(c) => {
+                let p = c.projection.map(|_| Expr::sym(PROJ_SYM));
+                crate::wordlm::build_word_lm_dims(c, h, p)
+            }
+            ModelConfig::CharLm(c) => crate::charlm::build_char_lm_dims(c, h),
+            ModelConfig::Nmt(c) => crate::nmt::build_nmt_dims(c, h),
+            ModelConfig::Speech(c) => crate::speech::build_speech_dims(c, h),
+            ModelConfig::Resnet(c) => crate::resnet::build_resnet_dims(c, h),
+        }
+    }
+
+    /// Build the full width-symbolic training-step graph.
+    pub fn build_family_training(&self) -> ModelGraph {
+        self.build_family().into_training()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::Domain;
+    use crate::wordlm::WordLmConfig;
+    use cgraph::GraphStats;
+
+    fn small(domain: Domain) -> ModelConfig {
+        // Down-scaled structures so training graphs build fast.
+        match domain {
+            Domain::WordLm => ModelConfig::WordLm(WordLmConfig {
+                vocab: 500,
+                hidden: 48,
+                layers: 2,
+                seq_len: 5,
+                projection: None,
+                tied_embedding: true,
+            }),
+            Domain::CharLm => ModelConfig::CharLm(crate::CharLmConfig {
+                vocab: 60,
+                hidden: 40,
+                depth: 3,
+                seq_len: 4,
+            }),
+            Domain::Nmt => ModelConfig::Nmt(crate::NmtConfig {
+                vocab: 400,
+                hidden: 32,
+                decoder_layers: 2,
+                src_len: 4,
+                tgt_len: 3,
+            }),
+            Domain::Speech => ModelConfig::Speech(crate::SpeechConfig {
+                features: 8,
+                vocab: 20,
+                hidden: 24,
+                encoder_layers: 2,
+                audio_len: 8,
+                tgt_len: 3,
+            }),
+            Domain::ImageClassification => ModelConfig::Resnet(crate::ResNetConfig {
+                depth: crate::ResNetDepth::D18,
+                width: 16,
+                image: 32,
+                classes: 10,
+            }),
+        }
+    }
+
+    fn assert_stats_identical(family: &GraphStats, widths: &Bindings, concrete: &GraphStats) {
+        let pairs = [
+            (&family.flops, &concrete.flops, "flops"),
+            (&family.flops_forward, &concrete.flops_forward, "fwd"),
+            (&family.flops_backward, &concrete.flops_backward, "bwd"),
+            (&family.flops_update, &concrete.flops_update, "upd"),
+            (&family.bytes, &concrete.bytes, "bytes"),
+            (&family.bytes_read, &concrete.bytes_read, "read"),
+            (&family.bytes_written, &concrete.bytes_written, "written"),
+            (&family.params, &concrete.params, "params"),
+            (&family.io, &concrete.io, "io"),
+        ];
+        for (fam, conc, what) in pairs {
+            assert_eq!(&fam.bind_all(widths), conc, "{what} exprs diverge");
+        }
+    }
+
+    #[test]
+    fn family_substitution_reproduces_concrete_stats_all_domains() {
+        for domain in Domain::ALL {
+            let cfg = small(domain);
+            let fam = cfg.build_family_training();
+            let conc = cfg.build_training();
+            assert_stats_identical(
+                &fam.graph.stats(),
+                &cfg.family_widths(),
+                &conc.graph.stats(),
+            );
+        }
+    }
+
+    #[test]
+    fn family_substitution_reproduces_concrete_tensor_sizes() {
+        for domain in Domain::ALL {
+            let cfg = small(domain);
+            let fam = cfg.build_family_training();
+            let conc = cfg.build_training();
+            let widths = cfg.family_widths();
+            let batch = conc.bindings_with_batch(7);
+            assert_eq!(fam.graph.tensors().len(), conc.graph.tensors().len());
+            for (ft, ct) in fam.graph.tensors().iter().zip(conc.graph.tensors()) {
+                let fam_elems = ft.shape.elements().bind_all(&widths);
+                assert_eq!(fam_elems, ct.shape.elements(), "{}: elements", ct.name);
+                assert_eq!(
+                    fam_elems.eval_u64(&batch).unwrap() * ft.dtype.size_bytes(),
+                    ct.bytes_u64(&batch).unwrap(),
+                    "{}: bytes",
+                    ct.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn family_key_erases_width_only() {
+        for domain in Domain::ALL {
+            let a = ModelConfig::default_for(domain).with_target_params(10_000_000);
+            let b = ModelConfig::default_for(domain).with_target_params(200_000_000);
+            assert_eq!(a.family_key(), b.family_key(), "{domain:?}");
+            assert_ne!(
+                a.family_widths().get(symath::Symbol::new(WIDTH_SYM)),
+                b.family_widths().get(symath::Symbol::new(WIDTH_SYM)),
+                "{domain:?}"
+            );
+        }
+        let short = ModelConfig::default_for(Domain::WordLm).with_seq_len(10);
+        let long = ModelConfig::default_for(Domain::WordLm).with_seq_len(20);
+        assert_ne!(short.family_key(), long.family_key());
+    }
+
+    #[test]
+    fn wordlm_projection_sweeps_as_second_symbol() {
+        let cfg = ModelConfig::WordLm(WordLmConfig {
+            projection: Some(8),
+            tied_embedding: false,
+            vocab: 500,
+            hidden: 64,
+            layers: 1,
+            seq_len: 4,
+        });
+        let fam = cfg.build_family_training();
+        let conc = cfg.build_training();
+        assert_stats_identical(
+            &fam.graph.stats(),
+            &cfg.family_widths(),
+            &conc.graph.stats(),
+        );
+    }
+}

@@ -24,6 +24,7 @@
 pub mod attention;
 mod charlm;
 mod common;
+mod family;
 pub mod lstm;
 mod nmt;
 mod resnet;
@@ -32,11 +33,12 @@ mod sweep;
 mod transformer;
 mod wordlm;
 
-pub use charlm::{build_char_lm, CharLmConfig};
+pub use charlm::{build_char_lm, build_char_lm_dims, CharLmConfig};
 pub use common::{batch, Domain, ModelGraph, BATCH_SYM};
-pub use nmt::{build_nmt, NmtConfig};
-pub use resnet::{build_resnet, ResNetConfig, ResNetDepth};
-pub use speech::{build_speech, SpeechConfig};
+pub use family::{PROJ_SYM, WIDTH_SYM};
+pub use nmt::{build_nmt, build_nmt_dims, NmtConfig};
+pub use resnet::{build_resnet, build_resnet_dims, ResNetConfig, ResNetDepth};
+pub use speech::{build_speech, build_speech_dims, SpeechConfig};
 pub use sweep::{log_spaced_targets, sweep_configs, ModelConfig};
 pub use transformer::{build_transformer, TransformerConfig};
-pub use wordlm::{build_word_lm, WordLmConfig};
+pub use wordlm::{build_word_lm, build_word_lm_dims, WordLmConfig};

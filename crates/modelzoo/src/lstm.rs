@@ -19,22 +19,21 @@ pub struct LstmWeights {
     pub bias: TensorId,
 }
 
-/// Create the weights for one LSTM layer.
+/// Create the weights for one LSTM layer. Dims are `Into<Expr>` so width can
+/// be a concrete `u64` or a free symbol (symbolic model families); constant
+/// products like `4·h` fold to the same canonical `Expr` either way.
 pub fn lstm_weights(
     g: &mut Graph,
     name: &str,
-    in_dim: u64,
-    hidden: u64,
+    in_dim: impl Into<Expr>,
+    hidden: impl Into<Expr>,
 ) -> Result<LstmWeights, GraphError> {
-    let wx = g.weight(
-        format!("{name}.wx"),
-        [Expr::from(in_dim), Expr::from(4 * hidden)],
-    )?;
-    let wh = g.weight(
-        format!("{name}.wh"),
-        [Expr::from(hidden), Expr::from(4 * hidden)],
-    )?;
-    let bias = g.weight(format!("{name}.bias"), [Expr::from(4 * hidden)])?;
+    let in_dim = in_dim.into();
+    let hidden = hidden.into();
+    let four_h = Expr::from(4u64) * hidden.clone();
+    let wx = g.weight(format!("{name}.wx"), [in_dim, four_h.clone()])?;
+    let wh = g.weight(format!("{name}.wh"), [hidden, four_h.clone()])?;
+    let bias = g.weight(format!("{name}.bias"), [four_h])?;
     Ok(LstmWeights { wx, wh, bias })
 }
 
@@ -88,8 +87,8 @@ pub fn lstm_layer(
     g: &mut Graph,
     name: &str,
     xs: &[TensorId],
-    in_dim: u64,
-    hidden: u64,
+    in_dim: impl Into<Expr>,
+    hidden: impl Into<Expr>,
     reverse: bool,
 ) -> Result<Vec<TensorId>, GraphError> {
     let w = lstm_weights(g, name, in_dim, hidden)?;
@@ -117,10 +116,19 @@ pub fn bilstm_layer(
     g: &mut Graph,
     name: &str,
     xs: &[TensorId],
-    in_dim: u64,
-    hidden: u64,
+    in_dim: impl Into<Expr>,
+    hidden: impl Into<Expr>,
 ) -> Result<Vec<TensorId>, GraphError> {
-    let fwd = lstm_layer(g, &format!("{name}.fwd"), xs, in_dim, hidden, false)?;
+    let in_dim = in_dim.into();
+    let hidden = hidden.into();
+    let fwd = lstm_layer(
+        g,
+        &format!("{name}.fwd"),
+        xs,
+        in_dim.clone(),
+        hidden.clone(),
+        false,
+    )?;
     let bwd = lstm_layer(g, &format!("{name}.bwd"), xs, in_dim, hidden, true)?;
     let mut out = Vec::with_capacity(xs.len());
     for t in 0..xs.len() {
@@ -145,19 +153,16 @@ pub struct GruWeights {
 pub fn gru_weights(
     g: &mut Graph,
     name: &str,
-    in_dim: u64,
-    hidden: u64,
+    in_dim: impl Into<Expr>,
+    hidden: impl Into<Expr>,
 ) -> Result<GruWeights, GraphError> {
+    let in_dim = in_dim.into();
+    let hidden = hidden.into();
+    let three_h = Expr::from(3u64) * hidden.clone();
     Ok(GruWeights {
-        wx: g.weight(
-            format!("{name}.wx"),
-            [Expr::from(in_dim), Expr::from(3 * hidden)],
-        )?,
-        wh: g.weight(
-            format!("{name}.wh"),
-            [Expr::from(hidden), Expr::from(3 * hidden)],
-        )?,
-        bias: g.weight(format!("{name}.bias"), [Expr::from(3 * hidden)])?,
+        wx: g.weight(format!("{name}.wx"), [in_dim, three_h.clone()])?,
+        wh: g.weight(format!("{name}.wh"), [hidden, three_h.clone()])?,
+        bias: g.weight(format!("{name}.bias"), [three_h])?,
     })
 }
 
@@ -213,8 +218,8 @@ pub fn gru_layer(
     g: &mut Graph,
     name: &str,
     xs: &[TensorId],
-    in_dim: u64,
-    hidden: u64,
+    in_dim: impl Into<Expr>,
+    hidden: impl Into<Expr>,
 ) -> Result<Vec<TensorId>, GraphError> {
     let w = gru_weights(g, name, in_dim, hidden)?;
     let mut state: Option<TensorId> = None;

@@ -66,9 +66,18 @@ impl NmtConfig {
 
 /// Build the forward graph for `cfg`.
 pub fn build_nmt(cfg: &NmtConfig) -> ModelGraph {
-    let mut g = Graph::new(format!("nmt_h{}", cfg.hidden));
+    build_nmt_dims(cfg, Expr::from(cfg.hidden))
+}
+
+/// Build the forward graph with the hidden width given as an expression
+/// (possibly a free symbol). See [`build_word_lm_dims`] for the exactness
+/// contract shared by all `_dims` builders.
+///
+/// [`build_word_lm_dims`]: crate::wordlm::build_word_lm_dims
+pub fn build_nmt_dims(cfg: &NmtConfig, h: Expr) -> ModelGraph {
+    let mut g = Graph::new(format!("nmt_h{h}"));
     let b = batch();
-    let (v, h) = (cfg.vocab, cfg.hidden);
+    let v = cfg.vocab;
 
     // ---- Encoder ----
     let src = g
@@ -79,13 +88,21 @@ pub fn build_nmt(cfg: &NmtConfig) -> ModelGraph {
         )
         .expect("fresh graph");
     let src_table = g
-        .weight("src_embedding", [Expr::from(v), Expr::from(h)])
+        .weight("src_embedding", [Expr::from(v), h.clone()])
         .expect("weight");
     let src_emb = g.gather("src_embed", src_table, src).expect("gather");
     let src_steps = split_timesteps(&mut g, "src_steps", src_emb, cfg.src_len).expect("split");
 
-    let bi = bilstm_layer(&mut g, "enc.bi", &src_steps, h, h).expect("bilstm");
-    let enc_top = lstm_layer(&mut g, "enc.l1", &bi, 2 * h, h, false).expect("enc lstm");
+    let bi = bilstm_layer(&mut g, "enc.bi", &src_steps, h.clone(), h.clone()).expect("bilstm");
+    let enc_top = lstm_layer(
+        &mut g,
+        "enc.l1",
+        &bi,
+        Expr::from(2u64) * h.clone(),
+        h.clone(),
+        false,
+    )
+    .expect("enc lstm");
     let memory = stack_timesteps(&mut g, "enc.memory", &enc_top).expect("stack");
 
     // ---- Decoder ----
@@ -97,22 +114,36 @@ pub fn build_nmt(cfg: &NmtConfig) -> ModelGraph {
         )
         .expect("input");
     let tgt_table = g
-        .weight("tgt_embedding", [Expr::from(v), Expr::from(h)])
+        .weight("tgt_embedding", [Expr::from(v), h.clone()])
         .expect("weight");
     let tgt_emb = g.gather("tgt_embed", tgt_table, tgt).expect("gather");
     let mut dec_steps = split_timesteps(&mut g, "tgt_steps", tgt_emb, cfg.tgt_len).expect("split");
 
     for layer in 0..cfg.decoder_layers {
-        dec_steps = lstm_layer(&mut g, &format!("dec.l{layer}"), &dec_steps, h, h, false)
-            .expect("dec lstm");
+        dec_steps = lstm_layer(
+            &mut g,
+            &format!("dec.l{layer}"),
+            &dec_steps,
+            h.clone(),
+            h.clone(),
+            false,
+        )
+        .expect("dec lstm");
     }
 
     // Per-step attention + combine.
     let mut attn_outs = Vec::with_capacity(dec_steps.len());
     for (t, &h_t) in dec_steps.iter().enumerate() {
         let ctx = attention_step(&mut g, &format!("attn.t{t}"), h_t, memory).expect("attention");
-        let out = attention_combine(&mut g, &format!("attn.t{t}"), "attn.wc", ctx, h_t, h)
-            .expect("combine");
+        let out = attention_combine(
+            &mut g,
+            &format!("attn.t{t}"),
+            "attn.wc",
+            ctx,
+            h_t,
+            h.clone(),
+        )
+        .expect("combine");
         attn_outs.push(out);
     }
 
@@ -122,12 +153,10 @@ pub fn build_nmt(cfg: &NmtConfig) -> ModelGraph {
         .reshape(
             "flatten",
             stacked,
-            [b.clone() * Expr::from(cfg.tgt_len), Expr::from(h)],
+            [b.clone() * Expr::from(cfg.tgt_len), h.clone()],
         )
         .expect("reshape");
-    let wo = g
-        .weight("out.w", [Expr::from(h), Expr::from(v)])
-        .expect("w");
+    let wo = g.weight("out.w", [h.clone(), Expr::from(v)]).expect("w");
     let bo = g.weight("out.b", [Expr::from(v)]).expect("b");
     let logits = g.matmul("out", flat, wo, false, false).expect("matmul");
     let logits = g.bias_add("out_bias", logits, bo).expect("bias");

@@ -83,11 +83,13 @@ impl Default for ResNetConfig {
     }
 }
 
-/// One convolution in the statically enumerated layer plan.
-#[derive(Clone, Copy, Debug)]
-struct ConvSpec {
-    cin: u64,
-    cout: u64,
+/// One convolution in the statically enumerated layer plan, generic over the
+/// channel-count representation: `u64` for the closed-form parameter count,
+/// [`Expr`] for the graph builder (where the width may be a free symbol).
+#[derive(Clone, Debug)]
+struct ConvSpec<C> {
+    cin: C,
+    cout: C,
     k: u64,
     stride: u64,
     pad: u64,
@@ -97,7 +99,7 @@ struct ConvSpec {
 
 /// Enumerate every convolution the builder will create, in order. Shared by
 /// the parameter formula and (indirectly) the tests so the two cannot drift.
-fn conv_plan(cfg: &ResNetConfig) -> Vec<ConvSpec> {
+fn conv_plan(cfg: &ResNetConfig) -> Vec<ConvSpec<u64>> {
     let w = cfg.width;
     let mut plan = vec![ConvSpec {
         cin: 3,
@@ -224,21 +226,21 @@ fn conv_bn_relu(
     g: &mut Graph,
     name: &str,
     x: TensorId,
-    spec: &ConvSpec,
+    spec: &ConvSpec<Expr>,
     relu: bool,
 ) -> Result<TensorId, GraphError> {
     let w = g.weight(
         format!("{name}.w"),
         [
-            Expr::from(spec.cout),
-            Expr::from(spec.cin),
+            spec.cout.clone(),
+            spec.cin.clone(),
             Expr::from(spec.k),
             Expr::from(spec.k),
         ],
     )?;
     let mut y = g.conv2d(name, x, w, spec.stride, spec.pad)?;
     if spec.bn {
-        let gamma = g.weight(format!("{name}.bn"), [Expr::from(2 * spec.cout)])?;
+        let gamma = g.weight(format!("{name}.bn"), [Expr::from(2u64) * spec.cout.clone()])?;
         y = g.batch_norm(&format!("{name}.bn_op"), y, gamma)?;
     }
     if relu {
@@ -249,9 +251,19 @@ fn conv_bn_relu(
 
 /// Build the forward graph for `cfg`.
 pub fn build_resnet(cfg: &ResNetConfig) -> ModelGraph {
-    let mut g = Graph::new(format!("resnet{}_w{}", cfg.depth.layers(), cfg.width));
+    build_resnet_dims(cfg, Expr::from(cfg.width))
+}
+
+/// Build the forward graph with the stem width given as an expression
+/// (possibly a free symbol). Channel counts are `width` times a constant
+/// (`w·2^gi`, `·expansion`), so the `u64` shifts of [`conv_plan`] map onto
+/// exact ring products here; see [`build_word_lm_dims`] for the shared
+/// exactness contract.
+///
+/// [`build_word_lm_dims`]: crate::wordlm::build_word_lm_dims
+pub fn build_resnet_dims(cfg: &ResNetConfig, w: Expr) -> ModelGraph {
+    let mut g = Graph::new(format!("resnet{}_w{w}", cfg.depth.layers()));
     let b = batch();
-    let w = cfg.width;
 
     let image = g
         .input(
@@ -267,8 +279,8 @@ pub fn build_resnet(cfg: &ResNetConfig) -> ModelGraph {
         .expect("fresh graph");
 
     let stem_spec = ConvSpec {
-        cin: 3,
-        cout: w,
+        cin: Expr::int(3),
+        cout: w.clone(),
         k: 7,
         stride: 2,
         pad: 3,
@@ -279,18 +291,20 @@ pub fn build_resnet(cfg: &ResNetConfig) -> ModelGraph {
         .pool("stem.pool", PoolKind::Max, x, 3, 2, 1)
         .expect("pool");
 
-    let expansion = if cfg.depth.bottleneck() { 4 } else { 1 };
-    let mut cin = w;
+    let expansion = if cfg.depth.bottleneck() { 4u64 } else { 1 };
+    let mut cin = w.clone();
     for (gi, &nblocks) in cfg.depth.blocks().iter().enumerate() {
-        let cmid = w << gi;
-        let cout = cmid * expansion;
+        let cmid = w.clone() * Expr::from(1u64 << gi);
+        let cout = cmid.clone() * Expr::from(expansion);
         for bi in 0..nblocks {
             let stride = if gi > 0 && bi == 0 { 2 } else { 1 };
             let prefix = format!("g{gi}.b{bi}");
+            // Channel exprs are `constant·w`, so structural equality here
+            // decides exactly as the `u64` comparison in `conv_plan` does.
             let shortcut = if bi == 0 && (stride != 1 || cin != cout) {
                 let spec = ConvSpec {
-                    cin,
-                    cout,
+                    cin: cin.clone(),
+                    cout: cout.clone(),
                     k: 1,
                     stride,
                     pad: 0,
@@ -302,24 +316,24 @@ pub fn build_resnet(cfg: &ResNetConfig) -> ModelGraph {
             };
             let body = if cfg.depth.bottleneck() {
                 let s1 = ConvSpec {
-                    cin,
-                    cout: cmid,
+                    cin: cin.clone(),
+                    cout: cmid.clone(),
                     k: 1,
                     stride: 1,
                     pad: 0,
                     bn: true,
                 };
                 let s2 = ConvSpec {
-                    cin: cmid,
-                    cout: cmid,
+                    cin: cmid.clone(),
+                    cout: cmid.clone(),
                     k: 3,
                     stride,
                     pad: 1,
                     bn: true,
                 };
                 let s3 = ConvSpec {
-                    cin: cmid,
-                    cout,
+                    cin: cmid.clone(),
+                    cout: cout.clone(),
                     k: 1,
                     stride: 1,
                     pad: 0,
@@ -330,16 +344,16 @@ pub fn build_resnet(cfg: &ResNetConfig) -> ModelGraph {
                 conv_bn_relu(&mut g, &format!("{prefix}.c3"), y, &s3, false).expect("c3")
             } else {
                 let s1 = ConvSpec {
-                    cin,
-                    cout,
+                    cin: cin.clone(),
+                    cout: cout.clone(),
                     k: 3,
                     stride,
                     pad: 1,
                     bn: true,
                 };
                 let s2 = ConvSpec {
-                    cin: cout,
-                    cout,
+                    cin: cout.clone(),
+                    cout: cout.clone(),
                     k: 3,
                     stride: 1,
                     pad: 1,
@@ -354,7 +368,7 @@ pub fn build_resnet(cfg: &ResNetConfig) -> ModelGraph {
             x = g
                 .unary(&format!("{prefix}.relu"), PointwiseFn::Relu, sum)
                 .expect("relu");
-            cin = cout;
+            cin = cout.clone();
         }
     }
 
@@ -362,12 +376,13 @@ pub fn build_resnet(cfg: &ResNetConfig) -> ModelGraph {
     let spatial = g.tensor(x).shape.dim(2).clone();
     let k = spatial.as_const().expect("spatial dims are constant").num() as u64;
     x = g.pool("head.gap", PoolKind::Avg, x, k, k, 0).expect("gap");
-    let cfinal = cfg.final_channels();
+    // `final_channels` recomputed in expr space: (w·2³)·expansion.
+    let cfinal = w * Expr::from(8 * expansion);
     let flat = g
-        .reshape("head.flat", x, [b.clone(), Expr::from(cfinal)])
+        .reshape("head.flat", x, [b.clone(), cfinal.clone()])
         .expect("reshape");
     let wo = g
-        .weight("head.fc", [Expr::from(cfinal), Expr::from(cfg.classes)])
+        .weight("head.fc", [cfinal, Expr::from(cfg.classes)])
         .expect("fc");
     let bo = g
         .weight("head.fc_bias", [Expr::from(cfg.classes)])

@@ -79,13 +79,21 @@ impl SpeechConfig {
 
 /// Build the forward graph for `cfg`.
 pub fn build_speech(cfg: &SpeechConfig) -> ModelGraph {
+    build_speech_dims(cfg, Expr::from(cfg.hidden))
+}
+
+/// Build the forward graph with the hidden width given as an expression
+/// (possibly a free symbol). See [`build_word_lm_dims`] for the exactness
+/// contract shared by all `_dims` builders.
+///
+/// [`build_word_lm_dims`]: crate::wordlm::build_word_lm_dims
+pub fn build_speech_dims(cfg: &SpeechConfig, h: Expr) -> ModelGraph {
     assert!(
         cfg.audio_len.is_multiple_of(1 << (cfg.encoder_layers - 1)),
         "audio_len must be divisible by 2^(encoder_layers-1)"
     );
-    let mut g = Graph::new(format!("speech_h{}", cfg.hidden));
+    let mut g = Graph::new(format!("speech_h{h}"));
     let b = batch();
-    let h = cfg.hidden;
 
     // ---- Encoder ----
     let audio = g
@@ -100,11 +108,17 @@ pub fn build_speech(cfg: &SpeechConfig) -> ModelGraph {
         )
         .expect("fresh graph");
     let mut steps = split_timesteps(&mut g, "frames", audio, cfg.audio_len).expect("split");
-    let mut in_dim = cfg.features;
+    let mut in_dim = Expr::from(cfg.features);
     for layer in 0..cfg.encoder_layers {
-        let outs =
-            bilstm_layer(&mut g, &format!("enc.l{layer}"), &steps, in_dim, h).expect("bilstm");
-        in_dim = 2 * h;
+        let outs = bilstm_layer(
+            &mut g,
+            &format!("enc.l{layer}"),
+            &steps,
+            in_dim.clone(),
+            h.clone(),
+        )
+        .expect("bilstm");
+        in_dim = Expr::from(2u64) * h.clone();
         if layer + 1 < cfg.encoder_layers {
             // Pyramidal time pooling: stack, halve the time axis, re-split.
             let stacked =
@@ -130,15 +144,16 @@ pub fn build_speech(cfg: &SpeechConfig) -> ModelGraph {
         )
         .expect("input");
     let tgt_table = g
-        .weight("tgt_embedding", [Expr::from(cfg.vocab), Expr::from(h)])
+        .weight("tgt_embedding", [Expr::from(cfg.vocab), h.clone()])
         .expect("weight");
     let tgt_emb = g.gather("tgt_embed", tgt_table, tgt).expect("gather");
     let dec_in = split_timesteps(&mut g, "tgt_steps", tgt_emb, cfg.tgt_len).expect("split");
-    let dec_h = lstm_layer(&mut g, "dec.l0", &dec_in, h, h, false).expect("dec lstm");
+    let dec_h =
+        lstm_layer(&mut g, "dec.l0", &dec_in, h.clone(), h.clone(), false).expect("dec lstm");
 
     // Project decoder queries to the 2h-wide encoder memory.
     let wq = g
-        .weight("attn.wq", [Expr::from(h), Expr::from(2 * h)])
+        .weight("attn.wq", [h.clone(), Expr::from(2u64) * h.clone()])
         .expect("weight");
     let mut attn_outs = Vec::with_capacity(dec_h.len());
     for (t, &h_t) in dec_h.iter().enumerate() {
@@ -146,8 +161,15 @@ pub fn build_speech(cfg: &SpeechConfig) -> ModelGraph {
             .matmul(&format!("attn.t{t}.qproj"), h_t, wq, false, false)
             .expect("qproj");
         let ctx = attention_step(&mut g, &format!("attn.t{t}"), q, memory).expect("attention");
-        let out = attention_combine(&mut g, &format!("attn.t{t}"), "attn.wc", ctx, h_t, h)
-            .expect("combine");
+        let out = attention_combine(
+            &mut g,
+            &format!("attn.t{t}"),
+            "attn.wc",
+            ctx,
+            h_t,
+            h.clone(),
+        )
+        .expect("combine");
         attn_outs.push(out);
     }
 
@@ -157,11 +179,11 @@ pub fn build_speech(cfg: &SpeechConfig) -> ModelGraph {
         .reshape(
             "flatten",
             stacked,
-            [b.clone() * Expr::from(cfg.tgt_len), Expr::from(h)],
+            [b.clone() * Expr::from(cfg.tgt_len), h.clone()],
         )
         .expect("reshape");
     let wo = g
-        .weight("out.w", [Expr::from(h), Expr::from(cfg.vocab)])
+        .weight("out.w", [h.clone(), Expr::from(cfg.vocab)])
         .expect("w");
     let bo = g.weight("out.b", [Expr::from(cfg.vocab)]).expect("b");
     let logits = g.matmul("out", flat, wo, false, false).expect("matmul");

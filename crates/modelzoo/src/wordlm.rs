@@ -93,25 +93,45 @@ impl WordLmConfig {
 
 /// Build the forward graph for `cfg`.
 pub fn build_word_lm(cfg: &WordLmConfig) -> ModelGraph {
+    build_word_lm_dims(cfg, Expr::from(cfg.hidden), cfg.projection.map(Expr::from))
+}
+
+/// Build the forward graph with the width dimensions given as expressions.
+///
+/// `cfg` supplies the *structure* (vocab, layer count, unroll length, tying,
+/// whether a projection exists); `h` and `projection` supply the widths and
+/// may be free symbols. Passing `Expr::from(cfg.hidden)` reproduces
+/// [`build_word_lm`] exactly: the builder only combines widths with ring
+/// operations (`+`, `×`), so an integer width and a symbol later substituted
+/// with that integer yield the same canonical cost expressions.
+pub fn build_word_lm_dims(cfg: &WordLmConfig, h: Expr, projection: Option<Expr>) -> ModelGraph {
     assert!(
-        !(cfg.tied_embedding && cfg.projection.is_some()),
+        !(cfg.tied_embedding && projection.is_some()),
         "weight tying is incompatible with an LSTM projection"
     );
-    let mut g = Graph::new(format!("wordlm_h{}", cfg.hidden));
+    let mut g = Graph::new(format!("wordlm_h{h}"));
     let b = batch();
-    let (v, h, q) = (cfg.vocab, cfg.hidden, cfg.seq_len);
+    let (v, q) = (cfg.vocab, cfg.seq_len);
 
     let tokens = g
         .input("tokens", [b.clone(), Expr::from(q)], DType::I32)
         .expect("fresh graph");
     let table = g
-        .weight("embedding", [Expr::from(v), Expr::from(h)])
+        .weight("embedding", [Expr::from(v), h.clone()])
         .expect("fresh graph");
     let embedded = g.gather("embed", table, tokens).expect("gather");
 
     let mut xs = split_timesteps(&mut g, "steps", embedded, q).expect("split");
     for layer in 0..cfg.layers {
-        xs = lstm_layer(&mut g, &format!("lstm{layer}"), &xs, h, h, false).expect("lstm layer");
+        xs = lstm_layer(
+            &mut g,
+            &format!("lstm{layer}"),
+            &xs,
+            h.clone(),
+            h.clone(),
+            false,
+        )
+        .expect("lstm layer");
     }
 
     // Stack the per-step hiddens back to [b·q, h] for the output projection.
@@ -120,24 +140,20 @@ pub fn build_word_lm(cfg: &WordLmConfig) -> ModelGraph {
             .iter()
             .enumerate()
             .map(|(t, &x)| {
-                g.reshape(
-                    &format!("unsq{t}"),
-                    x,
-                    [b.clone(), Expr::one(), Expr::from(h)],
-                )
-                .expect("reshape")
+                g.reshape(&format!("unsq{t}"), x, [b.clone(), Expr::one(), h.clone()])
+                    .expect("reshape")
             })
             .collect();
         g.concat("restack", &stacked, 1).expect("concat")
     };
     let flat = g
-        .reshape("flatten", seq, [b.clone() * Expr::from(q), Expr::from(h)])
+        .reshape("flatten", seq, [b.clone() * Expr::from(q), h.clone()])
         .expect("reshape");
 
-    let features = match cfg.projection {
+    let features = match &projection {
         Some(p) => {
             let wp = g
-                .weight("proj.w", [Expr::from(h), Expr::from(p)])
+                .weight("proj.w", [h.clone(), p.clone()])
                 .expect("proj weight");
             g.matmul("proj", flat, wp, false, false).expect("proj")
         }
@@ -145,14 +161,14 @@ pub fn build_word_lm(cfg: &WordLmConfig) -> ModelGraph {
     };
 
     let bo = g.weight("out.b", [Expr::from(v)]).expect("out bias");
-    let logits = if cfg.tied_embedding && cfg.projection.is_none() {
+    let logits = if cfg.tied_embedding && projection.is_none() {
         // Weight tying: logits = features · tableᵀ.
         g.matmul("out", features, table, false, true)
             .expect("out matmul")
     } else {
-        let feat_dim = cfg.projection.unwrap_or(h);
+        let feat_dim = projection.unwrap_or(h);
         let wo = g
-            .weight("out.w", [Expr::from(feat_dim), Expr::from(v)])
+            .weight("out.w", [feat_dim, Expr::from(v)])
             .expect("out weight");
         g.matmul("out", features, wo, false, false)
             .expect("out matmul")

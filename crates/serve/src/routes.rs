@@ -28,6 +28,8 @@ const MAX_PARAMS: u64 = 200_000_000_000;
 const MAX_SUBBATCH: u64 = 1 << 20;
 /// Accelerator-count search caps for `/v1/plan`.
 const MAX_ACCELS: u64 = 1 << 22;
+/// Grid-size cap for `/v1/sweep`.
+const MAX_SWEEP_POINTS: usize = 64;
 
 /// One endpoint's handler function.
 type Handler = fn(&AppState, &Query) -> Result<Routed, ApiError>;
@@ -69,6 +71,7 @@ pub fn dispatch(state: &AppState, req: &Request) -> Routed {
     let _span = obs::span("serve.request").with_arg("path", req.path.as_str());
     let (endpoint, handler): (&'static str, Handler) = match req.path.as_str() {
         "/v1/characterize" => ("characterize", characterize_route),
+        "/v1/sweep" => ("sweep", sweep_route),
         "/v1/project" => ("project", project_route),
         "/v1/subbatch" => ("subbatch", subbatch_route),
         "/v1/plan" => ("plan", plan_route),
@@ -181,6 +184,85 @@ fn characterize_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
                     .set("footprint_bytes", point.footprint_bytes)
                     .set("seq_len", point.seq_len),
             )
+    })
+}
+
+/// `GET /v1/sweep?domain=&lo=&hi=&points=&subbatch=` — a whole Figures 7–10
+/// grid in one query. The grid is answered through the process-wide
+/// [`analysis::FamilyEngine`]: one width-symbolic family build (shared with
+/// every other sweep of the same structural family), then exact per-point
+/// substitution. The memo key is therefore built from the *family* key plus
+/// the grid parameters, not from any single concrete configuration — two
+/// grids over the same family share the engine's cached symbolic build even
+/// when their memoized bodies differ.
+fn sweep_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
+    q.check_known(&["domain", "lo", "hi", "points", "subbatch"])?;
+    let domain = q.domain()?;
+    let lo = q.opt::<u64>("lo")?.unwrap_or(1_000_000);
+    let hi = q.opt::<u64>("hi")?.unwrap_or(10_000_000_000);
+    for (name, v) in [("lo", lo), ("hi", hi)] {
+        if !(MIN_PARAMS..=MAX_PARAMS).contains(&v) {
+            return Err(ApiError::bad_request(
+                "params_out_of_range",
+                format!("{name} must be in {MIN_PARAMS}..={MAX_PARAMS}, got {v}"),
+            ));
+        }
+    }
+    if lo >= hi {
+        return Err(ApiError::bad_request(
+            "empty_range",
+            format!("lo must be below hi, got lo={lo} hi={hi}"),
+        ));
+    }
+    let points = q.opt::<usize>("points")?.unwrap_or(9);
+    if !(2..=MAX_SWEEP_POINTS).contains(&points) {
+        return Err(ApiError::bad_request(
+            "points_out_of_range",
+            format!("points must be in 2..={MAX_SWEEP_POINTS}, got {points}"),
+        ));
+    }
+    let subbatch = q
+        .opt::<u64>("subbatch")?
+        .unwrap_or_else(|| domain.default_subbatch());
+    if !(1..=MAX_SUBBATCH).contains(&subbatch) {
+        return Err(ApiError::bad_request(
+            "subbatch_out_of_range",
+            format!("subbatch must be in 1..={MAX_SUBBATCH}, got {subbatch}"),
+        ));
+    }
+    let key = QueryKey::new("sweep")
+        .field("family", ModelConfig::default_for(domain).family_key())
+        .field("lo", lo)
+        .field("hi", hi)
+        .field("points", points)
+        .field("subbatch", subbatch);
+    memoized(state, &key, "sweep", move || {
+        let engine = analysis::FamilyEngine::global();
+        let mut grid: Vec<_> = modelzoo::sweep_configs(domain, lo, hi, points)
+            .iter()
+            .map(|cfg| engine.characterize(cfg, subbatch))
+            .collect();
+        grid.sort_by(|a, b| a.params.partial_cmp(&b.params).expect("finite"));
+        let rendered: Vec<Json> = grid
+            .iter()
+            .map(|p| {
+                Json::obj()
+                    .set("params", p.params)
+                    .set("flops_per_step", p.flops_per_step)
+                    .set("flops_per_sample", p.flops_per_sample)
+                    .set("bytes_per_step", p.bytes_per_step)
+                    .set("op_intensity", p.op_intensity)
+                    .set("footprint_bytes", p.footprint_bytes)
+                    .set("seq_len", p.seq_len)
+            })
+            .collect();
+        Json::obj()
+            .set("domain", domain.key())
+            .set("subbatch", subbatch)
+            .set("lo", lo)
+            .set("hi", hi)
+            .set("count", grid.len() as u64)
+            .set("points", rendered)
     })
 }
 
@@ -437,6 +519,7 @@ fn index_route(_state: &AppState, q: &Query) -> Result<Routed, ApiError> {
     q.check_known(&[])?;
     let endpoints = vec![
         Json::Str("/v1/characterize?domain=&params=&subbatch=".into()),
+        Json::Str("/v1/sweep?domain=&lo=&hi=&points=&subbatch=".into()),
         Json::Str("/v1/project?domain=".into()),
         Json::Str("/v1/subbatch?domain=&params=".into()),
         Json::Str("/v1/plan?domain=&accels=&days=".into()),

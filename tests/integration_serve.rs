@@ -66,6 +66,7 @@ fn every_endpoint_returns_parsable_json() {
         "/",
         "/v1/healthz",
         "/v1/characterize?domain=wordlm&subbatch=16",
+        "/v1/sweep?domain=charlm&lo=1000000&hi=8000000&points=3&subbatch=8",
         "/v1/project?domain=resnet",
         "/v1/subbatch?domain=charlm&params=10000000",
         "/v1/plan?domain=resnet&accels=16384",
@@ -134,6 +135,53 @@ fn concurrent_identical_queries_compute_once() {
         7,
         "other seven requests served from the flight or the cache"
     );
+}
+
+#[test]
+fn sweep_grid_matches_brute_force_and_caches() {
+    let server = test_server();
+    let addr = server.local_addr();
+    let path = "/v1/sweep?domain=nmt&lo=1000000&hi=9000000&points=3&subbatch=16";
+    let (s1, c1, b1) = get(addr, path);
+    let (s2, c2, b2) = get(addr, path);
+    assert_eq!((s1, s2), (200, 200), "{b1}");
+    assert_eq!(c1.as_deref(), Some("miss"));
+    assert_eq!(c2.as_deref(), Some("hit"));
+    assert_eq!(b1, b2, "cached grid must be byte-identical");
+    let doc = Json::parse(&b1).expect("sweep JSON");
+    let points = match doc.get("points") {
+        Some(Json::Arr(points)) => points,
+        other => panic!("points missing or not an array: {other:?}"),
+    };
+    assert_eq!(points.len(), 3);
+    // The symbolic grid served over HTTP equals brute-force characterization
+    // of the same configurations, bit for bit.
+    let configs = modelzoo::sweep_configs(modelzoo::Domain::Nmt, 1_000_000, 9_000_000, 3);
+    for (served, cfg) in points.iter().zip(&configs) {
+        let expect = analysis::characterize(cfg, 16);
+        assert_eq!(
+            served.get("params").and_then(Json::as_f64),
+            Some(expect.params)
+        );
+        assert_eq!(
+            served.get("flops_per_step").and_then(Json::as_f64),
+            Some(expect.flops_per_step)
+        );
+        assert_eq!(
+            served.get("footprint_bytes").and_then(Json::as_f64),
+            Some(expect.footprint_bytes)
+        );
+    }
+    // Hostile grids are structured 400s.
+    for bad in [
+        "/v1/sweep?domain=nmt&lo=9000000&hi=1000000",
+        "/v1/sweep?domain=nmt&points=1000",
+        "/v1/sweep?domain=nmt&subbatch=0",
+        "/v1/sweep?domain=nmt&lo=7",
+    ] {
+        let (status, _, body) = get(addr, bad);
+        assert_eq!(status, 400, "{bad}: {body}");
+    }
 }
 
 #[test]
