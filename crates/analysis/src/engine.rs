@@ -11,40 +11,55 @@
 //!    [`cgraph::fold_classes`] inside `stats()`;
 //! 2. per configuration, substitutes the integer width into the cached
 //!    symbolic stats and per-tensor element expressions — an **exact**
-//!    rational-arithmetic substitution (`Expr::bind_all`), not a float
-//!    evaluation;
+//!    rational-arithmetic substitution, not a float evaluation;
 //! 3. per sweep point, binds the subbatch symbol and evaluates the closed
 //!    form; the footprint simulation runs on the family graph against the
 //!    substituted size table.
 //!
+//! Everything symbolic is held as hash-consed [`ExprId`]s: family stats and
+//! element counts are [`InternedGraphStats`] / id vectors, substitution goes
+//! through the `symath` bind memo (one exact substitution per distinct
+//! `(expression, width)` pair process-wide), and evaluation executes the
+//! per-id compiled stack programs.
+//!
 //! Every number produced this way is **bit-identical** to
 //! [`characterize`](crate::characterize): substitution commutes with the
 //! builders' ring operations on widths, so step 2 reproduces the concrete
-//! build's canonical expressions, and the footprint simulation sees the same
-//! graph structure and the same byte sizes. The golden equivalence suite
-//! (`tests/golden_sweep.rs`) asserts this with `==` on every field.
+//! build's canonical expressions; compiled programs replay the tree
+//! evaluator's exact f64 operation order; and the footprint simulation sees
+//! the same graph structure and the same byte sizes. The golden equivalence
+//! suite (`tests/golden_sweep.rs`) asserts this with `==` on every field.
+//!
+//! The per-configuration **instance cache is LRU-bounded** (the family cache
+//! is not: there are only a handful of structural families, but a
+//! long-running server sweeps unboundedly many widths). The eviction
+//! discipline mirrors `serve`'s memo cache: a monotone tick, touch on use,
+//! evict the smallest tick while over capacity.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use cgraph::{footprint_with_sizes, GraphStats, InPlacePolicy, Scheduler};
+use cgraph::{footprint_with_sizes, InPlacePolicy, InternedGraphStats, Scheduler};
 use modelzoo::{ModelConfig, ModelGraph, BATCH_SYM};
-use symath::{Bindings, Expr};
+use rayon::prelude::*;
+use symath::{Bindings, ExprId};
 
 use crate::characterize::CharacterizationPoint;
+
+/// Default bound on cached per-configuration instances.
+pub const DEFAULT_INSTANCE_CAPACITY: usize = 1024;
 
 /// One structural family: the width-symbolic training graph and its cost
 /// expressions, shared by every configuration in a sweep.
 struct Family {
     model: ModelGraph,
     /// Folded symbolic stats over the batch and width symbols.
-    stats: GraphStats,
+    stats: InternedGraphStats,
     /// Deduplicated element-count expressions: an unrolled graph repeats the
     /// same tensor shapes across timesteps/blocks, so the thousands of
-    /// per-tensor expressions collapse to a handful of distinct ones.
-    /// Substitution and evaluation are pure functions of expression
-    /// structure, so sharing one bind/eval per distinct expression is exact.
-    uniq_elems: Vec<Expr>,
+    /// per-tensor expressions collapse to a handful of distinct ones —
+    /// dedup is an id comparison now, not a tree hash.
+    uniq_elems: Vec<ExprId>,
     /// Per tensor (indexed like `model.graph.tensors()`): which entry of
     /// `uniq_elems` counts its elements, and its element size in bytes.
     elem_slot: Vec<(u32, u64)>,
@@ -54,30 +69,54 @@ struct Family {
 /// leaving only the batch symbol free.
 struct Instance {
     family: Arc<Family>,
-    stats: GraphStats,
-    uniq_elems: Vec<Expr>,
+    stats: InternedGraphStats,
+    uniq_elems: Vec<ExprId>,
+}
+
+struct InstanceEntry {
+    value: Arc<Instance>,
+    last_used: u64,
+}
+
+/// LRU map of configuration key → instance (see the module docs).
+struct InstanceCache {
+    map: HashMap<String, InstanceEntry>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl InstanceCache {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn evict_if_needed(&mut self) {
+        while self.map.len() > self.capacity {
+            let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                return;
+            };
+            self.map.remove(&victim);
+        }
+    }
 }
 
 /// A cache of width-symbolic model families and their per-configuration
 /// instantiations. Cheap to share across threads; sweeps call
 /// [`characterize`](FamilyEngine::characterize) from rayon workers.
-#[derive(Default)]
 pub struct FamilyEngine {
     families: Mutex<HashMap<String, Arc<Family>>>,
-    instances: Mutex<HashMap<String, Arc<Instance>>>,
+    instances: Mutex<InstanceCache>,
 }
 
-fn bind_stats(stats: &GraphStats, widths: &Bindings) -> GraphStats {
-    GraphStats {
-        flops: stats.flops.bind_all(widths),
-        flops_forward: stats.flops_forward.bind_all(widths),
-        flops_backward: stats.flops_backward.bind_all(widths),
-        flops_update: stats.flops_update.bind_all(widths),
-        bytes: stats.bytes.bind_all(widths),
-        bytes_read: stats.bytes_read.bind_all(widths),
-        bytes_written: stats.bytes_written.bind_all(widths),
-        params: stats.params.bind_all(widths),
-        io: stats.io.bind_all(widths),
+impl Default for FamilyEngine {
+    fn default() -> FamilyEngine {
+        FamilyEngine::with_instance_capacity(DEFAULT_INSTANCE_CAPACITY)
     }
 }
 
@@ -85,6 +124,18 @@ impl FamilyEngine {
     /// A fresh, empty engine (cold caches — what the sweep benchmark times).
     pub fn new() -> FamilyEngine {
         FamilyEngine::default()
+    }
+
+    /// An engine whose instance cache holds at most `capacity` entries.
+    pub fn with_instance_capacity(capacity: usize) -> FamilyEngine {
+        FamilyEngine {
+            families: Mutex::new(HashMap::new()),
+            instances: Mutex::new(InstanceCache {
+                map: HashMap::new(),
+                tick: 0,
+                capacity: capacity.max(1),
+            }),
+        }
     }
 
     /// The process-wide engine: families built by any sweep are reused by
@@ -102,16 +153,16 @@ impl FamilyEngine {
         // Built outside the lock: concurrent misses may build twice, but the
         // results are identical and the first insert wins.
         let model = obs::time("modelzoo.build_family", || cfg.build_family_training());
-        let stats = obs::time("engine.family_stats", || model.graph.stats());
-        let mut uniq_elems: Vec<Expr> = Vec::new();
-        let mut slot_of: HashMap<Expr, u32> = HashMap::new();
+        let stats = obs::time("engine.family_stats", || model.graph.stats_interned());
+        let mut uniq_elems: Vec<ExprId> = Vec::new();
+        let mut slot_of: HashMap<ExprId, u32> = HashMap::new();
         let elem_slot = model
             .graph
             .tensors()
             .iter()
             .map(|t| {
-                let e = t.shape.elements();
-                let slot = *slot_of.entry(e.clone()).or_insert_with(|| {
+                let e = t.shape.elements_id();
+                let slot = *slot_of.entry(e).or_insert_with(|| {
                     uniq_elems.push(e);
                     (uniq_elems.len() - 1) as u32
                 });
@@ -139,11 +190,16 @@ impl FamilyEngine {
         for (sym, v) in widths.iter() {
             key.push_str(&format!(";{sym}={v}"));
         }
-        if let Some(i) = self.instances.lock().expect("poisoned").get(&key) {
-            return Arc::clone(i);
+        {
+            let mut cache = self.instances.lock().expect("poisoned");
+            let tick = cache.touch();
+            if let Some(e) = cache.map.get_mut(&key) {
+                e.last_used = tick;
+                return Arc::clone(&e.value);
+            }
         }
         let family = self.family(cfg);
-        let stats = bind_stats(&family.stats, &widths);
+        let stats = family.stats.bind_all(&widths);
         let uniq_elems = family
             .uniq_elems
             .iter()
@@ -154,13 +210,20 @@ impl FamilyEngine {
             stats,
             uniq_elems,
         });
-        Arc::clone(
-            self.instances
-                .lock()
-                .expect("poisoned")
+        let mut cache = self.instances.lock().expect("poisoned");
+        let tick = cache.touch();
+        let value = Arc::clone(
+            &cache
+                .map
                 .entry(key)
-                .or_insert(instance),
-        )
+                .or_insert(InstanceEntry {
+                    value: instance,
+                    last_used: tick,
+                })
+                .value,
+        );
+        cache.evict_if_needed();
+        value
     }
 
     /// Symbolic counterpart of [`crate::characterize`]: the same
@@ -204,9 +267,29 @@ impl FamilyEngine {
         }
     }
 
+    /// Characterize a batch of `(configuration, subbatch)` points, with
+    /// per-configuration instantiation parallelized over the rayon pool.
+    /// Output order matches input order (the shim's `par_iter` collect is
+    /// order-preserving), so results are deterministic.
+    pub fn characterize_many(&self, jobs: &[(ModelConfig, u64)]) -> Vec<CharacterizationPoint> {
+        jobs.par_iter()
+            .map(|(cfg, b)| self.characterize(cfg, *b))
+            .collect()
+    }
+
     /// Number of family graphs currently cached.
     pub fn families_built(&self) -> usize {
         self.families.lock().expect("poisoned").len()
+    }
+
+    /// Number of per-configuration instances currently cached.
+    pub fn instances_cached(&self) -> usize {
+        self.instances.lock().expect("poisoned").map.len()
+    }
+
+    /// Bound on the instance cache.
+    pub fn instance_capacity(&self) -> usize {
+        self.instances.lock().expect("poisoned").capacity
     }
 }
 
@@ -236,5 +319,47 @@ mod tests {
             engine.characterize(&cfg, 8);
         }
         assert_eq!(engine.families_built(), 1);
+    }
+
+    #[test]
+    fn instance_cache_is_bounded_lru() {
+        let engine = FamilyEngine::with_instance_capacity(2);
+        for target in [1_000_000u64, 2_000_000, 4_000_000, 8_000_000] {
+            let cfg = ModelConfig::default_for(Domain::WordLm)
+                .with_seq_len(4)
+                .with_target_params(target);
+            engine.characterize(&cfg, 8);
+        }
+        assert_eq!(engine.instances_cached(), 2);
+        assert_eq!(engine.instance_capacity(), 2);
+        // Eviction must not change results: recompute an evicted width.
+        let cfg = ModelConfig::default_for(Domain::WordLm)
+            .with_seq_len(4)
+            .with_target_params(1_000_000);
+        let again = engine.characterize(&cfg, 8);
+        let brute = crate::characterize(&cfg, 8);
+        assert_eq!(again, brute);
+    }
+
+    #[test]
+    fn characterize_many_matches_one_by_one() {
+        let engine = FamilyEngine::new();
+        let jobs: Vec<(ModelConfig, u64)> = [1_000_000u64, 3_000_000]
+            .iter()
+            .flat_map(|&t| {
+                [8u64, 16].iter().map(move |&b| {
+                    (
+                        ModelConfig::default_for(Domain::CharLm)
+                            .with_seq_len(4)
+                            .with_target_params(t),
+                        b,
+                    )
+                })
+            })
+            .collect();
+        let batch = engine.characterize_many(&jobs);
+        for (job, point) in jobs.iter().zip(&batch) {
+            assert_eq!(*point, engine.characterize(&job.0, job.1));
+        }
     }
 }

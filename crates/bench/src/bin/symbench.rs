@@ -1,0 +1,207 @@
+//! `symbench` — interner effectiveness gauge for the `symath` hash-consing
+//! layer.
+//!
+//! ```text
+//! symbench [--summary PATH]
+//! ```
+//!
+//! Builds the word-LM and char-LM width-symbolic families (the two with the
+//! deepest unrolls), computes their interned stats, and binds three sweep
+//! widths each — first **cold** (empty caches warm up) and then **warm**
+//! (an identical pass that should run almost entirely out of the interner
+//! and memo caches). For each pass it reports the intern hit rate, the
+//! op-memo hit rate, heap allocations (counted by a wrapping global
+//! allocator), and wall time. `--summary PATH` writes the numbers as JSON
+//! (see `BENCH_symath.json`).
+//!
+//! The warm pass is the number that matters: a healthy interner re-answers
+//! a repeated family build with a near-1.0 intern hit rate and near-zero
+//! fresh table growth.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use modelzoo::{Domain, ModelConfig};
+use serve::flags::Flags;
+use serve::json::Json;
+use symath::intern_stats;
+
+/// Allocation-counting wrapper around the system allocator.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const USAGE: &str = "usage: symbench [--summary PATH]
+  --summary  write a JSON summary to this path";
+
+/// The three sweep sizes bound per family (spanning the Figure 7–10 range).
+const TARGETS: [u64; 3] = [1_000_000, 100_000_000, 1_000_000_000];
+
+struct Pass {
+    label: &'static str,
+    ms: f64,
+    allocations: u64,
+    intern_hits: u64,
+    intern_misses: u64,
+    intern_hit_rate: f64,
+    memo_hits: u64,
+    memo_misses: u64,
+    memo_hit_rate: f64,
+    table_growth: u64,
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    }
+}
+
+/// One family workload: symbolic training build, interned stats, and three
+/// width-bound evaluations — the exact shape of a sweep engine miss.
+fn family_workload(domain: Domain) -> f64 {
+    let base = ModelConfig::default_for(domain);
+    let fam = base.build_family_training();
+    let stats = fam.graph.stats_interned();
+    let mut acc = 0.0;
+    for target in TARGETS {
+        let cfg = base.with_target_params(target);
+        let widths = cfg.family_widths();
+        let bound = stats.bind_all(&widths);
+        let bindings = fam.bindings_with_batch(domain.default_subbatch());
+        let n = bound.eval(&bindings).expect("all symbols bound");
+        acc += n.flops;
+    }
+    acc
+}
+
+fn measure(label: &'static str, domains: &[Domain]) -> Pass {
+    let before = intern_stats();
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    let mut sink = 0.0;
+    for &domain in domains {
+        sink += family_workload(domain);
+    }
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    std::hint::black_box(sink);
+    let allocations = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    let after = intern_stats();
+    Pass {
+        label,
+        ms,
+        allocations,
+        intern_hits: after.intern_hits - before.intern_hits,
+        intern_misses: after.intern_misses - before.intern_misses,
+        intern_hit_rate: rate(
+            after.intern_hits - before.intern_hits,
+            after.intern_misses - before.intern_misses,
+        ),
+        memo_hits: after.memo_hits - before.memo_hits,
+        memo_misses: after.memo_misses - before.memo_misses,
+        memo_hit_rate: rate(
+            after.memo_hits - before.memo_hits,
+            after.memo_misses - before.memo_misses,
+        ),
+        table_growth: after.table_len - before.table_len,
+    }
+}
+
+fn pass_json(p: &Pass) -> Json {
+    Json::obj()
+        .set("ms", p.ms)
+        .set("allocations", p.allocations)
+        .set("intern_hits", p.intern_hits)
+        .set("intern_misses", p.intern_misses)
+        .set("intern_hit_rate", p.intern_hit_rate)
+        .set("memo_hits", p.memo_hits)
+        .set("memo_misses", p.memo_misses)
+        .set("memo_hit_rate", p.memo_hit_rate)
+        .set("table_growth", p.table_growth)
+}
+
+fn main() -> ExitCode {
+    let flags = Flags::from_env();
+    if flags.switch("--help") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let summary_path = match (|| -> Result<Option<String>, String> {
+        flags.check_known(&["--summary", "--help"])?;
+        flags.get::<String>("--summary")
+    })() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("symbench: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let domains = [Domain::WordLm, Domain::CharLm];
+    let cold = measure("cold", &domains);
+    let warm = measure("warm", &domains);
+
+    println!("pass    ms        allocs   intern-hit  memo-hit  table-growth");
+    for p in [&cold, &warm] {
+        println!(
+            "{:<6} {:>9.1} {:>9} {:>10.3} {:>9.3} {:>13}",
+            p.label, p.ms, p.allocations, p.intern_hit_rate, p.memo_hit_rate, p.table_growth
+        );
+    }
+
+    // A warm identical workload must be answered by the caches.
+    let healthy = warm.intern_hit_rate > 0.99 && warm.table_growth == 0;
+    if !healthy {
+        eprintln!(
+            "symbench: FAIL — warm pass missed the caches (intern hit rate {:.3}, table growth {})",
+            warm.intern_hit_rate, warm.table_growth
+        );
+    }
+
+    if let Some(path) = summary_path {
+        let total = intern_stats();
+        let doc = Json::obj()
+            .set(
+                "workload",
+                "wordlm+charlm family build, 3 widths bound each",
+            )
+            .set("cold", pass_json(&cold))
+            .set("warm", pass_json(&warm))
+            .set("warm_cache_healthy", healthy)
+            .set("table_len", total.table_len)
+            .set("programs_compiled", total.programs_compiled);
+        if let Err(e) = std::fs::write(&path, doc.render() + "\n") {
+            eprintln!("symbench: failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("summary written to {path}");
+    }
+
+    if healthy {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -30,6 +30,11 @@ struct Diff<'g> {
     g: &'g mut Graph,
     /// Partial gradients accumulated per forward tensor.
     partials: HashMap<TensorId, Vec<TensorId>>,
+    /// Next free `#i` suffix per base name. Suffixes are only ever consumed
+    /// in ascending order and names are never removed, so caching the probe
+    /// cursor makes `unique_name` O(1) amortized instead of O(duplicates) —
+    /// unrolled graphs repeat bases like `acc_grad_w.out` thousands of times.
+    name_cursor: HashMap<String, u32>,
 }
 
 impl<'g> Diff<'g> {
@@ -59,7 +64,7 @@ impl<'g> Diff<'g> {
         let shape = self.g.tensor(forward).shape.clone();
         let kind = self.grad_kind(forward);
         let name = format!("acc_grad_{}", self.g.tensor(forward).name);
-        let out_name = unique_name(self.g, format!("{name}.out"));
+        let out_name = self.unique_name(format!("{name}.out"));
         let out = self
             .g
             .add_op(
@@ -102,7 +107,7 @@ impl<'g> Diff<'g> {
         let shape = self.g.tensor(like).shape.clone();
         let gkind = self.grad_kind(like);
         let oname = format!("d_{}", self.g.tensor(like).name);
-        let oname = unique_name(self.g, oname);
+        let oname = self.unique_name(oname);
         let out = self.g.add_op(
             name.to_owned(),
             kind,
@@ -116,17 +121,25 @@ impl<'g> Diff<'g> {
     }
 }
 
-fn unique_name(g: &Graph, base: String) -> String {
-    if g.find(&base).is_none() {
-        return base;
-    }
-    let mut i = 1;
-    loop {
-        let candidate = format!("{base}#{i}");
-        if g.find(&candidate).is_none() {
-            return candidate;
+impl Diff<'_> {
+    /// First free name for `base`: `base`, then `base#1`, `base#2`, …
+    /// (identical to a linear probe, but resuming from the cached cursor).
+    fn unique_name(&mut self, base: String) -> String {
+        if !self.name_cursor.contains_key(&base) {
+            self.name_cursor.insert(base.clone(), 1);
+            if self.g.find(&base).is_none() {
+                return base;
+            }
         }
-        i += 1;
+        let mut i = self.name_cursor[&base];
+        loop {
+            let candidate = format!("{base}#{i}");
+            if self.g.find(&candidate).is_none() {
+                self.name_cursor.insert(base, i + 1);
+                return candidate;
+            }
+            i += 1;
+        }
     }
 }
 
@@ -152,6 +165,7 @@ pub fn build_training_step(g: &mut Graph, loss: TensorId) -> Result<TrainingStep
     let mut diff = Diff {
         g,
         partials: HashMap::new(),
+        name_cursor: HashMap::new(),
     };
 
     for &op_id in forward_ops.iter().rev() {
@@ -421,7 +435,7 @@ fn backward_for_op(diff: &mut Diff<'_>, op_id: OpId) -> Result<(), GraphError> {
             // dBias = reduce-sum of g over the leading dims.
             let shape = diff.g.tensor(b).shape.clone();
             let kind = diff.grad_kind(b);
-            let oname = unique_name(diff.g, format!("d_{}", diff.g.tensor(b).name));
+            let oname = diff.unique_name(format!("d_{}", diff.g.tensor(b).name));
             let out = diff.g.add_op(
                 format!("{name}_dBias"),
                 OpKind::Reduce(crate::op::ReduceKind::Sum),
@@ -454,8 +468,8 @@ fn backward_for_op(diff: &mut Diff<'_>, op_id: OpId) -> Result<(), GraphError> {
             let (x, gamma) = (op.inputs[0], op.inputs[1]);
             let dx_shape = diff.g.tensor(x).shape.clone();
             let dgamma_shape = diff.g.tensor(gamma).shape.clone();
-            let dx_name = unique_name(diff.g, format!("d_{}", diff.g.tensor(x).name));
-            let dg_name = unique_name(diff.g, format!("d_{}", diff.g.tensor(gamma).name));
+            let dx_name = diff.unique_name(format!("d_{}", diff.g.tensor(x).name));
+            let dg_name = diff.unique_name(format!("d_{}", diff.g.tensor(gamma).name));
             let dx_kind = diff.grad_kind(x);
             let dg_kind = diff.grad_kind(gamma);
             let outs = diff.g.add_op(
@@ -478,7 +492,7 @@ fn backward_for_op(diff: &mut Diff<'_>, op_id: OpId) -> Result<(), GraphError> {
             let x = op.inputs[0];
             if diff.wants_grad(x) {
                 let dx_shape = diff.g.tensor(x).shape.clone();
-                let dx_name = unique_name(diff.g, format!("d_{}", diff.g.tensor(x).name));
+                let dx_name = diff.unique_name(format!("d_{}", diff.g.tensor(x).name));
                 let dx_kind = diff.grad_kind(x);
                 let outs = diff.g.add_op(
                     format!("{name}_dX"),
@@ -499,7 +513,7 @@ fn backward_for_op(diff: &mut Diff<'_>, op_id: OpId) -> Result<(), GraphError> {
             let x = op.inputs[0];
             if diff.wants_grad(x) {
                 let dx_shape = diff.g.tensor(x).shape.clone();
-                let dx_name = unique_name(diff.g, format!("d_{}", diff.g.tensor(x).name));
+                let dx_name = diff.unique_name(format!("d_{}", diff.g.tensor(x).name));
                 let dx_kind = diff.grad_kind(x);
                 let outs = diff.g.add_op(
                     format!("{name}_dX"),
@@ -520,7 +534,7 @@ fn backward_for_op(diff: &mut Diff<'_>, op_id: OpId) -> Result<(), GraphError> {
                 .iter()
                 .map(|&i| {
                     (
-                        unique_name(diff.g, format!("d_{}", diff.g.tensor(i).name)),
+                        diff.unique_name(format!("d_{}", diff.g.tensor(i).name)),
                         diff.g.tensor(i).shape.clone(),
                         dtype,
                         diff.grad_kind(i),
@@ -565,7 +579,7 @@ fn backward_for_op(diff: &mut Diff<'_>, op_id: OpId) -> Result<(), GraphError> {
             let x = op.inputs[0];
             if diff.wants_grad(x) {
                 let dx_shape = diff.g.tensor(x).shape.clone();
-                let dx_name = unique_name(diff.g, format!("d_{}", diff.g.tensor(x).name));
+                let dx_name = diff.unique_name(format!("d_{}", diff.g.tensor(x).name));
                 let dx_kind = diff.grad_kind(x);
                 let outs = diff.g.add_op(
                     format!("{name}_dX"),
@@ -587,7 +601,7 @@ fn backward_for_op(diff: &mut Diff<'_>, op_id: OpId) -> Result<(), GraphError> {
                     OpKind::Reshape
                 };
                 let dx_shape = diff.g.tensor(x).shape.clone();
-                let dx_name = unique_name(diff.g, format!("d_{}", diff.g.tensor(x).name));
+                let dx_name = diff.unique_name(format!("d_{}", diff.g.tensor(x).name));
                 let dx_kind = diff.grad_kind(x);
                 let outs = diff.g.add_op(
                     format!("{name}_dX"),

@@ -17,9 +17,11 @@
 
 use std::collections::HashMap;
 
+use symath::ExprId;
+
 use crate::graph::Graph;
 use crate::op::{OpId, OpKind, Phase};
-use crate::tensor::{DType, Shape};
+use crate::tensor::DType;
 
 /// One class of cost-identical ops.
 #[derive(Clone, Debug)]
@@ -64,11 +66,14 @@ struct OpSig {
 /// Group the graph's ops into cost-identical classes.
 pub fn fold_classes(graph: &Graph) -> FoldReport {
     // Intern each tensor's (shape, dtype) once; ops then compare by class id.
-    let mut shape_ids: HashMap<(Shape, DType), u32> = HashMap::new();
+    // Dimensions go through the `symath` hash-consing table, so the class key
+    // is a short id vector — no deep shape clones, no tree re-hashing.
+    let mut shape_ids: HashMap<(Vec<ExprId>, DType), u32> = HashMap::new();
     let mut tensor_sig: Vec<u32> = Vec::with_capacity(graph.tensors().len());
     for t in graph.tensors() {
+        let dims: Vec<ExprId> = t.shape.0.iter().map(|d| d.interned()).collect();
         let next = shape_ids.len() as u32;
-        let id = *shape_ids.entry((t.shape.clone(), t.dtype)).or_insert(next);
+        let id = *shape_ids.entry((dims, t.dtype)).or_insert(next);
         tensor_sig.push(id);
     }
 

@@ -5,7 +5,7 @@
 //! the derived operational intensity. Everything is symbolic; bind a
 //! [`symath::Bindings`] to obtain numbers.
 
-use symath::{Bindings, Expr, UnboundSymbol};
+use symath::{Bindings, Expr, ExprId, UnboundSymbol};
 
 use crate::graph::Graph;
 use crate::op::{op_bytes, op_flops, Op, Phase};
@@ -41,6 +41,88 @@ impl GraphStats {
     }
 
     /// Evaluate all quantities under `bindings`.
+    pub fn eval(&self, bindings: &Bindings) -> Result<NumericStats, UnboundSymbol> {
+        Ok(NumericStats {
+            flops: self.flops.eval(bindings)?,
+            flops_forward: self.flops_forward.eval(bindings)?,
+            flops_backward: self.flops_backward.eval(bindings)?,
+            flops_update: self.flops_update.eval(bindings)?,
+            bytes: self.bytes.eval(bindings)?,
+            bytes_read: self.bytes_read.eval(bindings)?,
+            bytes_written: self.bytes_written.eval(bindings)?,
+            params: self.params.eval(bindings)?,
+            io: self.io.eval(bindings)?,
+        })
+    }
+}
+
+/// [`GraphStats`] with every quantity as a hash-consed [`ExprId`]: cheap to
+/// clone and compare, with memoized substitution ([`bind_all`]) and compiled
+/// evaluation ([`eval`]) that is bit-identical to the tree walk. This is the
+/// representation the sweep engine caches per model family.
+///
+/// [`bind_all`]: InternedGraphStats::bind_all
+/// [`eval`]: InternedGraphStats::eval
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InternedGraphStats {
+    /// Algorithmic FLOPs per training step (all phases).
+    pub flops: ExprId,
+    /// Forward-phase FLOPs only.
+    pub flops_forward: ExprId,
+    /// Backward-phase FLOPs only.
+    pub flops_backward: ExprId,
+    /// Weight-update-phase FLOPs only (optimizer ops).
+    pub flops_update: ExprId,
+    /// Algorithmic bytes read + written per training step.
+    pub bytes: ExprId,
+    /// Bytes read only.
+    pub bytes_read: ExprId,
+    /// Bytes written only.
+    pub bytes_written: ExprId,
+    /// Trainable parameter count.
+    pub params: ExprId,
+    /// Algorithmic IO: bytes of training data consumed per step.
+    pub io: ExprId,
+}
+
+impl InternedGraphStats {
+    /// Apply a function to every field.
+    fn map(&self, mut f: impl FnMut(ExprId) -> ExprId) -> InternedGraphStats {
+        InternedGraphStats {
+            flops: f(self.flops),
+            flops_forward: f(self.flops_forward),
+            flops_backward: f(self.flops_backward),
+            flops_update: f(self.flops_update),
+            bytes: f(self.bytes),
+            bytes_read: f(self.bytes_read),
+            bytes_written: f(self.bytes_written),
+            params: f(self.params),
+            io: f(self.io),
+        }
+    }
+
+    /// Materialize the tree-expression view.
+    pub fn view(&self) -> GraphStats {
+        GraphStats {
+            flops: (*self.flops.expr()).clone(),
+            flops_forward: (*self.flops_forward.expr()).clone(),
+            flops_backward: (*self.flops_backward.expr()).clone(),
+            flops_update: (*self.flops_update.expr()).clone(),
+            bytes: (*self.bytes.expr()).clone(),
+            bytes_read: (*self.bytes_read.expr()).clone(),
+            bytes_written: (*self.bytes_written.expr()).clone(),
+            params: (*self.params.expr()).clone(),
+            io: (*self.io.expr()).clone(),
+        }
+    }
+
+    /// Substitute integer bindings exactly in every field (memoized).
+    pub fn bind_all(&self, bindings: &Bindings) -> InternedGraphStats {
+        self.map(|e| e.bind_all(bindings))
+    }
+
+    /// Evaluate all quantities via the compiled programs. Bit-identical to
+    /// [`GraphStats::eval`] on the viewed expressions.
     pub fn eval(&self, bindings: &Bindings) -> Result<NumericStats, UnboundSymbol> {
         Ok(NumericStats {
             flops: self.flops.eval(bindings)?,
@@ -123,6 +205,23 @@ impl Graph {
             .sum()
     }
 
+    /// Interned counterpart of [`Graph::params`] (same canonical sum, via
+    /// the memoized algebra).
+    pub fn params_id(&self) -> ExprId {
+        self.tensors()
+            .iter()
+            .filter(|t| t.kind == TensorKind::Weight)
+            .fold(ExprId::zero(), |acc, t| acc.add(t.shape.elements_id()))
+    }
+
+    /// Interned counterpart of [`Graph::io_bytes`].
+    pub fn io_bytes_id(&self) -> ExprId {
+        self.tensors()
+            .iter()
+            .filter(|t| t.kind == TensorKind::Input)
+            .fold(ExprId::zero(), |acc, t| acc.add(t.bytes_id()))
+    }
+
     /// Compute the full symbolic cost summary.
     ///
     /// Repeated cost-identical ops (unrolled timesteps, residual blocks) are
@@ -133,7 +232,21 @@ impl Graph {
     /// bit-identical under evaluation — as the op-by-op
     /// [`stats_unfolded`](Graph::stats_unfolded) walk.
     pub fn stats(&self) -> GraphStats {
+        self.stats_interned().view()
+    }
+
+    /// [`Graph::stats`] accumulated over hash-consed ids: one representative
+    /// cost expression per fold class, scaled and summed through the
+    /// `symath` memo caches. Families rebuilt across sweeps (or the same op
+    /// costs recurring across graphs) hit the memo instead of redoing the
+    /// tree algebra. The viewed expressions equal the former direct
+    /// accumulation — the memoized ops are the same canonical operations.
+    pub fn stats_interned(&self) -> InternedGraphStats {
         let fold = crate::fold::fold_classes(self);
+        // Accumulate in tree form — interning every intermediate accumulator
+        // would re-hash the whole growing sum once per fold class. The final
+        // totals are interned once each, so the memo caches still serve every
+        // downstream `bind_all`/`mul`/`add` on the family.
         let mut flops = Expr::zero();
         let mut flops_forward = Expr::zero();
         let mut flops_backward = Expr::zero();
@@ -142,8 +255,8 @@ impl Graph {
         let mut bytes_written = Expr::zero();
         for class in &fold.classes {
             let op = self.op(class.rep);
-            let m = Expr::from(class.count);
-            let f = self.op_flops(op) * m.clone();
+            let m = Expr::int(class.count as i128);
+            let f = self.op_flops(op) * &m;
             match op.phase {
                 Phase::Forward => flops_forward = flops_forward + &f,
                 Phase::Backward => flops_backward = flops_backward + &f,
@@ -151,19 +264,20 @@ impl Graph {
             }
             flops = flops + f;
             let (r, w) = self.op_bytes(op);
-            bytes_read = bytes_read + r * m.clone();
-            bytes_written = bytes_written + w * m;
+            bytes_read = bytes_read + r * &m;
+            bytes_written = bytes_written + w * &m;
         }
-        GraphStats {
-            flops,
-            flops_forward,
-            flops_backward,
-            flops_update,
-            bytes: bytes_read.clone() + bytes_written.clone(),
-            bytes_read,
-            bytes_written,
-            params: self.params(),
-            io: self.io_bytes(),
+        let bytes = bytes_read.clone() + bytes_written.clone();
+        InternedGraphStats {
+            flops: flops.interned(),
+            flops_forward: flops_forward.interned(),
+            flops_backward: flops_backward.interned(),
+            flops_update: flops_update.interned(),
+            bytes: bytes.interned(),
+            bytes_read: bytes_read.interned(),
+            bytes_written: bytes_written.interned(),
+            params: self.params_id(),
+            io: self.io_bytes_id(),
         }
     }
 

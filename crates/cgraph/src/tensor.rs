@@ -3,7 +3,7 @@
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
-use symath::{Bindings, Expr, UnboundSymbol};
+use symath::{Bindings, Expr, ExprId, UnboundSymbol};
 
 /// Element type of a tensor.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
@@ -103,6 +103,17 @@ impl Shape {
         self.0.iter().fold(Expr::one(), |acc, d| acc * d)
     }
 
+    /// Total element count as an interned expression. The fold mirrors
+    /// [`Shape::elements`] step for step through the memoized `mul`, so the
+    /// result is the same canonical expression — but repeated shapes (an
+    /// unrolled graph has thousands of tensors over a handful of distinct
+    /// shapes) cost one memo lookup per dimension instead of a tree product.
+    pub fn elements_id(&self) -> ExprId {
+        self.0
+            .iter()
+            .fold(ExprId::one(), |acc, d| acc.mul(d.interned()))
+    }
+
     /// Numeric element count under `bindings`.
     pub fn elements_u64(&self, bindings: &Bindings) -> Result<u64, UnboundSymbol> {
         self.elements().eval_u64(bindings)
@@ -168,6 +179,13 @@ impl Tensor {
     /// Size in bytes as a symbolic expression.
     pub fn bytes(&self) -> Expr {
         self.shape.elements() * Expr::from(self.dtype.size_bytes())
+    }
+
+    /// Size in bytes as an interned expression (see [`Shape::elements_id`]).
+    pub fn bytes_id(&self) -> ExprId {
+        self.shape
+            .elements_id()
+            .mul(ExprId::int(self.dtype.size_bytes() as i128))
     }
 
     /// Numeric size in bytes under `bindings`.

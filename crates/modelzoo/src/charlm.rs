@@ -156,7 +156,8 @@ pub fn build_char_lm(cfg: &CharLmConfig) -> ModelGraph {
 /// contract shared by all `_dims` builders.
 ///
 /// [`build_word_lm_dims`]: crate::wordlm::build_word_lm_dims
-pub fn build_char_lm_dims(cfg: &CharLmConfig, h: Expr) -> ModelGraph {
+pub fn build_char_lm_dims(cfg: &CharLmConfig, h: impl Into<Expr>) -> ModelGraph {
+    let h = h.into();
     let mut g = Graph::new(format!("charlm_h{h}"));
     let b = batch();
     let (v, q, d) = (cfg.vocab, cfg.seq_len, cfg.depth);

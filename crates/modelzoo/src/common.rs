@@ -105,10 +105,12 @@ impl ModelGraph {
         (b * self.labels_per_sample) as f64
     }
 
-    /// Trainable parameter count (independent of batch size).
+    /// Trainable parameter count (independent of batch size). Goes through
+    /// the hash-consed [`Graph::params_id`](cgraph::Graph) so repeated
+    /// queries of the same model family hit the interner's compiled program.
     pub fn param_count(&self) -> u64 {
         self.graph
-            .params()
+            .params_id()
             .eval_u64(&Bindings::new())
             .expect("parameter shapes must not depend on the batch symbol")
     }

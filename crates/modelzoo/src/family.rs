@@ -13,7 +13,7 @@
 //! the *identical* canonical expression the concrete builder produces — so
 //! every downstream `eval` is bit-identical, not merely close.
 
-use symath::{Bindings, Expr};
+use symath::{Bindings, ExprId};
 
 use crate::common::ModelGraph;
 use crate::sweep::ModelConfig;
@@ -84,10 +84,13 @@ impl ModelConfig {
 
     /// Build the forward graph with the swept width(s) as free symbols.
     pub fn build_family(&self) -> ModelGraph {
-        let h = Expr::sym(WIDTH_SYM);
+        // Hash-cons the swept width once; the builders take it through the
+        // thin `Expr` view (`From<ExprId>`), so every family rebuild starts
+        // from the same interned symbol.
+        let h = ExprId::sym(WIDTH_SYM);
         match self {
             ModelConfig::WordLm(c) => {
-                let p = c.projection.map(|_| Expr::sym(PROJ_SYM));
+                let p = c.projection.map(|_| ExprId::sym(PROJ_SYM).into());
                 crate::wordlm::build_word_lm_dims(c, h, p)
             }
             ModelConfig::CharLm(c) => crate::charlm::build_char_lm_dims(c, h),

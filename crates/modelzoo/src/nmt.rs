@@ -74,7 +74,8 @@ pub fn build_nmt(cfg: &NmtConfig) -> ModelGraph {
 /// contract shared by all `_dims` builders.
 ///
 /// [`build_word_lm_dims`]: crate::wordlm::build_word_lm_dims
-pub fn build_nmt_dims(cfg: &NmtConfig, h: Expr) -> ModelGraph {
+pub fn build_nmt_dims(cfg: &NmtConfig, h: impl Into<Expr>) -> ModelGraph {
+    let h = h.into();
     let mut g = Graph::new(format!("nmt_h{h}"));
     let b = batch();
     let v = cfg.vocab;

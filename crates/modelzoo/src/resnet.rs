@@ -261,7 +261,8 @@ pub fn build_resnet(cfg: &ResNetConfig) -> ModelGraph {
 /// exactness contract.
 ///
 /// [`build_word_lm_dims`]: crate::wordlm::build_word_lm_dims
-pub fn build_resnet_dims(cfg: &ResNetConfig, w: Expr) -> ModelGraph {
+pub fn build_resnet_dims(cfg: &ResNetConfig, w: impl Into<Expr>) -> ModelGraph {
+    let w = w.into();
     let mut g = Graph::new(format!("resnet{}_w{w}", cfg.depth.layers()));
     let b = batch();
 

@@ -87,7 +87,8 @@ pub fn build_speech(cfg: &SpeechConfig) -> ModelGraph {
 /// contract shared by all `_dims` builders.
 ///
 /// [`build_word_lm_dims`]: crate::wordlm::build_word_lm_dims
-pub fn build_speech_dims(cfg: &SpeechConfig, h: Expr) -> ModelGraph {
+pub fn build_speech_dims(cfg: &SpeechConfig, h: impl Into<Expr>) -> ModelGraph {
+    let h = h.into();
     assert!(
         cfg.audio_len.is_multiple_of(1 << (cfg.encoder_layers - 1)),
         "audio_len must be divisible by 2^(encoder_layers-1)"

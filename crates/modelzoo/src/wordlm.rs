@@ -104,7 +104,12 @@ pub fn build_word_lm(cfg: &WordLmConfig) -> ModelGraph {
 /// [`build_word_lm`] exactly: the builder only combines widths with ring
 /// operations (`+`, `×`), so an integer width and a symbol later substituted
 /// with that integer yield the same canonical cost expressions.
-pub fn build_word_lm_dims(cfg: &WordLmConfig, h: Expr, projection: Option<Expr>) -> ModelGraph {
+pub fn build_word_lm_dims(
+    cfg: &WordLmConfig,
+    h: impl Into<Expr>,
+    projection: Option<Expr>,
+) -> ModelGraph {
+    let h = h.into();
     assert!(
         !(cfg.tied_embedding && projection.is_some()),
         "weight tying is incompatible with an LSTM projection"

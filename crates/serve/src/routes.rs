@@ -238,10 +238,11 @@ fn sweep_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
         .field("subbatch", subbatch);
     memoized(state, &key, "sweep", move || {
         let engine = analysis::FamilyEngine::global();
-        let mut grid: Vec<_> = modelzoo::sweep_configs(domain, lo, hi, points)
-            .iter()
-            .map(|cfg| engine.characterize(cfg, subbatch))
+        let jobs: Vec<_> = modelzoo::sweep_configs(domain, lo, hi, points)
+            .into_iter()
+            .map(|cfg| (cfg, subbatch))
             .collect();
+        let mut grid = engine.characterize_many(&jobs);
         grid.sort_by(|a, b| a.params.partial_cmp(&b.params).expect("finite"));
         let rendered: Vec<Json> = grid
             .iter()
@@ -455,12 +456,14 @@ fn healthz_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
 }
 
 /// `GET /v1/metrics` — request counts, cache effectiveness, latency
-/// quantiles.
+/// quantiles, sweep-engine cache occupancy, and `symath` interner counters.
 fn metrics_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
     q.check_known(&[])?;
     let m = &state.metrics;
     let c = &state.cache.stats;
     let lat = &m.latency;
+    let engine = analysis::FamilyEngine::global();
+    let interner = symath::intern_stats();
     let by_endpoint = m
         .endpoint_counts
         .lock()
@@ -509,6 +512,25 @@ fn metrics_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
                 .set("p95", lat.quantile_us(0.95))
                 .set("p99", lat.quantile_us(0.99))
                 .set("max", lat.max_us()),
+        )
+        .set(
+            "engine",
+            Json::obj()
+                .set("families_built", engine.families_built() as u64)
+                .set("instances_cached", engine.instances_cached() as u64)
+                .set("instance_capacity", engine.instance_capacity() as u64),
+        )
+        .set(
+            "symath",
+            Json::obj()
+                .set("table_len", interner.table_len)
+                .set("intern_hits", interner.intern_hits)
+                .set("intern_misses", interner.intern_misses)
+                .set("intern_hit_rate", interner.intern_hit_rate())
+                .set("memo_hits", interner.memo_hits)
+                .set("memo_misses", interner.memo_misses)
+                .set("memo_hit_rate", interner.memo_hit_rate())
+                .set("programs_compiled", interner.programs_compiled),
         )
         .render();
     Ok(Routed::ok(body, "metrics"))

@@ -1,0 +1,275 @@
+//! Compiled evaluation: flat stack programs replaying the tree evaluator.
+//!
+//! [`Expr::eval`](crate::Expr::eval) walks the canonical sum-of-terms tree on
+//! every call, re-matching atoms and re-looking-up symbols. A [`Program`]
+//! linearizes one expression into a sequence of [`Instr`]s **in the exact
+//! order the tree evaluator performs its `f64` operations**, with symbols
+//! resolved once into dense slots. Because IEEE-754 arithmetic is
+//! deterministic, replaying the same operation sequence on the same inputs
+//! produces the same bits — so compiled evaluation is *bit-identical* to the
+//! tree walk, not merely close (asserted by the equivalence suites).
+//!
+//! The instruction mapping mirrors `Expr::eval` statement by statement:
+//!
+//! * an expression starts `total = 0.0` → `Const(0.0)`, and each term ends
+//!   with `total += val` → `Add`;
+//! * a term starts `val = coeff` → `Const(coeff)` and each factor performs
+//!   `val *= base.powf(e)` → *atom code* (pushes `base`) then `PowMul(e)`;
+//! * `max` folds from `NEG_INFINITY` → `Const(NEG_INFINITY)` then per
+//!   argument *expr code* + `Max` (symmetrically `min` from `INFINITY`);
+//! * `ceil` rounds the top of stack in place.
+//!
+//! Slot order is first-encounter order during compilation, which equals the
+//! tree evaluator's symbol-encounter order, so even the "first unbound
+//! symbol" error names the same symbol.
+
+use std::collections::HashMap;
+
+use crate::eval::{Bindings, UnboundSymbol};
+use crate::expr::{Atom, Expr, Func};
+use crate::symbol::Symbol;
+
+/// One stack-machine operation. See the module docs for the mapping from
+/// tree evaluation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Instr {
+    /// Push a constant.
+    Const(f64),
+    /// Push the value bound to symbol slot `.0`.
+    Load(u32),
+    /// Pop `base`; replace the new top `val` with `val * base.powf(exp)`.
+    PowMul(f64),
+    /// Pop `b`; replace the new top `a` with `a + b`.
+    Add,
+    /// Pop `b`; replace the new top `a` with `a.max(b)`.
+    Max,
+    /// Pop `b`; replace the new top `a` with `a.min(b)`.
+    Min,
+    /// Replace the top of stack with its ceiling.
+    Ceil,
+}
+
+/// A compiled expression: flat instructions plus the symbol table mapping
+/// load slots back to [`Symbol`]s.
+#[derive(Clone, Debug)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    /// Slot `i` loads the value of `syms[i]`.
+    syms: Vec<Symbol>,
+    /// Maximum evaluation stack depth (exact, tracked during compilation).
+    stack_depth: usize,
+}
+
+struct Compiler {
+    instrs: Vec<Instr>,
+    syms: Vec<Symbol>,
+    slot_of: HashMap<Symbol, u32>,
+    depth: usize,
+    max_depth: usize,
+}
+
+impl Compiler {
+    fn push(&mut self, i: Instr) {
+        match i {
+            Instr::Const(_) | Instr::Load(_) => {
+                self.depth += 1;
+                self.max_depth = self.max_depth.max(self.depth);
+            }
+            Instr::PowMul(_) | Instr::Add | Instr::Max | Instr::Min => self.depth -= 1,
+            Instr::Ceil => {}
+        }
+        self.instrs.push(i);
+    }
+
+    fn slot(&mut self, s: Symbol) -> u32 {
+        if let Some(&i) = self.slot_of.get(&s) {
+            return i;
+        }
+        let i = self.syms.len() as u32;
+        self.syms.push(s);
+        self.slot_of.insert(s, i);
+        i
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        self.push(Instr::Const(0.0));
+        for t in e.terms() {
+            self.push(Instr::Const(t.coeff.to_f64()));
+            for (a, exp) in &t.factors {
+                self.atom(a);
+                self.push(Instr::PowMul(exp.to_f64()));
+            }
+            self.push(Instr::Add);
+        }
+    }
+
+    fn atom(&mut self, a: &Atom) {
+        match a {
+            Atom::Sym(s) => {
+                let slot = self.slot(*s);
+                self.push(Instr::Load(slot));
+            }
+            Atom::Expr(inner) => self.expr(inner),
+            Atom::Func(Func::Max(args)) => {
+                self.push(Instr::Const(f64::NEG_INFINITY));
+                for x in args {
+                    self.expr(x);
+                    self.push(Instr::Max);
+                }
+            }
+            Atom::Func(Func::Min(args)) => {
+                self.push(Instr::Const(f64::INFINITY));
+                for x in args {
+                    self.expr(x);
+                    self.push(Instr::Min);
+                }
+            }
+            Atom::Func(Func::Ceil(x)) => {
+                self.expr(x);
+                self.push(Instr::Ceil);
+            }
+        }
+    }
+}
+
+impl Program {
+    /// Linearize `e` into a stack program.
+    pub fn compile(e: &Expr) -> Program {
+        let mut c = Compiler {
+            instrs: Vec::new(),
+            syms: Vec::new(),
+            slot_of: HashMap::new(),
+            depth: 0,
+            max_depth: 0,
+        };
+        c.expr(e);
+        debug_assert_eq!(c.depth, 1, "a program leaves exactly its value");
+        Program {
+            instrs: c.instrs,
+            syms: c.syms,
+            stack_depth: c.max_depth,
+        }
+    }
+
+    /// Execute the program under `bindings`.
+    ///
+    /// Bit-identical to [`Expr::eval`](crate::Expr::eval) on the compiled
+    /// expression, including which unbound symbol an error names.
+    pub fn eval(&self, bindings: &Bindings) -> Result<f64, UnboundSymbol> {
+        let mut slots = Vec::with_capacity(self.syms.len());
+        for &s in &self.syms {
+            slots.push(bindings.get(s).ok_or(UnboundSymbol(s))?);
+        }
+        let mut stack: Vec<f64> = Vec::with_capacity(self.stack_depth);
+        for i in &self.instrs {
+            match *i {
+                Instr::Const(c) => stack.push(c),
+                Instr::Load(slot) => stack.push(slots[slot as usize]),
+                Instr::PowMul(exp) => {
+                    let base = stack.pop().expect("PowMul needs a base");
+                    let val = stack.last_mut().expect("PowMul needs a value");
+                    *val *= base.powf(exp);
+                }
+                Instr::Add => {
+                    let b = stack.pop().expect("Add needs two operands");
+                    let a = stack.last_mut().expect("Add needs two operands");
+                    *a += b;
+                }
+                Instr::Max => {
+                    let b = stack.pop().expect("Max needs two operands");
+                    let a = stack.last_mut().expect("Max needs two operands");
+                    *a = a.max(b);
+                }
+                Instr::Min => {
+                    let b = stack.pop().expect("Min needs two operands");
+                    let a = stack.last_mut().expect("Min needs two operands");
+                    *a = a.min(b);
+                }
+                Instr::Ceil => {
+                    let a = stack.last_mut().expect("Ceil needs an operand");
+                    *a = a.ceil();
+                }
+            }
+        }
+        debug_assert_eq!(stack.len(), 1);
+        Ok(stack.pop().expect("program leaves its value on the stack"))
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True for an empty instruction sequence (never produced by `compile`).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Symbols in slot order (the tree evaluator's encounter order).
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.syms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rat::Rat;
+
+    fn bits(x: f64) -> u64 {
+        x.to_bits()
+    }
+
+    #[test]
+    fn polynomial_matches_tree_eval_bitwise() {
+        let h = Expr::sym("cmp_h");
+        let e = h.pow(2) * Expr::int(3) + &h + Expr::rat(1, 3);
+        let b = Bindings::new().with("cmp_h", 17.0);
+        let p = Program::compile(&e);
+        assert_eq!(bits(p.eval(&b).unwrap()), bits(e.eval(&b).unwrap()));
+    }
+
+    #[test]
+    fn max_min_ceil_match_tree_eval_bitwise() {
+        let x = Expr::sym("cmp_x");
+        let y = Expr::sym("cmp_y");
+        let e = Expr::ceil(Expr::max(vec![x.clone() * Expr::rat(7, 3), y.clone()]))
+            * Expr::min(vec![x.clone(), y.clone() + Expr::int(1)]);
+        let b = Bindings::new().with("cmp_x", 2.75).with("cmp_y", 6.5);
+        let p = Program::compile(&e);
+        assert_eq!(bits(p.eval(&b).unwrap()), bits(e.eval(&b).unwrap()));
+    }
+
+    #[test]
+    fn fractional_powers_match_tree_eval_bitwise() {
+        let p_sym = Expr::sym("cmp_p");
+        let e = p_sym.sqrt() * Expr::int(5) + (p_sym.clone() + Expr::int(1)).recip();
+        let b = Bindings::new().with("cmp_p", 77.0);
+        let prog = Program::compile(&e);
+        assert_eq!(bits(prog.eval(&b).unwrap()), bits(e.eval(&b).unwrap()));
+    }
+
+    #[test]
+    fn unbound_symbol_error_names_first_encountered() {
+        let e = Expr::sym("cmp_u1") + Expr::sym("cmp_u2");
+        let p = Program::compile(&e);
+        let tree_err = e.eval(&Bindings::new()).unwrap_err();
+        let prog_err = p.eval(&Bindings::new()).unwrap_err();
+        assert_eq!(tree_err, prog_err);
+    }
+
+    #[test]
+    fn zero_expression_evaluates_to_zero() {
+        let p = Program::compile(&Expr::zero());
+        assert_eq!(p.eval(&Bindings::new()).unwrap(), 0.0);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn repeated_symbols_share_one_slot() {
+        let h = Expr::sym("cmp_slot");
+        let e = h.pow(2) + h.clone() * Expr::int(4) + h.pow(Rat::int(3));
+        let p = Program::compile(&e);
+        assert_eq!(p.symbols().len(), 1);
+    }
+}

@@ -63,14 +63,70 @@ impl Term {
 
     fn mul(&self, other: &Term) -> Term {
         let coeff = self.coeff * other.coeff;
-        let mut map: BTreeMap<Atom, Rat> = BTreeMap::new();
-        for (a, e) in self.factors.iter().chain(other.factors.iter()) {
-            let entry = map.entry(a.clone()).or_insert(Rat::ZERO);
-            *entry = *entry + *e;
+        // Constants are the overwhelmingly common operands in builder
+        // arithmetic: multiplying by one costs a factor-list clone, nothing
+        // more.
+        if other.factors.is_empty() {
+            let mut factors = self.factors.clone();
+            combine_equal_atoms(&mut factors);
+            return Term { coeff, factors };
         }
-        let factors = map.into_iter().filter(|(_, e)| !e.is_zero()).collect();
+        if self.factors.is_empty() {
+            let mut factors = other.factors.clone();
+            combine_equal_atoms(&mut factors);
+            return Term { coeff, factors };
+        }
+        // Factor lists are invariantly sorted by atom with unique atoms (the
+        // canonical form), so a linear merge-join replaces the former
+        // `BTreeMap` rebuild and yields the identical sorted result.
+        let (mut i, mut j) = (0, 0);
+        let mut factors = Vec::with_capacity(self.factors.len() + other.factors.len());
+        while i < self.factors.len() && j < other.factors.len() {
+            let (a, ea) = &self.factors[i];
+            let (b, eb) = &other.factors[j];
+            match a.cmp(b) {
+                Ordering::Less => {
+                    factors.push((a.clone(), *ea));
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    factors.push((b.clone(), *eb));
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    let e = *ea + *eb;
+                    if !e.is_zero() {
+                        factors.push((a.clone(), e));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        factors.extend_from_slice(&self.factors[i..]);
+        factors.extend_from_slice(&other.factors[j..]);
+        combine_equal_atoms(&mut factors);
         Term { coeff, factors }
     }
+}
+
+/// Merge runs of equal atoms in a sorted factor list, summing exponents and
+/// dropping zeros — what the former `BTreeMap` rebuild did implicitly. A
+/// single operand can carry duplicate atoms only through fractional powers of
+/// non-square rational coefficients, so in practice this is a no-op scan.
+fn combine_equal_atoms(factors: &mut Vec<(Atom, Rat)>) {
+    if factors.windows(2).all(|w| w[0].0 != w[1].0) {
+        return;
+    }
+    let mut merged: Vec<(Atom, Rat)> = Vec::with_capacity(factors.len());
+    for (a, e) in factors.drain(..) {
+        match merged.last_mut() {
+            Some((last, le)) if *last == a => *le = *le + e,
+            _ => merged.push((a, e)),
+        }
+    }
+    merged.retain(|(_, e)| !e.is_zero());
+    *factors = merged;
 }
 
 /// A symbolic expression in canonical sum-of-terms form.
@@ -96,7 +152,13 @@ fn exact_sqrt(r: Rat) -> Option<Rat> {
     Some(Rat::new(isqrt(r.num())?, isqrt(r.den())?))
 }
 
-fn normalize(terms: Vec<Term>) -> Expr {
+fn normalize(mut terms: Vec<Term>) -> Expr {
+    // Single-term sums (the pow/composite constructors) need no collection
+    // pass, only the zero filter.
+    if terms.len() <= 1 {
+        terms.retain(|t| !t.coeff.is_zero());
+        return Expr { terms };
+    }
     let mut map: BTreeMap<Vec<(Atom, Rat)>, Rat> = BTreeMap::new();
     for t in terms {
         if t.coeff.is_zero() {
@@ -204,9 +266,46 @@ impl Expr {
     }
 
     fn add_expr(&self, other: &Expr) -> Expr {
-        let mut terms = self.terms.clone();
-        terms.extend(other.terms.iter().cloned());
-        normalize(terms)
+        if self.terms.is_empty() {
+            return other.clone();
+        }
+        if other.terms.is_empty() {
+            return self.clone();
+        }
+        // Both operands are canonical — terms sorted by factor list, no
+        // duplicates, no zero coefficients — so addition is a linear
+        // merge-join producing the same canonical result as re-normalizing
+        // the concatenation, without the `BTreeMap` pass.
+        let (mut i, mut j) = (0, 0);
+        let mut terms = Vec::with_capacity(self.terms.len() + other.terms.len());
+        while i < self.terms.len() && j < other.terms.len() {
+            let a = &self.terms[i];
+            let b = &other.terms[j];
+            match a.factors.cmp(&b.factors) {
+                Ordering::Less => {
+                    terms.push(a.clone());
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    terms.push(b.clone());
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    let coeff = a.coeff + b.coeff;
+                    if !coeff.is_zero() {
+                        terms.push(Term {
+                            coeff,
+                            factors: a.factors.clone(),
+                        });
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        terms.extend_from_slice(&self.terms[i..]);
+        terms.extend_from_slice(&other.terms[j..]);
+        Expr { terms }
     }
 
     fn mul_expr(&self, other: &Expr) -> Expr {

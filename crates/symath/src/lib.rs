@@ -13,6 +13,9 @@
 //! * [`Symbol`] — interned names; all symbols denote **positive** reals
 //!   (tensor dimensions), which licenses exponent distribution.
 //! * [`Bindings`] — symbol → value maps for numeric [`Expr::eval`].
+//! * [`ExprId`] — hash-consed expression handles: O(1) equality/hash/clone,
+//!   memoized `add`/`mul`/`pow`/`bind_all`, and compiled ([`Program`])
+//!   evaluation that is bit-identical to the tree walk.
 //!
 //! # Example
 //!
@@ -31,13 +34,17 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod compile;
 mod display;
 mod eval;
 mod expr;
+mod intern;
 mod rat;
 mod symbol;
 
+pub use compile::{Instr, Program};
 pub use eval::{Bindings, UnboundSymbol};
 pub use expr::{Atom, Expr, Func};
+pub use intern::{intern_stats, ExprId, InternStats};
 pub use rat::Rat;
 pub use symbol::Symbol;

@@ -1,0 +1,105 @@
+//! Property-based equivalence of the hash-consed algebra with the tree
+//! algebra: every memoized `ExprId` operation must return the id of exactly
+//! the expression the corresponding `Expr` operation builds, and compiled
+//! evaluation must agree with the tree walk to the bit.
+
+use proptest::prelude::*;
+use symath::{Bindings, Expr, Rat};
+
+const SYMS: [&str; 4] = ["ie_a", "ie_b", "ie_c", "ie_d"];
+
+/// Same shape as the `properties.rs` generator, over a disjoint symbol set
+/// so the shared interner table stays test-local.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20i128..=20).prop_map(Expr::int),
+        (0usize..SYMS.len()).prop_map(|i| Expr::sym(SYMS[i])),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), 2i128..=3).prop_map(|(a, k)| a.pow(Rat::int(k))),
+        ]
+    })
+}
+
+fn bindings() -> Bindings {
+    // Integer values: `bind_all` requires exact integers, and these are the
+    // sweep engine's actual use (widths, sequence lengths, batch sizes).
+    Bindings::new()
+        .with("ie_a", 2.0)
+        .with("ie_b", 3.0)
+        .with("ie_c", 5.0)
+        .with("ie_d", 7.0)
+}
+
+proptest! {
+    #[test]
+    fn interned_add_equals_tree_add(a in arb_expr(), b in arb_expr()) {
+        let sum = a.interned().add(b.interned());
+        prop_assert_eq!(&*sum.expr(), &(&a + &b));
+    }
+
+    #[test]
+    fn interned_mul_equals_tree_mul(a in arb_expr(), b in arb_expr()) {
+        let prod = a.interned().mul(b.interned());
+        prop_assert_eq!(&*prod.expr(), &(&a * &b));
+    }
+
+    #[test]
+    fn interned_pow_equals_tree_pow(a in arb_expr(), k in 2i128..=4) {
+        let powed = a.interned().pow(Rat::int(k));
+        prop_assert_eq!(&*powed.expr(), &a.pow(Rat::int(k)));
+    }
+
+    #[test]
+    fn interned_bind_all_equals_tree_bind_all(a in arb_expr()) {
+        let env = bindings();
+        let bound = a.interned().bind_all(&env);
+        prop_assert_eq!(&*bound.expr(), &a.bind_all(&env));
+    }
+
+    #[test]
+    fn compiled_eval_is_bit_identical_to_tree_eval(a in arb_expr()) {
+        let env = bindings();
+        let tree = a.eval(&env).unwrap();
+        let compiled = a.interned().eval(&env).unwrap();
+        prop_assert_eq!(compiled.to_bits(), tree.to_bits());
+    }
+
+    #[test]
+    fn intern_view_reintern_is_identity(a in arb_expr()) {
+        let id = a.interned();
+        let view: Expr = id.into();
+        prop_assert_eq!(view.interned(), id);
+        // And a structurally equal rebuild lands on the same id.
+        prop_assert_eq!((&a + &Expr::zero()).interned(), id);
+    }
+
+    #[test]
+    fn equal_ids_iff_equal_expressions(a in arb_expr(), b in arb_expr()) {
+        prop_assert_eq!(a.interned() == b.interned(), a == b);
+    }
+
+    #[test]
+    fn operator_sugar_matches_methods(a in arb_expr(), b in arb_expr()) {
+        let (ia, ib) = (a.interned(), b.interned());
+        prop_assert_eq!(ia + ib, ia.add(ib));
+        prop_assert_eq!(ia * ib, ia.mul(ib));
+    }
+
+    #[test]
+    fn unbound_symbol_error_matches_tree(a in arb_expr()) {
+        // Evaluate with an empty environment: if the tree walk fails, the
+        // compiled program must fail naming the same symbol; if it succeeds
+        // (constant expression), the compiled result must be bit-identical.
+        let empty = Bindings::new();
+        match (a.eval(&empty), a.interned().eval(&empty)) {
+            (Ok(t), Ok(c)) => prop_assert_eq!(c.to_bits(), t.to_bits()),
+            (Err(te), Err(ce)) => prop_assert_eq!(te, ce),
+            (t, c) => prop_assert!(false, "tree {t:?} vs compiled {c:?}"),
+        }
+    }
+}

@@ -1,0 +1,64 @@
+use cgraph::{footprint_with_sizes, InPlacePolicy, Scheduler};
+use modelzoo::Domain;
+use std::time::Instant;
+
+fn main() {
+    let configs = modelzoo::sweep_configs(Domain::CharLm, 1_000_000, 1_000_000_000, 9);
+    let cfg0 = &configs[0];
+    let t = Instant::now();
+    let fwd = cfg0.build_family();
+    println!(
+        "build_family (fwd): {:.1} ms ({} ops)",
+        t.elapsed().as_secs_f64() * 1e3,
+        fwd.graph.ops().len()
+    );
+    let t = Instant::now();
+    let fam = cfg0.build_family_training();
+    println!(
+        "build_family_training: {:.1} ms ({} ops)",
+        t.elapsed().as_secs_f64() * 1e3,
+        fam.graph.ops().len()
+    );
+    let widths = cfg0.family_widths();
+    let bindings = {
+        let mut b = fam.bindings_with_batch(cfg0.domain().default_subbatch());
+        b.extend(&widths);
+        b
+    };
+    // sizes
+    let t = Instant::now();
+    let sizes: Vec<u64> = fam
+        .graph
+        .tensors()
+        .iter()
+        .map(|tn| tn.bytes_u64(&bindings).unwrap())
+        .collect();
+    println!(
+        "sizes eval (tree, per-tensor): {:.1} ms",
+        t.elapsed().as_secs_f64() * 1e3
+    );
+    let t = Instant::now();
+    let fp = footprint_with_sizes(&fam.graph, &sizes, Scheduler::Best, InPlacePolicy::Never);
+    println!(
+        "footprint_with_sizes: {:.1} ms (peak {})",
+        t.elapsed().as_secs_f64() * 1e3,
+        fp.peak_bytes
+    );
+    let t = Instant::now();
+    let stats = fam.graph.stats();
+    let inst = cgraph::GraphStats {
+        flops: stats.flops.bind_all(&widths),
+        flops_forward: stats.flops_forward.bind_all(&widths),
+        flops_backward: stats.flops_backward.bind_all(&widths),
+        flops_update: stats.flops_update.bind_all(&widths),
+        bytes: stats.bytes.bind_all(&widths),
+        bytes_read: stats.bytes_read.bind_all(&widths),
+        bytes_written: stats.bytes_written.bind_all(&widths),
+        params: stats.params.bind_all(&widths),
+        io: stats.io.bind_all(&widths),
+    };
+    println!("stats+bind: {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
+    let t2 = Instant::now();
+    let _ = inst.eval(&bindings).unwrap();
+    println!("eval: {:.3} ms", t2.elapsed().as_secs_f64() * 1e3);
+}
