@@ -277,6 +277,13 @@ impl FamilyEngine {
             .collect()
     }
 
+    /// Labels consumed per batch element by `cfg`'s family graph — the
+    /// slope of `samples_per_step(b)`. Width-independent, so the cached
+    /// family answers without building a concrete instance.
+    pub fn labels_per_sample(&self, cfg: &ModelConfig) -> u64 {
+        self.family(cfg).model.labels_per_sample
+    }
+
     /// Number of family graphs currently cached.
     pub fn families_built(&self) -> usize {
         self.families.lock().expect("poisoned").len()

@@ -23,6 +23,7 @@ mod casestudy;
 mod characterize;
 mod engine;
 mod frontier;
+mod plansearch;
 mod sensitivity;
 mod subbatch;
 mod trends;
@@ -34,6 +35,9 @@ pub use characterize::{
 };
 pub use engine::FamilyEngine;
 pub use frontier::{frontier_row, table3, FrontierRow};
+pub use plansearch::{
+    plan_search, plan_search_space, synthetic_stages, PlanSearchRequest, PLAN_USABLE_MEM_FRACTION,
+};
 pub use sensitivity::{hardware_sensitivity, hardware_variants, HardwareVariant, SensitivityPoint};
 pub use subbatch::{fig11_batches, subbatch_analysis, SubbatchAnalysis, SubbatchPoint};
 pub use trends::{fit_domain_trends, fit_trends, DomainTrends};

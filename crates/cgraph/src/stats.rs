@@ -168,6 +168,15 @@ impl NumericStats {
     }
 }
 
+/// Whether `FRONTIER_STATS_ORACLE=unfolded` forces the brute-force stats
+/// path (checked once per process — flipping the variable mid-run would
+/// otherwise poison caches keyed on the expressions).
+fn oracle_unfolded() -> bool {
+    use std::sync::OnceLock;
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| std::env::var("FRONTIER_STATS_ORACLE").as_deref() == Ok("unfolded"))
+}
+
 impl Graph {
     fn resolve<'a>(&'a self, op: &Op) -> (Vec<&'a Tensor>, Vec<&'a Tensor>) {
         let ins = op.inputs.iter().map(|&t| self.tensor(t)).collect();
@@ -241,7 +250,16 @@ impl Graph {
     /// costs recurring across graphs) hit the memo instead of redoing the
     /// tree algebra. The viewed expressions equal the former direct
     /// accumulation — the memoized ops are the same canonical operations.
+    ///
+    /// Setting `FRONTIER_STATS_ORACLE=unfolded` in the environment reroutes
+    /// this through [`stats_interned_unfolded`](Graph::stats_interned_unfolded)
+    /// — the op-by-op brute-force accumulation — so the whole workspace
+    /// (sweep engine, server, benches) can be re-tested against the oracle
+    /// path with no code change. The override is read once per process.
     pub fn stats_interned(&self) -> InternedGraphStats {
+        if oracle_unfolded() {
+            return self.stats_interned_unfolded();
+        }
         let fold = crate::fold::fold_classes(self);
         // Accumulate in tree form — interning every intermediate accumulator
         // would re-hash the whole growing sum once per fold class. The final
@@ -278,6 +296,26 @@ impl Graph {
             bytes_written: bytes_written.interned(),
             params: self.params_id(),
             io: self.io_bytes_id(),
+        }
+    }
+
+    /// The brute-force oracle, interned: [`stats_unfolded`](Graph::stats_unfolded)
+    /// accumulated op by op, with only the final totals hash-consed. Because
+    /// `symath` expressions are canonical, the ids equal the folded
+    /// accumulation's — the fold-exactness claim at the interned level, which
+    /// the `FRONTIER_STATS_ORACLE=unfolded` CI pass exercises workspace-wide.
+    pub fn stats_interned_unfolded(&self) -> InternedGraphStats {
+        let s = self.stats_unfolded();
+        InternedGraphStats {
+            flops: s.flops.interned(),
+            flops_forward: s.flops_forward.interned(),
+            flops_backward: s.flops_backward.interned(),
+            flops_update: s.flops_update.interned(),
+            bytes: s.bytes.interned(),
+            bytes_read: s.bytes_read.interned(),
+            bytes_written: s.bytes_written.interned(),
+            params: s.params.interned(),
+            io: s.io.interned(),
         }
     }
 

@@ -20,6 +20,7 @@ mod dataparallel;
 mod modelparallel;
 mod pipeline_des;
 mod planner;
+mod search;
 mod tensorparallel;
 mod trace;
 
@@ -40,5 +41,10 @@ pub use pipeline_des::{
     PipelineSim,
 };
 pub use planner::{plan, ModelParallelism, Plan, PlanRequest};
+pub use search::{
+    argmin_point, enumerate_naive, pareto_frontier, pareto_frontier_reference, plan_point,
+    pow2_candidates, search, split_variants, CandidateProfile, SearchPoint, SearchResult,
+    SearchSpace, SearchStats, VariantCost,
+};
 pub use tensorparallel::{tensor_parallel_plan, TensorParallelConfig, TensorParallelPlan};
 pub use trace::pipeline_trace_events;

@@ -11,9 +11,10 @@
 use roofline::Accelerator;
 use serde::{Deserialize, Serialize};
 
-use crate::allreduce::{ring_allreduce_seconds, CommConfig};
+use crate::allreduce::CommConfig;
 use crate::dataparallel::WorkerStep;
-use crate::modelparallel::{layer_parallel_plan, peak_footprint, waterfill_largest_weight, Stage};
+use crate::modelparallel::Stage;
+use crate::search::{plan_point, split_variants};
 
 /// Model-parallel strategy the planner may apply within one worker.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -74,7 +75,7 @@ impl PlanRequest {
 }
 
 /// A feasible plan found by the planner.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Plan {
     /// Data-parallel worker count.
     pub dp_workers: u64,
@@ -95,68 +96,49 @@ pub struct Plan {
 /// Search the plan space; returns the feasible plan with the fewest total
 /// accelerators (ties broken by higher utilization), or `None` if no
 /// candidate meets the deadline.
+///
+/// Point evaluation is shared with [`crate::search`]
+/// ([`split_variants`] + [`plan_point`]), so this is the same arithmetic
+/// the full plan-search subsystem runs — just restricted to one
+/// accelerator and the request's single pipelining strategy.
 pub fn plan(request: &PlanRequest, accel: &Accelerator, comm: &CommConfig) -> Option<Plan> {
     assert!(
         !request.stages.is_empty(),
         "planner needs at least one stage"
     );
     let usable = accel.mem_capacity * request.usable_mem_fraction;
+    let micros: &[u64] = match request.model_parallelism {
+        ModelParallelism::None => &[],
+        ModelParallelism::LayerPipeline { ref microbatches } => std::slice::from_ref(microbatches),
+    };
     let mut best: Option<Plan> = None;
-
-    // Candidate model-parallel ways: 1 (whole model) or the stage count.
-    let mut ways_options = vec![1u64];
-    if request.stages.len() > 1 {
-        ways_options.push(request.stages.len() as u64);
-    }
-
-    for &ways in &ways_options {
-        // Per-accelerator footprint under this split.
-        let (mem_per_accel, compute_seconds) = if ways == 1 {
-            (request.footprint_bytes, request.step.compute_seconds)
-        } else {
-            let micro = match request.model_parallelism {
-                ModelParallelism::None => continue,
-                ModelParallelism::LayerPipeline { microbatches } => microbatches,
-            };
-            let lp = layer_parallel_plan(&request.stages, request.step.compute_seconds, micro);
-            // Shard the heaviest weight across stages by waterfilling —
-            // the paper's embedding-sharding move, applied automatically.
-            let peak = peak_footprint(&waterfill_largest_weight(&request.stages));
-            (peak, lp.step_compute_seconds)
-        };
-        if mem_per_accel > usable {
+    for variant in split_variants(
+        &request.stages,
+        request.footprint_bytes,
+        request.step.compute_seconds,
+        micros,
+    ) {
+        if variant.mem_per_accel > usable {
             continue; // would swap — rejected outright, like the paper
         }
         for &workers in &request.worker_candidates {
-            // Each stage allreduces its own gradients; approximate with the
-            // whole gradient split evenly over the ways.
-            let comm_seconds =
-                ring_allreduce_seconds(request.step.gradient_bytes / ways as f64, workers, comm);
-            let step_seconds = compute_seconds + comm_seconds;
-            let epoch_days = request.dataset_samples
-                / (workers as f64 * request.step.samples_per_step)
-                * step_seconds
-                / 86_400.0;
-            if epoch_days > request.target_epoch_days {
+            let candidate = plan_point(
+                &request.step,
+                &variant,
+                workers,
+                request.dataset_samples,
+                accel.peak_flops,
+                comm,
+            );
+            if candidate.epoch_days > request.target_epoch_days {
                 continue;
             }
-            let total = workers * ways;
-            let utilization =
-                request.step.alg_flops / (step_seconds * accel.peak_flops) / ways as f64;
-            let candidate = Plan {
-                dp_workers: workers,
-                mp_ways: ways,
-                total_accelerators: total,
-                step_seconds,
-                epoch_days,
-                flop_utilization: utilization,
-                mem_per_accel_gb: mem_per_accel / 1e9,
-            };
             let better = match &best {
                 None => true,
                 Some(b) => {
-                    total < b.total_accelerators
-                        || (total == b.total_accelerators && utilization > b.flop_utilization)
+                    candidate.total_accelerators < b.total_accelerators
+                        || (candidate.total_accelerators == b.total_accelerators
+                            && candidate.flop_utilization > b.flop_utilization)
                 }
             };
             if better {

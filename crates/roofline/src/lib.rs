@@ -20,7 +20,7 @@ mod cache;
 mod swap;
 mod timing;
 
-pub use accel::Accelerator;
+pub use accel::{Accelerator, Precision};
 pub use cache::{
     cache_aware_stats, matmul_traffic, matmul_traffic_panel, matmul_traffic_square,
     op_bytes_with_cache, per_op_step_time, CacheModel,

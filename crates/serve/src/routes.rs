@@ -7,12 +7,11 @@
 
 use std::sync::atomic::Ordering;
 
-use analysis::{characterize, fig11_batches, frontier_row, subbatch_analysis};
+use analysis::{characterize, fig11_batches, frontier_row, subbatch_analysis, PlanSearchRequest};
 use frontier::QueryKey;
 use modelzoo::{Domain, ModelConfig};
-use parsim::{
-    plan as parallelism_plan, CommConfig, ModelParallelism, Plan, PlanRequest, Stage, WorkerStep,
-};
+use parsim::{ModelParallelism, Plan, SearchPoint};
+use roofline::Accelerator;
 use scaling::scaling_for;
 
 use crate::cache::Outcome;
@@ -26,10 +25,18 @@ use crate::AppState;
 const MIN_PARAMS: u64 = 100_000;
 const MAX_PARAMS: u64 = 200_000_000_000;
 const MAX_SUBBATCH: u64 = 1 << 20;
-/// Accelerator-count search caps for `/v1/plan`.
+/// Accelerator-count search caps for `/v1/plan` and `/v1/plan/search`.
 const MAX_ACCELS: u64 = 1 << 22;
 /// Grid-size cap for `/v1/sweep`.
 const MAX_SWEEP_POINTS: usize = 64;
+/// Grid-size cap for `/v1/plan/search`: accelerators × subbatches ×
+/// microbatch options.
+const MAX_SEARCH_GRID: usize = 64;
+/// Per-list length cap for `/v1/plan/search` comma lists.
+const MAX_SEARCH_LIST: usize = 8;
+/// Bound on a pipeline microbatch count (beyond this the schedule model is
+/// meaningless and the request is almost certainly hostile).
+const MAX_MICROBATCHES: u64 = 1 << 16;
 
 /// One endpoint's handler function.
 type Handler = fn(&AppState, &Query) -> Result<Routed, ApiError>;
@@ -75,6 +82,7 @@ pub fn dispatch(state: &AppState, req: &Request) -> Routed {
         "/v1/project" => ("project", project_route),
         "/v1/subbatch" => ("subbatch", subbatch_route),
         "/v1/plan" => ("plan", plan_route),
+        "/v1/plan/search" => ("plan_search", plan_search_route),
         "/v1/healthz" => ("healthz", healthz_route),
         "/v1/metrics" => ("metrics", metrics_route),
         "/" | "/v1" => ("index", index_route),
@@ -347,47 +355,79 @@ fn subbatch_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
     })
 }
 
-/// Derive a [`PlanRequest`] for a domain's frontier model from its Table 3
-/// row: per-worker step profile, footprint split into just enough equal
-/// layer stages that one stage fits an accelerator, and a power-of-two
-/// worker search capped at `max_accels`.
-fn plan_request_for(
-    row: &analysis::FrontierRow,
-    accel: &roofline::Accelerator,
-    target_epoch_days: f64,
-    max_accels: u64,
-) -> PlanRequest {
-    let samples_per_step = row.data_samples * row.step.seconds / (row.epoch_days * 86_400.0);
-    let step = WorkerStep {
-        compute_seconds: row.step.seconds,
-        alg_flops: row.tflops_per_step * 1e12,
-        gradient_bytes: 4.0 * row.built_params,
-        samples_per_step,
-    };
-    let footprint_bytes = row.min_mem_gb * 1e9;
-    let usable = accel.mem_capacity * 0.8;
-    let n_stages = ((footprint_bytes / (usable * 0.9)).ceil() as usize).max(1);
-    let stages: Vec<Stage> = (0..n_stages)
-        .map(|i| Stage {
-            name: format!("stage{i}"),
-            weight_bytes: footprint_bytes * 0.5 / n_stages as f64,
-            activation_bytes: footprint_bytes * 0.5 / n_stages as f64,
-        })
-        .collect();
-    let worker_candidates: Vec<u64> = (0..=22)
-        .map(|i| 1u64 << i)
-        .filter(|&w| w.saturating_mul(n_stages as u64) <= max_accels)
-        .collect();
-    PlanRequest {
-        step,
-        footprint_bytes,
-        stages,
-        dataset_samples: row.data_samples,
-        target_epoch_days,
-        usable_mem_fraction: 0.8,
-        worker_candidates,
-        model_parallelism: ModelParallelism::LayerPipeline { microbatches: 2 },
+/// The registry key of the server's reference accelerator (falls back to
+/// its display name for a non-registry part).
+fn accel_key_for(accel: &Accelerator) -> String {
+    Accelerator::registry()
+        .into_iter()
+        .find(|(_, a)| a == accel)
+        .map(|(k, _)| k.to_string())
+        .unwrap_or_else(|| accel.name.clone())
+}
+
+/// Shared `days` validation for the plan endpoints.
+fn bounded_days(q: &Query) -> Result<f64, ApiError> {
+    let days = q.opt::<f64>("days")?.unwrap_or(7.0);
+    if !days.is_finite() || days <= 0.0 || days > 100_000.0 {
+        return Err(ApiError::bad_request(
+            "days_out_of_range",
+            format!("days must be a positive number of days, got {days}"),
+        ));
     }
+    Ok(days)
+}
+
+/// Shared `accels` (fleet-size cap) validation for the plan endpoints.
+fn bounded_max_accels(q: &Query) -> Result<u64, ApiError> {
+    let max_accels = q.opt::<u64>("accels")?.unwrap_or(16_384);
+    if !(1..=MAX_ACCELS).contains(&max_accels) {
+        return Err(ApiError::bad_request(
+            "accels_out_of_range",
+            format!("accels must be in 1..={MAX_ACCELS}, got {max_accels}"),
+        ));
+    }
+    Ok(max_accels)
+}
+
+/// Parse a comma list of integers in `lo..=hi`; `None` when absent.
+fn comma_list_u64(
+    q: &Query,
+    key: &'static str,
+    lo: u64,
+    hi: u64,
+) -> Result<Option<Vec<u64>>, ApiError> {
+    let Some(raw) = q.raw(key) else {
+        return Ok(None);
+    };
+    let mut out = Vec::new();
+    for piece in raw.split(',') {
+        let v: u64 = piece.trim().parse().map_err(|_| {
+            ApiError::bad_request(
+                "bad_parameter",
+                format!("parameter {key}={piece:?} is not a valid value"),
+            )
+        })?;
+        if !(lo..=hi).contains(&v) {
+            return Err(ApiError::bad_request(
+                "bad_parameter",
+                format!("parameter {key}: {v} outside {lo}..={hi}"),
+            ));
+        }
+        if out.contains(&v) {
+            return Err(ApiError::bad_request(
+                "bad_parameter",
+                format!("parameter {key}: {v} listed twice"),
+            ));
+        }
+        out.push(v);
+    }
+    if out.len() > MAX_SEARCH_LIST {
+        return Err(ApiError::bad_request(
+            "grid_too_large",
+            format!("parameter {key}: at most {MAX_SEARCH_LIST} values"),
+        ));
+    }
+    Ok(Some(out))
 }
 
 fn plan_json(plan: &Plan) -> Json {
@@ -401,26 +441,29 @@ fn plan_json(plan: &Plan) -> Json {
         .set("mem_per_accel_gb", plan.mem_per_accel_gb)
 }
 
+/// One search point, rendered.
+fn search_point_json(p: &SearchPoint) -> Json {
+    let micro = match p.parallelism {
+        ModelParallelism::None => Json::Null,
+        ModelParallelism::LayerPipeline { microbatches } => Json::Num(microbatches as f64),
+    };
+    Json::obj()
+        .set("accel", p.accel_key.as_str())
+        .set("subbatch", p.subbatch)
+        .set("microbatches", micro)
+        .set("plan", plan_json(&p.plan))
+}
+
 /// `GET /v1/plan?domain=&accels=&days=` — auto-parallelism plan for the
 /// domain's frontier model: fewest accelerators (≤ `accels`) meeting the
-/// `days` epoch deadline (default 7).
+/// `days` epoch deadline (default 7). A single-accelerator restriction of
+/// the `/v1/plan/search` space — both endpoints run the same
+/// `parsim::search` enumeration.
 fn plan_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
     q.check_known(&["domain", "accels", "days"])?;
     let domain = q.domain()?;
-    let max_accels = q.opt::<u64>("accels")?.unwrap_or(16_384);
-    if !(1..=MAX_ACCELS).contains(&max_accels) {
-        return Err(ApiError::bad_request(
-            "accels_out_of_range",
-            format!("accels must be in 1..={MAX_ACCELS}, got {max_accels}"),
-        ));
-    }
-    let days = q.opt::<f64>("days")?.unwrap_or(7.0);
-    if !days.is_finite() || days <= 0.0 || days > 100_000.0 {
-        return Err(ApiError::bad_request(
-            "days_out_of_range",
-            format!("days must be a positive number of days, got {days}"),
-        ));
-    }
+    let max_accels = bounded_max_accels(q)?;
+    let days = bounded_days(q)?;
     let key = QueryKey::new("plan")
         .domain(domain)
         .field("accels", max_accels)
@@ -428,19 +471,138 @@ fn plan_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
         .field("accel", &state.accel.name);
     let accel = state.accel.clone();
     memoized(state, &key, "plan", move || {
-        let row = frontier_row(domain, &accel);
-        let request = plan_request_for(&row, &accel, days, max_accels);
-        let result = parallelism_plan(&request, &accel, &CommConfig::default());
+        let req = PlanSearchRequest {
+            domain,
+            accels: vec![(accel_key_for(&accel), accel.clone())],
+            subbatches: vec![domain.default_subbatch()],
+            microbatches: vec![2],
+            target_epoch_days: days,
+            max_total_accelerators: max_accels,
+        };
+        let space = analysis::plan_search_space(&req);
+        let result = parsim::search(&space);
+        let profile = &space.profiles[0];
+        // Epoch time of one lone worker (informational; no allreduce).
+        let single_worker_epoch_days = space.dataset_samples / profile.step.samples_per_step
+            * profile.step.compute_seconds
+            / 86_400.0;
         let base = Json::obj()
             .set("domain", domain.key())
             .set("target_epoch_days", days)
             .set("max_accelerators", max_accels)
-            .set("stages", request.stages.len())
-            .set("single_worker_epoch_days", row.epoch_days)
-            .set("feasible", result.is_some());
-        match result {
-            Some(plan) => base.set("plan", plan_json(&plan)),
+            .set("stages", profile.stages.len())
+            .set("single_worker_epoch_days", single_worker_epoch_days)
+            .set("feasible", result.best.is_some());
+        match result.best {
+            Some(point) => base.set("plan", plan_json(&point.plan)),
             None => base.set("plan", Json::Null),
+        }
+    })
+}
+
+/// `GET /v1/plan/search?domain=&days=&accels=&accel=&subbatch=&micro=` —
+/// plan search over the accelerator registry: rank every (accelerator ×
+/// subbatch × parallelism × worker count) configuration for the domain's
+/// frontier model. `accel` is a comma list of registry keys (default: the
+/// whole registry); `subbatch` and `micro` are comma lists of candidates.
+/// Returns the Pareto frontier over (epoch days, fleet size, per-device
+/// footprint) plus the argmin plan and pruning counters.
+fn plan_search_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
+    q.check_known(&["domain", "days", "accels", "accel", "subbatch", "micro"])?;
+    let domain = q.domain()?;
+    let max_accels = bounded_max_accels(q)?;
+    let days = bounded_days(q)?;
+    let accel_keys: Vec<String> = match q.raw("accel") {
+        None => Accelerator::KEYS.iter().map(|k| k.to_string()).collect(),
+        Some(raw) => {
+            let mut keys = Vec::new();
+            for piece in raw.split(',') {
+                let key = piece.trim();
+                if Accelerator::by_key(key).is_none() {
+                    return Err(ApiError::bad_request(
+                        "unknown_accelerator",
+                        format!(
+                            "unknown accelerator {key:?}; expected one of {}",
+                            Accelerator::KEYS.join(", ")
+                        ),
+                    ));
+                }
+                if keys.iter().any(|k| k == key) {
+                    return Err(ApiError::bad_request(
+                        "bad_parameter",
+                        format!("accelerator {key:?} listed twice"),
+                    ));
+                }
+                keys.push(key.to_string());
+            }
+            keys
+        }
+    };
+    let subbatches = comma_list_u64(q, "subbatch", 1, MAX_SUBBATCH)?
+        .unwrap_or_else(|| vec![domain.default_subbatch()]);
+    let micros = comma_list_u64(q, "micro", 1, MAX_MICROBATCHES)?.unwrap_or_else(|| vec![2]);
+    let grid = accel_keys.len() * subbatches.len() * micros.len();
+    if grid > MAX_SEARCH_GRID {
+        return Err(ApiError::bad_request(
+            "grid_too_large",
+            format!("accel×subbatch×micro grid is {grid}, cap {MAX_SEARCH_GRID}"),
+        ));
+    }
+    let join = |v: &[u64]| {
+        v.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let key = QueryKey::new("plan_search")
+        .domain(domain)
+        .field("accels", max_accels)
+        .field("days", format!("{days:?}"))
+        .field("accel", accel_keys.join(","))
+        .field("subbatch", join(&subbatches))
+        .field("micro", join(&micros));
+    memoized(state, &key, "plan_search", move || {
+        let req = PlanSearchRequest {
+            domain,
+            accels: accel_keys
+                .iter()
+                .map(|k| (k.clone(), Accelerator::by_key(k).expect("validated key")))
+                .collect(),
+            subbatches,
+            microbatches: micros,
+            target_epoch_days: days,
+            max_total_accelerators: max_accels,
+        };
+        let space = analysis::plan_search_space(&req);
+        let result = parsim::search(&space);
+        let pareto: Vec<Json> = result.pareto.iter().map(search_point_json).collect();
+        let base = Json::obj()
+            .set("domain", domain.key())
+            .set("target_epoch_days", days)
+            .set("max_accelerators", max_accels)
+            .set(
+                "accelerators",
+                accel_keys
+                    .iter()
+                    .map(|k| Json::Str(k.clone()))
+                    .collect::<Vec<_>>(),
+            )
+            .set("profiles", space.profiles.len())
+            .set(
+                "stats",
+                Json::obj()
+                    .set("considered", result.stats.considered)
+                    .set("evaluated", result.stats.evaluated)
+                    .set("pruned_memory", result.stats.pruned_memory)
+                    .set("pruned_over_cap", result.stats.pruned_over_cap)
+                    .set("pruned_comm_bound", result.stats.pruned_comm_bound),
+            )
+            .set("feasible_count", result.feasible.len())
+            .set("pareto", pareto)
+            .set("feasible", result.best.is_some());
+        match result.best {
+            Some(point) => base.set("best", search_point_json(&point)),
+            None => base.set("best", Json::Null),
         }
     })
 }
@@ -545,6 +707,7 @@ fn index_route(_state: &AppState, q: &Query) -> Result<Routed, ApiError> {
         Json::Str("/v1/project?domain=".into()),
         Json::Str("/v1/subbatch?domain=&params=".into()),
         Json::Str("/v1/plan?domain=&accels=&days=".into()),
+        Json::Str("/v1/plan/search?domain=&days=&accels=&accel=&subbatch=&micro=".into()),
         Json::Str("/v1/healthz".into()),
         Json::Str("/v1/metrics".into()),
     ];

@@ -16,8 +16,16 @@
 
 use std::num::NonZeroUsize;
 
-/// Number of worker threads a parallel call may use.
+/// Number of worker threads a parallel call may use. `RAYON_SHIM_THREADS`
+/// overrides the detected core count (tests use it to pin or sweep the
+/// pool size; output never depends on it — see the module docs).
 fn max_threads() -> usize {
+    if let Some(n) = std::env::var("RAYON_SHIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)

@@ -261,6 +261,199 @@ fn malformed_requests_get_structured_errors_and_never_kill_the_server() {
 }
 
 #[test]
+fn plan_search_returns_frontier_and_caches() {
+    let server = test_server();
+    let addr = server.local_addr();
+    let path = "/v1/plan/search?domain=resnet&accel=v100,a100&micro=1,2&days=7";
+    let (s1, c1, b1) = get(addr, path);
+    let (s2, c2, b2) = get(addr, path);
+    assert_eq!((s1, s2), (200, 200), "{b1}");
+    assert_eq!(c1.as_deref(), Some("miss"));
+    assert_eq!(c2.as_deref(), Some("hit"));
+    assert_eq!(b1, b2, "cached search must be byte-identical");
+
+    let doc = Json::parse(&b1).expect("search JSON");
+    assert!(
+        matches!(doc.get("feasible"), Some(Json::Bool(true))),
+        "{b1}"
+    );
+    let pareto = match doc.get("pareto") {
+        Some(Json::Arr(points)) => points,
+        other => panic!("pareto missing or not an array: {other:?}"),
+    };
+    assert!(!pareto.is_empty(), "{b1}");
+    let feasible_count = doc
+        .path("feasible_count")
+        .and_then(Json::as_f64)
+        .expect("feasible_count");
+    assert!(pareto.len() as f64 <= feasible_count);
+    let considered = doc
+        .path("stats.considered")
+        .and_then(Json::as_f64)
+        .expect("considered");
+    let evaluated = doc
+        .path("stats.evaluated")
+        .and_then(Json::as_f64)
+        .expect("evaluated");
+    assert!(evaluated <= considered, "{b1}");
+
+    // The served argmin is exactly what the library's own search returns
+    // for the same request.
+    let req = analysis::PlanSearchRequest {
+        domain: modelzoo::Domain::ImageClassification,
+        accels: vec![
+            (
+                "v100".into(),
+                roofline::Accelerator::by_key("v100").expect("v100"),
+            ),
+            (
+                "a100".into(),
+                roofline::Accelerator::by_key("a100").expect("a100"),
+            ),
+        ],
+        subbatches: vec![modelzoo::Domain::ImageClassification.default_subbatch()],
+        microbatches: vec![1, 2],
+        target_epoch_days: 7.0,
+        max_total_accelerators: 16_384,
+    };
+    let expect = analysis::plan_search(&req).best.expect("library feasible");
+    assert_eq!(
+        doc.path("best.accel").and_then(Json::as_str),
+        Some(expect.accel_key.as_str())
+    );
+    assert_eq!(
+        doc.path("best.plan.total_accelerators")
+            .and_then(Json::as_f64),
+        Some(expect.plan.total_accelerators as f64)
+    );
+    assert_eq!(
+        doc.path("best.plan.step_seconds").and_then(Json::as_f64),
+        Some(expect.plan.step_seconds)
+    );
+    assert_eq!(
+        doc.path("best.plan.epoch_days").and_then(Json::as_f64),
+        Some(expect.plan.epoch_days)
+    );
+}
+
+#[test]
+fn plan_endpoint_is_a_restriction_of_plan_search() {
+    // `/v1/plan` must be exactly `/v1/plan/search` restricted to the
+    // server's reference accelerator, the domain default subbatch, and
+    // micro=2 — same enumeration, bit-identical plan JSON.
+    let server = test_server();
+    let addr = server.local_addr();
+    for query in [
+        "domain=resnet&accels=4096&days=7",
+        "domain=wordlm&accels=16384&days=30",
+        "domain=nmt&accels=512&days=0.02",
+    ] {
+        let (s1, _, plan_body) = get(addr, &format!("/v1/plan?{query}"));
+        let (s2, _, search_body) =
+            get(addr, &format!("/v1/plan/search?{query}&accel=v100&micro=2"));
+        assert_eq!((s1, s2), (200, 200), "{query}: {plan_body} {search_body}");
+        let plan_doc = Json::parse(&plan_body).expect("plan JSON");
+        let search_doc = Json::parse(&search_body).expect("search JSON");
+        assert_eq!(
+            plan_doc.get("feasible"),
+            search_doc.get("feasible"),
+            "{query}"
+        );
+        let plan = plan_doc.get("plan").expect("plan field");
+        match search_doc.path("best.plan") {
+            Some(best) => assert_eq!(plan.render(), best.render(), "{query}"),
+            None => assert!(matches!(plan, Json::Null), "{query}: {plan_body}"),
+        }
+    }
+}
+
+#[test]
+fn plan_search_rejects_hostile_grids_with_structured_400s() {
+    let server = test_server();
+    let addr = server.local_addr();
+    let rejects = [
+        (
+            "/v1/plan/search?domain=resnet&accel=k80",
+            "unknown_accelerator",
+        ),
+        (
+            "/v1/plan/search?domain=resnet&accel=v100,v100",
+            "bad_parameter",
+        ),
+        (
+            "/v1/plan/search?domain=resnet&accel=",
+            "unknown_accelerator",
+        ),
+        ("/v1/plan/search?domain=resnet&subbatch=0", "bad_parameter"),
+        (
+            "/v1/plan/search?domain=resnet&subbatch=banana",
+            "bad_parameter",
+        ),
+        (
+            "/v1/plan/search?domain=resnet&subbatch=184467440737095516159999",
+            "bad_parameter",
+        ),
+        ("/v1/plan/search?domain=resnet&micro=4,4", "bad_parameter"),
+        (
+            "/v1/plan/search?domain=resnet&micro=99999999",
+            "bad_parameter",
+        ),
+        (
+            "/v1/plan/search?domain=resnet&micro=1,2,3,4,5,6,7,8,9",
+            "grid_too_large",
+        ),
+        (
+            "/v1/plan/search?domain=resnet&subbatch=1,2,4,8,16&micro=1,2,4,8",
+            "grid_too_large",
+        ),
+        ("/v1/plan/search?domain=resnet&days=0", "days_out_of_range"),
+        (
+            "/v1/plan/search?domain=resnet&days=inf",
+            "days_out_of_range",
+        ),
+        (
+            "/v1/plan/search?domain=resnet&accels=0",
+            "accels_out_of_range",
+        ),
+        (
+            "/v1/plan/search?domain=resnet&accels=99999999999",
+            "accels_out_of_range",
+        ),
+        (
+            "/v1/plan/search?domain=resnet&surprise=1",
+            "unknown_parameter",
+        ),
+        ("/v1/plan/search?accel=v100", "missing_parameter"),
+    ];
+    for (path, code) in rejects {
+        let (status, _, body) = get(addr, path);
+        assert_eq!(status, 400, "{path}: {body}");
+        let doc = Json::parse(&body).unwrap_or_else(|e| panic!("{path}: bad JSON ({e}): {body}"));
+        assert_eq!(
+            doc.get("error").and_then(Json::as_str),
+            Some(code),
+            "{path}: {body}"
+        );
+    }
+    // All that hostility produced structured 4xx only — never a 5xx — and
+    // the server still answers real queries.
+    let (status, _, body) = get(addr, "/v1/plan/search?domain=resnet&accel=v100");
+    assert_eq!(status, 200, "{body}");
+    let (_, _, metrics) = get(addr, "/v1/metrics");
+    let doc = Json::parse(&metrics).expect("metrics JSON");
+    assert_eq!(
+        doc.path("requests.status_5xx").and_then(Json::as_f64),
+        Some(0.0),
+        "hostile grids must never be internal errors: {metrics}"
+    );
+    assert_eq!(
+        doc.path("requests.status_4xx").and_then(Json::as_f64),
+        Some(rejects.len() as f64),
+        "{metrics}"
+    );
+}
+
+#[test]
 fn head_requests_elide_the_body() {
     let server = test_server();
     let addr = server.local_addr();
