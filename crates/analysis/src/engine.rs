@@ -272,6 +272,7 @@ impl FamilyEngine {
     /// Output order matches input order (the shim's `par_iter` collect is
     /// order-preserving), so results are deterministic.
     pub fn characterize_many(&self, jobs: &[(ModelConfig, u64)]) -> Vec<CharacterizationPoint> {
+        let _span = obs::span("analysis.characterize_many").with_arg("jobs", jobs.len() as u64);
         jobs.par_iter()
             .map(|(cfg, b)| self.characterize(cfg, *b))
             .collect()

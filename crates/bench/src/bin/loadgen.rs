@@ -112,6 +112,42 @@ fn quantile_us(sorted: &[u64], q: f64) -> u64 {
     sorted[rank - 1]
 }
 
+/// Warm-pass latency samples and error counts broken out per endpoint path,
+/// for the machine-readable summary CI diffs against `BENCH_serve.json`.
+#[derive(Default)]
+struct PerEndpoint(Mutex<std::collections::BTreeMap<String, (Vec<u64>, u64)>>);
+
+impl PerEndpoint {
+    fn record(&self, path: &str, us: u64, ok: bool) {
+        let mut map = self.0.lock().expect("per-endpoint lock");
+        let entry = map.entry(path.to_string()).or_default();
+        entry.0.push(us);
+        if !ok {
+            entry.1 += 1;
+        }
+    }
+
+    /// `{path: {count, p50_us, p95_us, p99_us, errors}}`.
+    fn to_json(&self) -> Json {
+        let map = self.0.lock().expect("per-endpoint lock");
+        let mut doc = Json::obj();
+        for (path, (samples, errors)) in map.iter() {
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            doc = doc.set(
+                path.as_str(),
+                Json::obj()
+                    .set("count", sorted.len())
+                    .set("p50_us", quantile_us(&sorted, 0.5))
+                    .set("p95_us", quantile_us(&sorted, 0.95))
+                    .set("p99_us", quantile_us(&sorted, 0.99))
+                    .set("errors", *errors),
+            );
+        }
+        doc
+    }
+}
+
 struct Counters {
     ok: AtomicU64,
     client_errors: AtomicU64,
@@ -237,12 +273,14 @@ fn main() -> ExitCode {
     // cold pass, so it should be served from cache.
     let warm = Arc::new(Samples::default());
     let warm_characterize = Arc::new(Samples::default());
+    let per_endpoint = Arc::new(PerEndpoint::default());
     let counters = Arc::new(Counters::new());
     let started = Instant::now();
     let mut handles = Vec::new();
     for t in 0..threads.max(1) {
         let warm = Arc::clone(&warm);
         let warm_characterize = Arc::clone(&warm_characterize);
+        let per_endpoint = Arc::clone(&per_endpoint);
         let counters = Arc::clone(&counters);
         handles.push(std::thread::spawn(move || {
             for i in 0..requests {
@@ -252,7 +290,12 @@ fn main() -> ExitCode {
                 } else {
                     &warm
                 };
-                let _ = timed_fetch(addr, path, samples, &counters);
+                let start = Instant::now();
+                let result = timed_fetch(addr, path, samples, &counters);
+                let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                let endpoint = path.split('?').next().unwrap_or(path);
+                let ok = matches!(result, Ok((status, ..)) if (200..300).contains(&status));
+                per_endpoint.record(endpoint, us, ok);
             }
         }));
     }
@@ -329,6 +372,7 @@ fn main() -> ExitCode {
                     .set("max_us", warm_sorted.last().copied().unwrap_or(0)),
             )
             .set("cold_over_warm_characterize_p50", speedup)
+            .set("per_endpoint", per_endpoint.to_json())
             .set(
                 "responses",
                 Json::obj()

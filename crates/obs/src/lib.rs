@@ -12,6 +12,9 @@
 //!   line-oriented tooling, and a
 //!   [Chrome-trace-compatible](Recorder::write_chrome_trace) JSON array that
 //!   loads in `chrome://tracing` / Perfetto for timeline views.
+//! * **Metrics** — a name → instrument [registry](metrics::Registry) of
+//!   sharded counters, gauges, and log₂ histograms with Prometheus text
+//!   exposition; see [`metrics`].
 //!
 //! The `--trace <path>` flag in the bench binaries (or the `FRONTIER_TRACE`
 //! environment variable, see [`trace_path_from_env`]) selects the output
@@ -19,6 +22,7 @@
 //! written unless an export is requested.
 
 mod json;
+pub mod metrics;
 mod recorder;
 mod span;
 

@@ -1,0 +1,655 @@
+//! Metric registry: named counters, gauges, and log₂ histograms with a
+//! single-pass Prometheus text exposition.
+//!
+//! Instruments are cheap sharded atomics — recording never takes a lock —
+//! and a [`Registry`] owns the name → instrument table that renders them.
+//! Two render paths share one source of truth: callers can read handles
+//! directly (the server's JSON metrics endpoint does) or ask the registry
+//! for the standard `text/plain; version=0.0.4` exposition
+//! ([`Registry::render_prometheus`]).
+//!
+//! Values owned elsewhere (cache shard counters, engine LRU occupancy,
+//! interner tables) register as *callback* series
+//! ([`Registry::counter_fn`], [`Registry::gauge_fn`]) so the exposition
+//! reads them live instead of mirroring them.
+//!
+//! Registries are plain values, not process globals: a test that boots two
+//! servers gets two independent registries.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Shards per counter. Eight covers the worker counts we run; the
+/// round-robin thread assignment below keeps contention near zero without
+/// per-thread registration.
+const COUNTER_SHARDS: usize = 8;
+
+/// Buckets per histogram: log₂ of microseconds, 1 µs to ~150 minutes.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// One cache line per shard so two shards never false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedCounter(AtomicU64);
+
+/// Stable per-thread shard index, assigned round-robin on first use.
+fn shard_index() -> usize {
+    use std::cell::Cell;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SHARD.with(|slot| {
+        let mut idx = slot.get();
+        if idx == usize::MAX {
+            // Relaxed: the ticket only spreads threads across shards; no
+            // other memory depends on its order.
+            idx = NEXT.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS;
+            slot.set(idx);
+        }
+        idx
+    })
+}
+
+/// Monotonic counter, sharded to keep concurrent increments off one cache
+/// line. Reads sum the shards (reads are rare: scrapes and tests).
+#[derive(Debug, Default)]
+pub struct Counter {
+    shards: [PaddedCounter; COUNTER_SHARDS],
+}
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        // Relaxed: each increment touches exactly one atomic; the total is a
+        // sum over shards, so no cross-shard ordering is needed, and readers
+        // tolerate a momentarily stale shard.
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total across shards.
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Settable signed gauge (in-flight counts, occupancy).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Add `n` (may be negative via `sub`).
+    pub fn add(&self, n: i64) {
+        // Relaxed: a single atomic carries the whole value, so inc/dec pairs
+        // can never half-apply; only cross-metric ordering is unspecified.
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n`.
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// Set to `n`.
+    pub fn set(&self, n: i64) {
+        self.value.store(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Lock-free log₂ histogram (microsecond resolution). Bucket `i` holds
+/// `[2^i, 2^(i+1))` µs; bucket 0 also absorbs 0. Quantiles answer with the
+/// upper bound of the bucket containing the rank (≤ 2× relative error),
+/// clamped to the observed max.
+///
+/// The observation count is *derived* (the sum of the buckets), so "total
+/// count equals bucket sum" holds by construction rather than by a second
+/// atomic racing the first.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A point-in-time copy of a histogram, safe to walk without tearing
+/// against concurrent recording.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Sum of all observations (µs).
+    pub sum_us: u64,
+    /// Largest observation (µs).
+    pub max_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations (sum of buckets).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Inclusive upper bound of bucket `i` in µs (`None` for the last
+    /// bucket, which is unbounded).
+    pub fn bucket_upper_us(i: usize) -> Option<u64> {
+        (i + 1 < HISTOGRAM_BUCKETS).then(|| (1u64 << (i + 1)) - 1)
+    }
+}
+
+impl Histogram {
+    fn bucket_of(us: u64) -> usize {
+        (63 - u64::leading_zeros(us.max(1)) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Record one observation.
+    pub fn record_us(&self, us: u64) {
+        // Relaxed on all three: each is independently meaningful (bucket
+        // tallies, sum, max), and the exposition tolerates a scrape landing
+        // between the bucket bump and the sum bump — both are monotone, so
+        // successive scrapes never go backwards.
+        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Fold another histogram's observations into this one.
+    pub fn merge_from(&self, other: &Histogram) {
+        let snap = other.snapshot();
+        for (i, n) in snap.buckets.iter().enumerate() {
+            if *n > 0 {
+                self.buckets[i].fetch_add(*n, Ordering::Relaxed);
+            }
+        }
+        self.sum_us.fetch_add(snap.sum_us, Ordering::Relaxed);
+        self.max_us.fetch_max(snap.max_us, Ordering::Relaxed);
+    }
+
+    /// Copy out all buckets and aggregates.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Mean in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Largest observation in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile (`q` in 0..=1) in microseconds.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let snap = self.snapshot();
+        let n = snap.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in snap.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                let upper = HistogramSnapshot::bucket_upper_us(i).unwrap_or(u64::MAX);
+                return upper.min(snap.max_us);
+            }
+        }
+        snap.max_us
+    }
+}
+
+/// A counter family keyed by one label (e.g. requests by endpoint). Series
+/// are created on first use; `with` is a linear scan under a mutex, fine
+/// for the handful of label values a server sees.
+#[derive(Clone, Default)]
+pub struct CounterFamily {
+    inner: Arc<FamilyInner>,
+}
+
+#[derive(Default)]
+struct FamilyInner {
+    series: Mutex<Vec<(String, Arc<Counter>)>>,
+}
+
+impl CounterFamily {
+    /// The counter for label value `value`, created if new.
+    pub fn with(&self, value: &str) -> Arc<Counter> {
+        let mut series = self.inner.series.lock();
+        if let Some((_, c)) = series.iter().find(|(v, _)| v == value) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::default());
+        series.push((value.to_string(), Arc::clone(&c)));
+        series.sort_by(|a, b| a.0.cmp(&b.0));
+        c
+    }
+
+    /// All (label value, count) pairs, sorted by label value.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.inner
+            .series
+            .lock()
+            .iter()
+            .map(|(v, c)| (v.clone(), c.value()))
+            .collect()
+    }
+}
+
+type CounterCallback = Box<dyn Fn() -> u64 + Send + Sync>;
+type GaugeCallback = Box<dyn Fn() -> f64 + Send + Sync>;
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    CounterFn(CounterCallback),
+    Gauge(Arc<Gauge>),
+    GaugeFn(GaugeCallback),
+    Histogram(Arc<Histogram>),
+    Family {
+        label: &'static str,
+        family: CounterFamily,
+    },
+}
+
+impl Instrument {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) | Instrument::CounterFn(_) | Instrument::Family { .. } => {
+                "counter"
+            }
+            Instrument::Gauge(_) | Instrument::GaugeFn(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Series {
+    name: String,
+    help: String,
+    instrument: Instrument,
+}
+
+/// Name → instrument table with Prometheus exposition.
+#[derive(Default)]
+pub struct Registry {
+    series: Mutex<Vec<Series>>,
+}
+
+fn assert_valid_name(name: &str) {
+    let ok = !name.is_empty()
+        && !name.as_bytes()[0].is_ascii_digit()
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':');
+    assert!(ok, "invalid metric name {name:?}");
+}
+
+fn escape_label_value(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Format a gauge value: integral when exact, `{:?}` otherwise (round-trips
+/// through the Prometheus float parser).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() && v.fract() == 0.0 && v.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", v as i64)
+    } else if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "NaN".to_string()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn register_or_get<T>(
+        &self,
+        name: &str,
+        help: &str,
+        matches: impl Fn(&Instrument) -> Option<T>,
+        make: impl FnOnce() -> (Instrument, T),
+    ) -> T {
+        assert_valid_name(name);
+        let mut series = self.series.lock();
+        if let Some(existing) = series.iter().find(|s| s.name == name) {
+            return matches(&existing.instrument).unwrap_or_else(|| {
+                panic!(
+                    "metric {name:?} already registered as a {}",
+                    existing.instrument.type_name()
+                )
+            });
+        }
+        let (instrument, handle) = make();
+        series.push(Series {
+            name: name.to_string(),
+            help: help.to_string(),
+            instrument,
+        });
+        handle
+    }
+
+    /// Register (or fetch) a monotonic counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.register_or_get(
+            name,
+            help,
+            |i| match i {
+                Instrument::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            || {
+                let c = Arc::new(Counter::default());
+                (Instrument::Counter(Arc::clone(&c)), c)
+            },
+        )
+    }
+
+    /// Register (or fetch) a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.register_or_get(
+            name,
+            help,
+            |i| match i {
+                Instrument::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+            || {
+                let g = Arc::new(Gauge::default());
+                (Instrument::Gauge(Arc::clone(&g)), g)
+            },
+        )
+    }
+
+    /// Register (or fetch) a histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.register_or_get(
+            name,
+            help,
+            |i| match i {
+                Instrument::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+            || {
+                let h = Arc::new(Histogram::default());
+                (Instrument::Histogram(Arc::clone(&h)), h)
+            },
+        )
+    }
+
+    /// Register (or fetch) a one-label counter family.
+    pub fn counter_family(&self, name: &str, help: &str, label: &'static str) -> CounterFamily {
+        assert_valid_name(label);
+        self.register_or_get(
+            name,
+            help,
+            |i| match i {
+                Instrument::Family { family, .. } => Some(family.clone()),
+                _ => None,
+            },
+            || {
+                let family = CounterFamily::default();
+                (
+                    Instrument::Family {
+                        label,
+                        family: family.clone(),
+                    },
+                    family,
+                )
+            },
+        )
+    }
+
+    /// Register a counter whose value lives elsewhere and is read through
+    /// `f` at exposition time. The callback must be monotone for the series
+    /// to behave as a Prometheus counter.
+    pub fn counter_fn(&self, name: &str, help: &str, f: impl Fn() -> u64 + Send + Sync + 'static) {
+        self.register_or_get(
+            name,
+            help,
+            |i| match i {
+                Instrument::CounterFn(_) => Some(()),
+                _ => None,
+            },
+            || (Instrument::CounterFn(Box::new(f)), ()),
+        );
+    }
+
+    /// Register a gauge read through `f` at exposition time.
+    pub fn gauge_fn(&self, name: &str, help: &str, f: impl Fn() -> f64 + Send + Sync + 'static) {
+        self.register_or_get(
+            name,
+            help,
+            |i| match i {
+                Instrument::GaugeFn(_) => Some(()),
+                _ => None,
+            },
+            || (Instrument::GaugeFn(Box::new(f)), ()),
+        );
+    }
+
+    /// Registered series names (sorted), for introspection and tests.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.series.lock().iter().map(|s| s.name.clone()).collect();
+        names.sort();
+        names
+    }
+
+    /// Render every series in Prometheus text exposition format
+    /// (`text/plain; version=0.0.4`), one pass, sorted by name.
+    pub fn render_prometheus(&self) -> String {
+        let series = self.series.lock();
+        let mut order: Vec<&Series> = series.iter().collect();
+        order.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut out = String::with_capacity(256 * order.len().max(1));
+        for s in order {
+            use std::fmt::Write as _;
+            let _ = writeln!(out, "# HELP {} {}", s.name, s.help.replace('\n', " "));
+            let _ = writeln!(out, "# TYPE {} {}", s.name, s.instrument.type_name());
+            match &s.instrument {
+                Instrument::Counter(c) => {
+                    let _ = writeln!(out, "{} {}", s.name, c.value());
+                }
+                Instrument::CounterFn(f) => {
+                    let _ = writeln!(out, "{} {}", s.name, f());
+                }
+                Instrument::Gauge(g) => {
+                    let _ = writeln!(out, "{} {}", s.name, g.value());
+                }
+                Instrument::GaugeFn(f) => {
+                    let _ = writeln!(out, "{} {}", s.name, fmt_f64(f()));
+                }
+                Instrument::Family { label, family } => {
+                    for (value, count) in family.snapshot() {
+                        let _ = writeln!(
+                            out,
+                            "{}{{{}=\"{}\"}} {}",
+                            s.name,
+                            label,
+                            escape_label_value(&value),
+                            count
+                        );
+                    }
+                }
+                Instrument::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let last_nonzero = snap
+                        .buckets
+                        .iter()
+                        .rposition(|&n| n > 0)
+                        .unwrap_or(0)
+                        .min(HISTOGRAM_BUCKETS - 2);
+                    let mut cumulative = 0u64;
+                    for (i, n) in snap.buckets.iter().enumerate().take(last_nonzero + 1) {
+                        cumulative += n;
+                        let upper = HistogramSnapshot::bucket_upper_us(i).expect("bounded bucket");
+                        let _ =
+                            writeln!(out, "{}_bucket{{le=\"{}\"}} {}", s.name, upper, cumulative);
+                    }
+                    let total = snap.count();
+                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", s.name, total);
+                    let _ = writeln!(out, "{}_sum {}", s.name, snap.sum_us);
+                    let _ = writeln!(out, "{}_count {}", s.name, total);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_across_threads() {
+        let c = Arc::new(Counter::default());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("join");
+        }
+        assert_eq!(c.value(), 8000);
+    }
+
+    #[test]
+    fn gauge_add_sub_set() {
+        let g = Gauge::default();
+        g.add(5);
+        g.sub(2);
+        assert_eq!(g.value(), 3);
+        g.set(-1);
+        assert_eq!(g.value(), -1);
+    }
+
+    #[test]
+    fn registration_is_idempotent_per_name() {
+        let r = Registry::new();
+        let a = r.counter("frontier_requests_total", "Total requests.");
+        let b = r.counter("frontier_requests_total", "Total requests.");
+        a.inc();
+        assert_eq!(b.value(), 1, "same name returns the same counter");
+        assert_eq!(r.names().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("frontier_x", "x");
+        r.gauge("frontier_x", "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_panic() {
+        Registry::new().counter("bad-name", "dashes are not allowed");
+    }
+
+    #[test]
+    fn histogram_merge_preserves_totals() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        for us in [1u64, 7, 100, 5000] {
+            a.record_us(us);
+        }
+        for us in [3u64, 100_000] {
+            b.record_us(us);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.snapshot().sum_us, 1 + 7 + 100 + 5000 + 3 + 100_000);
+        assert_eq!(a.max_us(), 100_000);
+    }
+
+    #[test]
+    fn exposition_renders_all_instrument_kinds() {
+        let r = Registry::new();
+        r.counter("frontier_a_total", "A counter.").add(3);
+        r.gauge("frontier_b", "A gauge.").set(7);
+        r.gauge_fn("frontier_c", "A live gauge.", || 1.5);
+        r.counter_fn("frontier_d_total", "A live counter.", || 9);
+        let h = r.histogram("frontier_lat_us", "Latency.");
+        h.record_us(3);
+        h.record_us(70);
+        let fam = r.counter_family("frontier_by_ep_total", "By endpoint.", "endpoint");
+        fam.with("healthz").inc();
+        fam.with("metrics").add(2);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE frontier_a_total counter\nfrontier_a_total 3\n"));
+        assert!(text.contains("# TYPE frontier_b gauge\nfrontier_b 7\n"));
+        assert!(text.contains("frontier_c 1.5\n"));
+        assert!(text.contains("frontier_d_total 9\n"));
+        assert!(text.contains("frontier_by_ep_total{endpoint=\"healthz\"} 1\n"));
+        assert!(text.contains("frontier_by_ep_total{endpoint=\"metrics\"} 2\n"));
+        assert!(text.contains("frontier_lat_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("frontier_lat_us_sum 73\n"));
+        assert!(text.contains("frontier_lat_us_count 2\n"));
+        // Buckets are cumulative: the 3 µs sample is counted again under the
+        // bucket that also covers 70 µs.
+        assert!(text.contains("frontier_lat_us_bucket{le=\"127\"} 2\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        let fam = r.counter_family("frontier_esc_total", "Escapes.", "path");
+        fam.with("a\"b\\c\nd").inc();
+        let text = r.render_prometheus();
+        assert!(text.contains("frontier_esc_total{path=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+}

@@ -115,9 +115,16 @@ struct State {
 }
 
 /// Thread-safe append-only event log with a monotonic epoch.
+///
+/// By default the log is unbounded (batch runs export and exit). Long-lived
+/// processes — the query server records spans on every sampled request —
+/// call [`Recorder::set_capacity`] to cap memory: once full, the oldest
+/// quarter of the log is dropped in one batch, keeping amortized recording
+/// cost O(1).
 pub struct Recorder {
     epoch: Instant,
     state: Mutex<State>,
+    capacity: std::sync::atomic::AtomicUsize,
 }
 
 impl Default for Recorder {
@@ -132,6 +139,28 @@ impl Recorder {
         Recorder {
             epoch: Instant::now(),
             state: Mutex::new(State::default()),
+            capacity: std::sync::atomic::AtomicUsize::new(usize::MAX),
+        }
+    }
+
+    /// Bound the event log to roughly `capacity` events (oldest dropped in
+    /// batches once exceeded). `usize::MAX` (the default) is unbounded.
+    pub fn set_capacity(&self, capacity: usize) {
+        // Relaxed: the bound is advisory; enforcement happens under the
+        // state mutex on the next record.
+        self.capacity
+            .store(capacity.max(16), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    fn enforce_capacity(&self, state: &mut State) {
+        let cap = self.capacity.load(std::sync::atomic::Ordering::Relaxed);
+        if state.events.len() > cap {
+            // Drop the oldest quarter in one batch so a full log does not
+            // pay an O(len) shift on every subsequent event.
+            let drop = (state.events.len() - cap)
+                .max(cap / 4)
+                .min(state.events.len());
+            state.events.drain(..drop);
         }
     }
 
@@ -153,13 +182,16 @@ impl Recorder {
         let mut state = self.state.lock();
         event.thread = Self::thread_id(&mut state);
         state.events.push(event);
+        self.enforce_capacity(&mut state);
     }
 
     /// Append an event verbatim, preserving its `thread` and timestamps.
     /// Used for synthetic timelines (e.g. simulated pipeline schedules where
     /// `thread` encodes the pipeline stage and time is simulated).
     pub fn record_raw(&self, event: TraceEvent) {
-        self.state.lock().events.push(event);
+        let mut state = self.state.lock();
+        state.events.push(event);
+        self.enforce_capacity(&mut state);
     }
 
     /// Record an instant marker with arguments.
@@ -301,6 +333,27 @@ mod tests {
         assert!(text.contains("\"ph\":\"i\""));
         // Exactly one separating comma between the two event objects.
         assert_eq!(text.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn capacity_bound_drops_oldest() {
+        let rec = Recorder::new();
+        rec.set_capacity(32);
+        for i in 0..200 {
+            rec.counter("cap.test", f64::from(i));
+        }
+        let events = rec.events();
+        assert!(events.len() <= 32, "len {}", events.len());
+        // The newest event survived; the oldest did not.
+        let values: Vec<f64> = events
+            .iter()
+            .filter_map(|e| match e.args.first() {
+                Some((_, JsonValue::F64(v))) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(values.last().copied(), Some(199.0));
+        assert!(values.first().copied() > Some(0.0));
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Property-based tests over the metric registry's histogram: recording and
+//! merging must preserve total counts, and the rendered exposition's
+//! cumulative buckets must be monotone — for *any* sequence of samples, not
+//! just the unit tests' hand-picked ones.
+
+use obs::metrics::{Histogram, Registry, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+/// Cumulative bucket counts as the Prometheus exposition would render them.
+fn cumulative(h: &Histogram) -> Vec<u64> {
+    let snap = h.snapshot();
+    let mut out = Vec::with_capacity(HISTOGRAM_BUCKETS);
+    let mut running = 0u64;
+    for i in 0..HISTOGRAM_BUCKETS {
+        running += snap.buckets[i];
+        out.push(running);
+    }
+    out
+}
+
+proptest! {
+    /// Every recorded sample lands in exactly one bucket: the bucket-sum
+    /// count equals the number of `record_us` calls, and the sum of samples
+    /// is preserved exactly.
+    #[test]
+    fn recording_preserves_count_and_sum(samples in prop::collection::vec(0u64..1 << 40, 0..200)) {
+        let h = Histogram::default();
+        for &s in &samples {
+            h.record_us(s);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(snap.sum_us, samples.iter().sum::<u64>());
+        prop_assert_eq!(snap.max_us, samples.iter().copied().max().unwrap_or(0));
+    }
+
+    /// Merging histograms is exact addition: counts, sums, and every bucket
+    /// add; max is the max of maxes.
+    #[test]
+    fn merging_adds_exactly(
+        a in prop::collection::vec(0u64..1 << 40, 0..100),
+        b in prop::collection::vec(0u64..1 << 40, 0..100),
+    ) {
+        let ha = Histogram::default();
+        let hb = Histogram::default();
+        for &s in &a {
+            ha.record_us(s);
+        }
+        for &s in &b {
+            hb.record_us(s);
+        }
+        let before = ha.snapshot();
+        ha.merge_from(&hb);
+        let merged = ha.snapshot();
+        let other = hb.snapshot();
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        prop_assert_eq!(merged.sum_us, before.sum_us + other.sum_us);
+        prop_assert_eq!(merged.max_us, before.max_us.max(other.max_us));
+        for i in 0..HISTOGRAM_BUCKETS {
+            prop_assert_eq!(merged.buckets[i], before.buckets[i] + other.buckets[i]);
+        }
+    }
+
+    /// Cumulative bucket counts are monotone nondecreasing and end at the
+    /// total count — the invariant Prometheus `_bucket{le=}` series demand.
+    #[test]
+    fn cumulative_buckets_are_monotone(samples in prop::collection::vec(0u64..u64::MAX, 0..200)) {
+        let h = Histogram::default();
+        for &s in &samples {
+            h.record_us(s);
+        }
+        let cum = cumulative(&h);
+        for w in cum.windows(2) {
+            prop_assert!(w[0] <= w[1], "cumulative dipped: {} -> {}", w[0], w[1]);
+        }
+        prop_assert_eq!(*cum.last().expect("nonempty"), samples.len() as u64);
+    }
+
+    /// Quantiles are ordered and bounded by the observed max's bucket.
+    #[test]
+    fn quantiles_are_ordered(samples in prop::collection::vec(0u64..1 << 30, 1..200)) {
+        let h = Histogram::default();
+        for &s in &samples {
+            h.record_us(s);
+        }
+        let p50 = h.quantile_us(0.50);
+        let p95 = h.quantile_us(0.95);
+        let p99 = h.quantile_us(0.99);
+        prop_assert!(p50 <= p95, "p50 {p50} > p95 {p95}");
+        prop_assert!(p95 <= p99, "p95 {p95} > p99 {p99}");
+    }
+}
+
+#[test]
+fn registered_histogram_renders_monotone_exposition() {
+    let r = Registry::new();
+    let h = r.histogram("prop_hist_us", "Property-test histogram.");
+    for s in [0, 1, 7, 63, 64, 1000, 123_456, u64::MAX] {
+        h.record_us(s);
+    }
+    let text = r.render_prometheus();
+    let mut last = 0u64;
+    let mut saw_bucket = false;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("prop_hist_us_bucket{") {
+            let count: u64 = rest
+                .rsplit(' ')
+                .next()
+                .expect("value")
+                .parse()
+                .expect("integer bucket count");
+            assert!(count >= last, "bucket series dipped in:\n{text}");
+            last = count;
+            saw_bucket = true;
+        }
+    }
+    assert!(saw_bucket, "no bucket lines rendered:\n{text}");
+    assert!(text.contains("prop_hist_us_count 8"));
+}

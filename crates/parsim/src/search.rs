@@ -471,7 +471,7 @@ const PAR_LATTICE_THRESHOLD: usize = 16_384;
 /// Bit-identical to [`enumerate_naive`] (see the module docs for why each
 /// prune is exact).
 pub fn search(space: &SearchSpace) -> SearchResult {
-    let _span = obs::span("parsim.search")
+    let mut span = obs::span("parsim.search")
         .with_arg("profiles", space.profiles.len() as u64)
         .with_arg("workers", space.worker_candidates.len() as u64);
     assert!(
@@ -501,6 +501,11 @@ pub fn search(space: &SearchSpace) -> SearchResult {
         stats.absorb(s);
         feasible.extend(points);
     }
+    span.arg("considered", stats.considered);
+    span.arg("evaluated", stats.evaluated);
+    span.arg("pruned_memory", stats.pruned_memory);
+    span.arg("pruned_over_cap", stats.pruned_over_cap);
+    span.arg("pruned_comm_bound", stats.pruned_comm_bound);
     let pareto = pareto_frontier(&feasible);
     let best = argmin_point(&feasible);
     SearchResult {

@@ -2,10 +2,13 @@
 //!
 //! ```text
 //! serve [--addr 127.0.0.1:8080] [--threads N] [--cache-entries N]
-//!       [--queue-depth N] [--deadline-secs N]
+//!       [--queue-depth N] [--deadline-secs N] [--flight-entries N]
+//!       [--trace PATH] [--trace-sample-rate R]
 //! ```
 //!
 //! Runs until SIGTERM/SIGINT, then drains in-flight requests and exits.
+//! With `--trace`, sampled request spans are written to PATH as a Chrome
+//! trace on shutdown (load it in `chrome://tracing` or Perfetto).
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -14,30 +17,54 @@ use serve::flags::Flags;
 use serve::{ServeConfig, Server};
 
 const USAGE: &str = "usage: serve [--addr HOST:PORT] [--threads N] \
-[--cache-entries N] [--queue-depth N] [--deadline-secs N]
-  --addr           bind address (default 127.0.0.1:8080; port 0 = ephemeral)
-  --threads        worker threads (default: available parallelism)
-  --cache-entries  memoization cache capacity (default 1024)
-  --queue-depth    pending-request queue bound (default 256)
-  --deadline-secs  queued-request deadline (default 30)";
+[--cache-entries N] [--queue-depth N] [--deadline-secs N] \
+[--flight-entries N] [--trace PATH] [--trace-sample-rate R]
+  --addr               bind address (default 127.0.0.1:8080; port 0 = ephemeral)
+  --threads            worker threads (default: available parallelism)
+  --cache-entries      memoization cache capacity (default 1024)
+  --queue-depth        pending-request queue bound (default 256)
+  --deadline-secs      queued-request deadline (default 30)
+  --flight-entries     flight-recorder ring capacity (default 512)
+  --trace PATH         write sampled request spans to PATH (Chrome trace) on exit
+  --trace-sample-rate  fraction of requests promoted to span capture
+                       (default 1.0 with --trace, else 0; 0 disables)";
 
-fn parse_config(flags: &Flags) -> Result<ServeConfig, String> {
+/// `--trace-sample-rate 0.25` → capture every 4th request. A rate of zero
+/// (or a negative one) disables sampling; anything ≥ 1 captures everything.
+fn sample_every_from_rate(rate: f64) -> u64 {
+    if rate <= 0.0 || !rate.is_finite() {
+        0
+    } else {
+        (1.0 / rate.min(1.0)).round().max(1.0) as u64
+    }
+}
+
+fn parse_config(flags: &Flags) -> Result<(ServeConfig, Option<String>), String> {
     flags.check_known(&[
         "--addr",
         "--threads",
         "--cache-entries",
         "--queue-depth",
         "--deadline-secs",
+        "--flight-entries",
+        "--trace",
+        "--trace-sample-rate",
         "--help",
     ])?;
     let defaults = ServeConfig::default();
-    Ok(ServeConfig {
+    let trace_path: Option<String> = flags.get("--trace")?;
+    let default_rate = if trace_path.is_some() { 1.0 } else { 0.0 };
+    let rate = flags.get_or("--trace-sample-rate", default_rate)?;
+    let config = ServeConfig {
         addr: flags.get_or("--addr", defaults.addr)?,
         threads: flags.get_or("--threads", defaults.threads)?,
         cache_entries: flags.get_or("--cache-entries", defaults.cache_entries)?,
         queue_depth: flags.get_or("--queue-depth", defaults.queue_depth)?,
         deadline: Duration::from_secs(flags.get_or("--deadline-secs", 30u64)?),
-    })
+        flight_entries: flags.get_or("--flight-entries", defaults.flight_entries)?,
+        trace_sample_every: sample_every_from_rate(rate),
+    };
+    Ok((config, trace_path))
 }
 
 fn main() -> ExitCode {
@@ -46,8 +73,8 @@ fn main() -> ExitCode {
         println!("{USAGE}");
         return ExitCode::SUCCESS;
     }
-    let config = match parse_config(&flags) {
-        Ok(config) => config,
+    let (config, trace_path) = match parse_config(&flags) {
+        Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("serve: {e}\n{USAGE}");
             return ExitCode::from(2);
@@ -61,12 +88,68 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "serve: listening on http://{} ({} workers, {}-entry cache)",
+        "serve: listening on http://{} ({} workers, {}-entry cache, \
+         {}-entry flight ring{})",
         server.local_addr(),
         config.threads,
         config.cache_entries,
+        config.flight_entries,
+        if config.trace_sample_every > 0 {
+            format!(", sampling every {} requests", config.trace_sample_every)
+        } else {
+            String::new()
+        },
     );
     server.run_until_signal();
+    if let Some(path) = trace_path {
+        match obs::recorder().write_chrome_trace(&path) {
+            Ok(()) => println!("serve: wrote trace to {path}"),
+            Err(e) => eprintln!("serve: failed to write trace {path}: {e}"),
+        }
+    }
     println!("serve: drained and stopped");
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_rate_conversion() {
+        assert_eq!(sample_every_from_rate(0.0), 0);
+        assert_eq!(sample_every_from_rate(-1.0), 0);
+        assert_eq!(sample_every_from_rate(f64::NAN), 0);
+        assert_eq!(sample_every_from_rate(1.0), 1);
+        assert_eq!(sample_every_from_rate(2.0), 1);
+        assert_eq!(sample_every_from_rate(0.25), 4);
+        assert_eq!(sample_every_from_rate(0.1), 10);
+    }
+
+    #[test]
+    fn config_parses_telemetry_flags() {
+        let flags = Flags::from_args([
+            "--addr",
+            "127.0.0.1:0",
+            "--trace",
+            "/tmp/t.json",
+            "--trace-sample-rate",
+            "0.5",
+            "--flight-entries",
+            "128",
+        ]);
+        let (config, trace) = parse_config(&flags).expect("parses");
+        assert_eq!(trace.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(config.trace_sample_every, 2);
+        assert_eq!(config.flight_entries, 128);
+    }
+
+    #[test]
+    fn trace_flag_implies_full_sampling() {
+        let flags = Flags::from_args(["--trace", "/tmp/t.json"]);
+        let (config, _) = parse_config(&flags).expect("parses");
+        assert_eq!(config.trace_sample_every, 1);
+        let (config, _) = parse_config(&Flags::from_args::<&str, _>([])).expect("parses");
+        assert_eq!(config.trace_sample_every, 0);
+    }
 }

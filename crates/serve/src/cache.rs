@@ -16,6 +16,9 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::trace::elapsed_us;
 
 /// How a lookup was satisfied.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -26,6 +29,18 @@ pub enum Outcome {
     Miss,
     /// Another in-flight request computed it; this one waited.
     Coalesced,
+}
+
+/// Where a lookup's time went, for the request trace context.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LookupTiming {
+    /// Shard lock + probe (all outcomes).
+    pub lookup_us: u64,
+    /// Blocked on another request's flight (coalesced only).
+    pub wait_us: u64,
+    /// Running the compute closure (miss only; includes serialization done
+    /// inside the closure).
+    pub compute_us: u64,
 }
 
 type ComputeResult = Result<Arc<String>, String>;
@@ -125,6 +140,9 @@ impl MemoCache {
     }
 
     fn touch(&self) -> u64 {
+        // Relaxed: a single-atomic RMW is already totally ordered with other
+        // RMWs on the same atomic, which is all LRU recency needs; ties
+        // across shards carry no meaning.
         self.tick.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -136,6 +154,19 @@ impl MemoCache {
         key: u128,
         compute: impl FnOnce() -> Result<String, String>,
     ) -> (ComputeResult, Outcome) {
+        let (result, outcome, _) = self.get_or_compute_timed(key, compute);
+        (result, outcome)
+    }
+
+    /// [`Self::get_or_compute`], additionally reporting where the lookup's
+    /// time went (shard probe / flight wait / compute) for the request
+    /// trace context.
+    pub fn get_or_compute_timed(
+        &self,
+        key: u128,
+        compute: impl FnOnce() -> Result<String, String>,
+    ) -> (ComputeResult, Outcome, LookupTiming) {
+        let probe_start = Instant::now();
         let flight: Arc<Flight>;
         {
             let mut shard = self.shard_for(key).lock().expect("cache shard lock");
@@ -145,8 +176,19 @@ impl MemoCache {
                     match &entry.slot {
                         Slot::Ready(value) => {
                             let value = Arc::clone(value);
+                            // Relaxed: standalone monotone tally. Exact
+                            // cross-thread visibility in tests is given by
+                            // the response write happening before the test's
+                            // next request (TCP read → happens-before).
                             self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                            return (Ok(value), Outcome::Hit);
+                            return (
+                                Ok(value),
+                                Outcome::Hit,
+                                LookupTiming {
+                                    lookup_us: elapsed_us(probe_start),
+                                    ..LookupTiming::default()
+                                },
+                            );
                         }
                         Slot::Pending(f) => {
                             flight = Arc::clone(f);
@@ -167,12 +209,26 @@ impl MemoCache {
                         },
                     );
                     drop(shard);
-                    return (self.run_flight(key, f, compute), Outcome::Miss);
+                    let lookup_us = elapsed_us(probe_start);
+                    let compute_start = Instant::now();
+                    let result = self.run_flight(key, f, compute);
+                    return (
+                        result,
+                        Outcome::Miss,
+                        LookupTiming {
+                            lookup_us,
+                            wait_us: 0,
+                            compute_us: elapsed_us(compute_start),
+                        },
+                    );
                 }
             }
         }
         // Wait for the in-flight compute.
+        let lookup_us = elapsed_us(probe_start);
+        // Relaxed: standalone monotone tally (see `hits` above).
         self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+        let wait_start = Instant::now();
         let mut done = flight.done.lock().expect("flight lock");
         while done.is_none() {
             done = flight.cv.wait(done).expect("flight wait");
@@ -180,6 +236,11 @@ impl MemoCache {
         (
             done.as_ref().expect("flight finished").clone(),
             Outcome::Coalesced,
+            LookupTiming {
+                lookup_us,
+                wait_us: elapsed_us(wait_start),
+                compute_us: 0,
+            },
         )
     }
 
@@ -189,6 +250,8 @@ impl MemoCache {
         flight: Arc<Flight>,
         compute: impl FnOnce() -> Result<String, String>,
     ) -> ComputeResult {
+        // Relaxed: standalone monotone tally; the value itself is published
+        // via the shard mutex / flight condvar, never via this counter.
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
         let result: ComputeResult = match catch_unwind(AssertUnwindSafe(compute)) {
             Ok(Ok(body)) => Ok(Arc::new(body)),
@@ -203,6 +266,7 @@ impl MemoCache {
             }
         };
         if result.is_err() {
+            // Relaxed: standalone monotone tally, observed only by scrapes.
             self.stats.failures.fetch_add(1, Ordering::Relaxed);
         }
         {
@@ -248,12 +312,16 @@ impl MemoCache {
                 return;
             };
             shard.map.remove(&victim);
+            // Relaxed: standalone monotone tally; the removal itself is
+            // ordered by the shard mutex held here.
             self.stats.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Hit rate over all lookups so far (0 when none).
     pub fn hit_rate(&self) -> f64 {
+        // Relaxed loads: the counters are independent; a scrape landing
+        // mid-request may see hits/misses skewed by one, harmless in a ratio.
         let hits =
             self.stats.hits.load(Ordering::Relaxed) + self.stats.coalesced.load(Ordering::Relaxed);
         let total = hits + self.stats.misses.load(Ordering::Relaxed);

@@ -160,17 +160,20 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Write a JSON response. `head_only` elides the body (HEAD requests).
+/// Write a response. `content_type` is the media type (`application/json`
+/// everywhere except the Prometheus text exposition); `head_only` elides
+/// the body (HEAD requests).
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
     body: &str,
     cache_state: Option<&str>,
+    content_type: &str,
     head_only: bool,
 ) -> std::io::Result<()> {
     let _ = stream.set_write_timeout(Some(READ_TIMEOUT));
     let mut head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n",
         reason(status),
         body.len(),
     );

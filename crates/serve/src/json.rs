@@ -37,7 +37,11 @@ impl Json {
     /// Insert a key (objects only; builder style).
     pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
         if let Json::Obj(fields) = &mut self {
-            fields.push((key.to_string(), value.into()));
+            let value = value.into();
+            match fields.iter_mut().find(|(k, _)| k == key) {
+                Some(slot) => slot.1 = value,
+                None => fields.push((key.to_string(), value)),
+            }
         }
         self
     }

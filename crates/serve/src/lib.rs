@@ -14,11 +14,14 @@
 //! ```
 //!
 //! Everything is `std`-only: hand-rolled HTTP, JSON, histogram, LRU. See
-//! `DESIGN.md` § "Serving layer" for the reasoning behind the cache keying
-//! and shutdown semantics.
+//! `DESIGN.md` § "Serving layer" for the cache keying and shutdown
+//! semantics, and § "Telemetry plane" for the metric registry, the
+//! request-scoped trace context, and the flight recorder this module
+//! threads through every request.
 
 pub mod cache;
 pub mod flags;
+pub mod flight;
 pub mod http;
 pub mod json;
 pub mod metrics;
@@ -26,19 +29,27 @@ pub mod pool;
 pub mod query;
 pub mod routes;
 pub mod signal;
+pub mod trace;
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use obs::metrics::Registry;
 use roofline::Accelerator;
 
 use cache::MemoCache;
+use flight::{FlightRecorder, RequestRecord};
 use metrics::Metrics;
-use pool::{SubmitError, WorkerPool};
+use pool::{QueueWatcher, SubmitError, WorkerPool};
+use trace::{elapsed_us, RequestTrace, Stage};
+
+/// Cap on the global obs recorder once a server is running: sampled spans
+/// must not grow memory without bound on a long-lived process.
+const RECORDER_CAPACITY: usize = 65_536;
 
 /// Server construction parameters (see the `serve` binary's flags).
 #[derive(Clone, Debug)]
@@ -54,6 +65,11 @@ pub struct ServeConfig {
     /// Per-request deadline: a connection still queued after this long is
     /// answered 503 instead of computed.
     pub deadline: Duration,
+    /// Flight-recorder ring capacity, in request records.
+    pub flight_entries: usize,
+    /// Promote every Nth request to full span capture (0 disables
+    /// sampling). Derived from `--trace-sample-rate` in the binary.
+    pub trace_sample_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -64,23 +80,36 @@ impl Default for ServeConfig {
             cache_entries: 1024,
             queue_depth: 256,
             deadline: Duration::from_secs(30),
+            flight_entries: 512,
+            trace_sample_every: 0,
         }
     }
 }
 
-/// Shared server state: the cache, metrics, and the reference accelerator
-/// all roofline-derived endpoints price against.
+/// Shared server state: the cache, the telemetry plane (registry, metrics,
+/// flight recorder), and the reference accelerator all roofline-derived
+/// endpoints price against.
 pub struct AppState {
     /// Memoized response bodies.
     pub cache: MemoCache,
-    /// Request counters and latency histogram.
+    /// Metric registry backing both `/metrics` and `/v1/metrics`.
+    pub registry: Arc<Registry>,
+    /// Request counters and latency histogram (registry-backed).
     pub metrics: Metrics,
+    /// Always-on ring + slowest-K set of finished requests.
+    pub flight: FlightRecorder,
+    /// Worker-pool queue-depth observer.
+    pub pool: QueueWatcher,
     /// Reference accelerator (Table 4's V100-like part).
     pub accel: Accelerator,
     /// Server start time (for uptime reporting).
     pub started: Instant,
     /// Queued-request deadline.
     pub deadline: Duration,
+    /// Promote every Nth request to full span capture (0 = off).
+    pub sample_every: u64,
+    /// Monotonic request-id source (first request gets id 1).
+    next_id: AtomicU64,
 }
 
 /// A running server. Dropping it (or calling [`Server::shutdown`]) stops
@@ -98,19 +127,28 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        obs::recorder().set_capacity(RECORDER_CAPACITY);
+        let pool = WorkerPool::new(config.threads, config.queue_depth);
         let shards = config.threads.clamp(1, 16);
+        let registry = Arc::new(Registry::new());
+        let metrics = Metrics::new(&registry);
         let state = Arc::new(AppState {
             cache: MemoCache::new(config.cache_entries.max(1), shards),
-            metrics: Metrics::default(),
+            registry,
+            metrics,
+            flight: FlightRecorder::new(config.flight_entries.max(1)),
+            pool: pool.watcher(),
             accel: Accelerator::v100_like(),
             started: Instant::now(),
             deadline: config.deadline,
+            sample_every: config.trace_sample_every,
+            next_id: AtomicU64::new(0),
         });
+        register_external_series(&state);
         let stop = Arc::new(AtomicBool::new(false));
         let accept_thread = {
             let state = Arc::clone(&state);
             let stop = Arc::clone(&stop);
-            let pool = WorkerPool::new(config.threads, config.queue_depth);
             std::thread::Builder::new()
                 .name("serve-accept".into())
                 .spawn(move || accept_loop(&listener, &state, &stop, pool))
@@ -159,6 +197,140 @@ impl Drop for Server {
     }
 }
 
+/// Register series whose values live outside `serve::metrics` — cache shard
+/// counters, pool queue depth, engine LRU occupancy, interner tables — as
+/// registry callbacks. Callbacks capture a `Weak<AppState>` (the registry
+/// is owned *by* the state, so a strong capture would leak a cycle) and
+/// read the live value at exposition time.
+///
+/// Engine and interner series read process-wide singletons: in a
+/// multi-server test process they aggregate across servers, exactly as the
+/// JSON endpoint always has.
+fn register_external_series(state: &Arc<AppState>) {
+    use std::sync::atomic::Ordering::Relaxed;
+    let r = &state.registry;
+    let w = |f: fn(&AppState) -> u64| {
+        let weak: Weak<AppState> = Arc::downgrade(state);
+        move || weak.upgrade().map_or(0, |s| f(&s))
+    };
+    r.counter_fn(
+        "frontier_cache_hits_total",
+        "Cache lookups satisfied from a resident value.",
+        w(|s| s.cache.stats.hits.load(Relaxed)),
+    );
+    r.counter_fn(
+        "frontier_cache_misses_total",
+        "Cache lookups that computed the value.",
+        w(|s| s.cache.stats.misses.load(Relaxed)),
+    );
+    r.counter_fn(
+        "frontier_cache_coalesced_total",
+        "Cache lookups that waited on another request's compute.",
+        w(|s| s.cache.stats.coalesced.load(Relaxed)),
+    );
+    r.counter_fn(
+        "frontier_cache_evictions_total",
+        "Cache values evicted to stay under capacity.",
+        w(|s| s.cache.stats.evictions.load(Relaxed)),
+    );
+    r.counter_fn(
+        "frontier_cache_failures_total",
+        "Cache computes that failed (panicked or errored).",
+        w(|s| s.cache.stats.failures.load(Relaxed)),
+    );
+    {
+        let weak = Arc::downgrade(state);
+        r.gauge_fn(
+            "frontier_cache_entries",
+            "Resident values in the memo cache.",
+            move || weak.upgrade().map_or(0.0, |s| s.cache.len() as f64),
+        );
+    }
+    {
+        let weak = Arc::downgrade(state);
+        r.gauge_fn(
+            "frontier_cache_capacity",
+            "Nominal memo-cache capacity in values.",
+            move || weak.upgrade().map_or(0.0, |s| s.cache.capacity() as f64),
+        );
+    }
+    {
+        let watcher = state.pool.clone();
+        r.gauge_fn(
+            "frontier_pool_queue_depth",
+            "Jobs queued between the accept loop and the workers.",
+            move || watcher.queued() as f64,
+        );
+    }
+    r.counter_fn(
+        "frontier_flight_recorded_total",
+        "Requests deposited in the flight recorder.",
+        w(|s| s.flight.recorded()),
+    );
+    {
+        let weak = Arc::downgrade(state);
+        r.gauge_fn(
+            "frontier_uptime_seconds",
+            "Seconds since the server started.",
+            move || {
+                weak.upgrade()
+                    .map_or(0.0, |s| s.started.elapsed().as_secs_f64())
+            },
+        );
+    }
+    // Process-wide singletons (shared across servers in one process).
+    r.counter_fn(
+        "frontier_engine_families_built_total",
+        "Symbolic model families built by the process-wide FamilyEngine.",
+        || analysis::FamilyEngine::global().families_built() as u64,
+    );
+    r.gauge_fn(
+        "frontier_engine_instances_cached",
+        "Concrete instances resident in the FamilyEngine LRU.",
+        || analysis::FamilyEngine::global().instances_cached() as f64,
+    );
+    r.gauge_fn(
+        "frontier_engine_instance_capacity",
+        "FamilyEngine LRU capacity.",
+        || analysis::FamilyEngine::global().instance_capacity() as f64,
+    );
+    r.gauge_fn(
+        "frontier_symath_table_len",
+        "Expressions resident in the symath intern table.",
+        || symath::intern_stats().table_len as f64,
+    );
+    r.counter_fn(
+        "frontier_symath_intern_hits_total",
+        "Intern-table hits.",
+        || symath::intern_stats().intern_hits,
+    );
+    r.counter_fn(
+        "frontier_symath_intern_misses_total",
+        "Intern-table misses (fresh expressions).",
+        || symath::intern_stats().intern_misses,
+    );
+    r.counter_fn(
+        "frontier_symath_memo_hits_total",
+        "Operation-memo hits (add/mul/pow/bind).",
+        || symath::intern_stats().memo_hits,
+    );
+    r.counter_fn(
+        "frontier_symath_memo_misses_total",
+        "Operation-memo misses.",
+        || symath::intern_stats().memo_misses,
+    );
+    r.gauge_fn(
+        "frontier_symath_memo_entries",
+        "Entries across the add/mul/pow/bind operation memo tables.",
+        || symath::intern_stats().memo_entries as f64,
+    );
+    r.counter_fn(
+        "frontier_symath_programs_compiled_total",
+        "Expression programs compiled for evaluation.",
+        || symath::intern_stats().programs_compiled,
+    );
+}
+
 fn accept_loop(
     listener: &TcpListener,
     state: &Arc<AppState>,
@@ -177,10 +349,7 @@ fn accept_loop(
                 match submitted {
                     Ok(()) => {}
                     Err(SubmitError::QueueFull | SubmitError::ShuttingDown) => {
-                        state
-                            .metrics
-                            .rejected_queue_full
-                            .fetch_add(1, Ordering::Relaxed);
+                        state.metrics.rejected_queue_full.inc();
                         // The job (and its stream) was dropped; nothing more
                         // to send — the client sees a closed connection,
                         // which is the honest overload signal at this layer.
@@ -200,17 +369,70 @@ fn accept_loop(
     pool.shutdown();
 }
 
+/// RAII accounting for one request: increments `in_flight` on construction
+/// and — on drop, which runs even while a route handler's panic unwinds
+/// toward the pool's `catch_unwind` — records the response (status class +
+/// latency sample), decrements `in_flight`, deposits the flight-recorder
+/// record, and emits sampled spans. A panicking route therefore cannot
+/// leak an in-flight count or skip its latency sample; it reports as the
+/// default 500.
+struct RequestGuard<'a> {
+    state: &'a AppState,
+    trace: RequestTrace,
+    target: String,
+    endpoint: &'static str,
+    status: u16,
+    cache_state: Option<&'static str>,
+}
+
+impl<'a> RequestGuard<'a> {
+    fn new(state: &'a AppState, trace: RequestTrace) -> RequestGuard<'a> {
+        state.metrics.in_flight.add(1);
+        RequestGuard {
+            state,
+            trace,
+            target: String::new(),
+            endpoint: "unhandled",
+            status: 500,
+            cache_state: None,
+        }
+    }
+}
+
+impl Drop for RequestGuard<'_> {
+    fn drop(&mut self) {
+        let total_us = self.trace.elapsed_us();
+        self.state.metrics.record_response(self.status, total_us);
+        self.state.metrics.in_flight.sub(1);
+        if self.trace.sampled {
+            self.trace
+                .emit_spans(&self.target, self.endpoint, self.status, total_us);
+        }
+        self.state.flight.record(RequestRecord {
+            id: self.trace.id,
+            target: std::mem::take(&mut self.target),
+            endpoint: self.endpoint,
+            status: self.status,
+            cache_state: self.cache_state,
+            total_us,
+            stages: self.trace.stages(),
+            sampled: self.trace.sampled,
+        });
+    }
+}
+
 /// Handle one connection end to end (runs on a worker thread).
 fn handle_connection(state: &Arc<AppState>, mut stream: TcpStream, accepted_at: Instant) {
-    state.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+    let id = state.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let sampled = state.sample_every != 0 && id.is_multiple_of(state.sample_every);
+    let mut trace = RequestTrace::new(id, accepted_at, sampled);
+    trace.add(Stage::Queue, elapsed_us(accepted_at));
+    let mut guard = RequestGuard::new(state, trace);
     // The stream arrived nonblocking from the nonblocking listener; request
     // handling wants blocking reads bounded by timeouts.
     let _ = stream.set_nonblocking(false);
     if accepted_at.elapsed() > state.deadline {
-        state
-            .metrics
-            .rejected_deadline
-            .fetch_add(1, Ordering::Relaxed);
+        state.metrics.rejected_deadline.inc();
         let body = query::ApiError {
             status: 503,
             code: "deadline_exceeded",
@@ -218,24 +440,43 @@ fn handle_connection(state: &Arc<AppState>, mut stream: TcpStream, accepted_at: 
         }
         .body()
         .render();
-        let _ = http::write_response(&mut stream, 503, &body, None, false);
-        finish(state, 503, accepted_at);
+        guard.endpoint = "rejected_deadline";
+        guard.status = 503;
+        let write_start = Instant::now();
+        let _ = http::write_response(&mut stream, 503, &body, None, "application/json", false);
+        guard.trace.add(Stage::Write, elapsed_us(write_start));
         return;
     }
+    let read_start = Instant::now();
     match http::read_request(&mut stream) {
         Ok(req) => {
+            guard.trace.add(Stage::Parse, elapsed_us(read_start));
+            guard.target = if req.query.is_empty() {
+                req.path.clone()
+            } else {
+                format!("{}?{}", req.path, req.query)
+            };
             let head_only = req.method == "HEAD";
-            let routed = routes::dispatch(state, &req);
+            let routed = routes::dispatch(state, &req, &mut guard.trace);
+            guard.endpoint = routed.endpoint;
+            guard.status = routed.status;
+            guard.cache_state = routed.cache_state;
+            let write_start = Instant::now();
             let _ = http::write_response(
                 &mut stream,
                 routed.status,
                 &routed.body,
                 routed.cache_state,
+                routed.content_type,
                 head_only,
             );
-            finish(state, routed.status, accepted_at);
+            guard.trace.add(Stage::Write, elapsed_us(write_start));
         }
         Err(e) => {
+            guard.trace.add(Stage::Parse, elapsed_us(read_start));
+            guard.target = "<unparsed>".to_string();
+            guard.endpoint = "bad_request";
+            guard.status = e.status;
             let body = query::ApiError {
                 status: e.status,
                 code: e.code,
@@ -243,14 +484,81 @@ fn handle_connection(state: &Arc<AppState>, mut stream: TcpStream, accepted_at: 
             }
             .body()
             .render();
-            let _ = http::write_response(&mut stream, e.status, &body, None, false);
-            finish(state, e.status, accepted_at);
+            let write_start = Instant::now();
+            let _ = http::write_response(
+                &mut stream,
+                e.status,
+                &body,
+                None,
+                "application/json",
+                false,
+            );
+            guard.trace.add(Stage::Write, elapsed_us(write_start));
         }
     }
 }
 
-fn finish(state: &Arc<AppState>, status: u16, accepted_at: Instant) {
-    let elapsed_us = u64::try_from(accepted_at.elapsed().as_micros()).unwrap_or(u64::MAX);
-    state.metrics.record_response(status, elapsed_us);
-    state.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build an [`AppState`] without binding a socket, for guard tests.
+    fn test_state() -> Arc<AppState> {
+        let pool = WorkerPool::new(1, 4);
+        let registry = Arc::new(Registry::new());
+        let metrics = Metrics::new(&registry);
+        Arc::new(AppState {
+            cache: MemoCache::new(8, 1),
+            registry,
+            metrics,
+            flight: FlightRecorder::new(8),
+            pool: pool.watcher(),
+            accel: Accelerator::v100_like(),
+            started: Instant::now(),
+            deadline: Duration::from_secs(30),
+            sample_every: 0,
+            next_id: AtomicU64::new(0),
+        })
+    }
+
+    #[test]
+    fn guard_accounts_for_panicking_requests() {
+        let state = test_state();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let trace = RequestTrace::new(1, Instant::now(), false);
+            let _guard = RequestGuard::new(&state, trace);
+            assert_eq!(state.metrics.in_flight.value(), 1);
+            panic!("route exploded");
+        }));
+        assert!(result.is_err(), "the panic propagated");
+        // The guard ran during unwind: accounting is intact.
+        assert_eq!(state.metrics.in_flight.value(), 0, "no leaked in-flight");
+        assert_eq!(state.metrics.requests.value(), 1);
+        assert_eq!(state.metrics.class_count(2), 1, "counted as a 5xx");
+        assert_eq!(state.metrics.latency.count(), 1, "latency sample taken");
+        let records = state.flight.recent();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].status, 500);
+        assert_eq!(records[0].endpoint, "unhandled");
+    }
+
+    #[test]
+    fn guard_records_the_finished_request() {
+        let state = test_state();
+        {
+            let mut trace = RequestTrace::new(9, Instant::now(), false);
+            trace.add(Stage::Compute, 1234);
+            let mut guard = RequestGuard::new(&state, trace);
+            guard.endpoint = "characterize";
+            guard.status = 200;
+            guard.cache_state = Some("miss");
+            guard.target = "/v1/characterize?domain=wordlm".to_string();
+        }
+        assert_eq!(state.metrics.in_flight.value(), 0);
+        assert_eq!(state.metrics.class_count(0), 1);
+        let records = state.flight.recent();
+        assert_eq!(records[0].id, 9);
+        assert_eq!(records[0].cache_state, Some("miss"));
+        assert_eq!(records[0].stages[4], 1234, "compute stage preserved");
+    }
 }

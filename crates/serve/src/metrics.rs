@@ -1,137 +1,106 @@
-//! Request counters and a hand-rolled latency histogram.
+//! Server metrics, registered into an [`obs::metrics::Registry`].
 //!
-//! The histogram is log₂-bucketed in microseconds (64 buckets cover 1 µs to
-//! ~150 minutes), all-atomic, so recording is lock-free and quantiles are a
-//! cumulative walk. Quantile answers are the upper bound of the bucket the
-//! rank falls in — ≤ 2× relative error, plenty for p50/p95/p99 reporting.
+//! This module used to own a bespoke histogram and a bag of loose atomics;
+//! both now live in `obs::metrics` and every serve-tier series registers
+//! into one per-server registry, so `GET /metrics` (Prometheus text) and
+//! `GET /v1/metrics` (JSON) render from the same instruments. Series follow
+//! the `frontier_` naming convention documented in DESIGN.md § "Telemetry
+//! plane": `_total` counters, `_us` histogram units, one `{label}`
+//! dimension at most.
+//!
+//! The registry is per-[`AppState`](crate::AppState), not process-global:
+//! tests boot several servers in one process and assert exact per-server
+//! counts.
 
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 
-const BUCKETS: usize = 64;
+pub use obs::metrics::Histogram;
+use obs::metrics::{Counter, CounterFamily, Gauge, Registry};
 
-/// Lock-free log₂ latency histogram (microsecond resolution).
-#[derive(Debug)]
-pub struct Histogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum_us: AtomicU64,
-    max_us: AtomicU64,
-}
+/// Response status classes, in `by_class` order.
+const CLASSES: [&str; 4] = ["2xx", "4xx", "5xx", "other"];
 
-impl Default for Histogram {
-    fn default() -> Histogram {
-        Histogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_us: AtomicU64::new(0),
-            max_us: AtomicU64::new(0),
-        }
-    }
-}
-
-impl Histogram {
-    fn bucket_of(us: u64) -> usize {
-        // Bucket i holds [2^i, 2^(i+1)) µs; bucket 0 holds 0–1 µs.
-        (63 - u64::leading_zeros(us.max(1)) as usize).min(BUCKETS - 1)
-    }
-
-    /// Record one observation.
-    pub fn record_us(&self, us: u64) {
-        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
-    }
-
-    /// Number of observations.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean in microseconds (0 when empty).
-    pub fn mean_us(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            0.0
-        } else {
-            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
-        }
-    }
-
-    /// Largest observation in microseconds.
-    pub fn max_us(&self) -> u64 {
-        self.max_us.load(Ordering::Relaxed)
-    }
-
-    /// Approximate quantile (`q` in 0..=1) in microseconds: the upper bound
-    /// of the bucket containing the rank, clamped to the observed max.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let n = self.count();
-        if n == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                let upper = if i >= 63 {
-                    u64::MAX
-                } else {
-                    (1u64 << (i + 1)) - 1
-                };
-                return upper.min(self.max_us());
-            }
-        }
-        self.max_us()
-    }
-}
-
-/// Server-wide metrics.
-#[derive(Debug, Default)]
+/// Server-wide metrics: registry-backed handles for the request path.
 pub struct Metrics {
     /// Total requests (all endpoints, all statuses).
-    pub requests: AtomicU64,
-    /// Requests per endpoint label. A coarse mutex is fine: the hot path
-    /// takes it for one BTreeMap bump per request.
-    pub endpoint_counts: Mutex<BTreeMap<String, u64>>,
-    /// Responses by status class: [2xx, 4xx, 5xx, other].
-    pub by_class: [AtomicU64; 4],
+    pub requests: Arc<Counter>,
     /// Requests currently being handled.
-    pub in_flight: AtomicU64,
+    pub in_flight: Arc<Gauge>,
+    /// Responses by status class, labeled `class` ∈ 2xx/4xx/5xx/other.
+    by_class: [Arc<Counter>; 4],
+    /// Requests per endpoint label.
+    by_endpoint: CounterFamily,
     /// Requests refused because the queue was full.
-    pub rejected_queue_full: AtomicU64,
+    pub rejected_queue_full: Arc<Counter>,
     /// Requests refused because their deadline passed while queued.
-    pub rejected_deadline: AtomicU64,
+    pub rejected_deadline: Arc<Counter>,
     /// End-to-end request latency.
-    pub latency: Histogram,
+    pub latency: Arc<Histogram>,
 }
 
 impl Metrics {
+    /// Register every request-path series into `registry`.
+    pub fn new(registry: &Registry) -> Metrics {
+        let rejected = registry.counter_family(
+            "frontier_requests_rejected_total",
+            "Requests refused before dispatch, by reason.",
+            "reason",
+        );
+        let by_class = registry.counter_family(
+            "frontier_responses_total",
+            "Responses by status class.",
+            "class",
+        );
+        Metrics {
+            requests: registry.counter(
+                "frontier_requests_total",
+                "Requests handled (all endpoints, all statuses).",
+            ),
+            in_flight: registry.gauge(
+                "frontier_requests_in_flight",
+                "Requests currently being handled.",
+            ),
+            by_class: std::array::from_fn(|i| by_class.with(CLASSES[i])),
+            by_endpoint: registry.counter_family(
+                "frontier_requests_by_endpoint_total",
+                "Requests by endpoint label.",
+                "endpoint",
+            ),
+            rejected_queue_full: rejected.with("queue_full"),
+            rejected_deadline: rejected.with("deadline"),
+            latency: registry.histogram(
+                "frontier_request_latency_us",
+                "End-to-end request latency in microseconds.",
+            ),
+        }
+    }
+
     /// Count a request against its endpoint label.
     pub fn record_endpoint(&self, endpoint: &str) {
-        let mut counts = self.endpoint_counts.lock().expect("endpoint counts lock");
-        *counts.entry(endpoint.to_string()).or_insert(0) += 1;
+        self.by_endpoint.with(endpoint).inc();
     }
 
     /// Record a finished request.
     pub fn record_response(&self, status: u16, elapsed_us: u64) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
         let class = match status {
             200..=299 => 0,
             400..=499 => 1,
             500..=599 => 2,
             _ => 3,
         };
-        self.by_class[class].fetch_add(1, Ordering::Relaxed);
+        self.by_class[class].inc();
         self.latency.record_us(elapsed_us);
     }
 
     /// Count of responses in the given class index ([2xx, 4xx, 5xx, other]).
     pub fn class_count(&self, class: usize) -> u64 {
-        self.by_class[class].load(Ordering::Relaxed)
+        self.by_class[class].value()
+    }
+
+    /// Per-endpoint request counts, sorted by endpoint label.
+    pub fn endpoint_counts(&self) -> Vec<(String, u64)> {
+        self.by_endpoint.snapshot()
     }
 }
 
@@ -170,7 +139,8 @@ mod tests {
 
     #[test]
     fn status_classes_bucket_correctly() {
-        let m = Metrics::default();
+        let registry = Registry::new();
+        let m = Metrics::new(&registry);
         m.record_response(200, 10);
         m.record_response(404, 10);
         m.record_response(503, 10);
@@ -178,6 +148,22 @@ mod tests {
         assert_eq!(m.class_count(0), 2);
         assert_eq!(m.class_count(1), 1);
         assert_eq!(m.class_count(2), 1);
-        assert_eq!(m.requests.load(Ordering::Relaxed), 4);
+        assert_eq!(m.requests.value(), 4);
+    }
+
+    #[test]
+    fn endpoint_counts_come_from_the_family() {
+        let registry = Registry::new();
+        let m = Metrics::new(&registry);
+        m.record_endpoint("characterize");
+        m.record_endpoint("characterize");
+        m.record_endpoint("healthz");
+        assert_eq!(
+            m.endpoint_counts(),
+            vec![("characterize".to_string(), 2), ("healthz".to_string(), 1)]
+        );
+        // The same counts appear in the registry's exposition.
+        let text = registry.render_prometheus();
+        assert!(text.contains("frontier_requests_by_endpoint_total{endpoint=\"characterize\"} 2"));
     }
 }

@@ -39,6 +39,25 @@ pub struct WorkerPool {
     workers: Vec<JoinHandle<()>>,
 }
 
+/// A read-only view of a pool's queue depth (held by the metrics registry;
+/// keeps only the shared queue alive, not the workers).
+#[derive(Clone)]
+pub struct QueueWatcher {
+    shared: Arc<Shared>,
+}
+
+impl QueueWatcher {
+    /// Jobs currently queued (not yet picked up by a worker).
+    pub fn queued(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("pool queue lock")
+            .jobs
+            .len()
+    }
+}
+
 impl WorkerPool {
     /// Spawn `threads` workers sharing a queue bounded to `queue_depth`.
     pub fn new(threads: usize, queue_depth: usize) -> WorkerPool {
@@ -85,6 +104,14 @@ impl WorkerPool {
             .expect("pool queue lock")
             .jobs
             .len()
+    }
+
+    /// A cloneable observer of this pool's queue depth, for telemetry
+    /// gauges that outlive the caller's borrow of the pool.
+    pub fn watcher(&self) -> QueueWatcher {
+        QueueWatcher {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Begin graceful shutdown: refuse new jobs, let queued jobs drain, then

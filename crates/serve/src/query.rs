@@ -110,6 +110,14 @@ impl Query {
         Ok(Query { pairs })
     }
 
+    /// Remove and return `key`'s value. Used by the dispatcher to strip
+    /// transport-level parameters (`debug`) before handlers validate the
+    /// remainder with [`Query::check_known`], so cache keys never see them.
+    pub fn take(&mut self, key: &str) -> Option<String> {
+        let at = self.pairs.iter().position(|(k, _)| k == key)?;
+        Some(self.pairs.remove(at).1)
+    }
+
     /// Raw string value of `key`.
     pub fn raw(&self, key: &str) -> Option<&str> {
         self.pairs
@@ -188,6 +196,14 @@ mod tests {
         assert_eq!(q.opt::<u64>("params").expect("ok"), Some(1000));
         assert_eq!(q.opt::<u64>("missing").expect("ok"), None);
         assert!(q.check_known(&["domain", "params", "subbatch"]).is_ok());
+    }
+
+    #[test]
+    fn take_removes_the_parameter() {
+        let mut q = Query::parse("domain=wordlm&debug=timings").expect("parses");
+        assert_eq!(q.take("debug").as_deref(), Some("timings"));
+        assert_eq!(q.take("debug"), None);
+        assert!(q.check_known(&["domain"]).is_ok(), "debug is gone");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! [`frontier::QueryKey`], so a repeat query is a hash lookup returning the
 //! byte-identical body. `healthz` and `metrics` are always live.
 
-use std::sync::atomic::Ordering;
+use std::time::Instant;
 
 use analysis::{characterize, fig11_batches, frontier_row, subbatch_analysis, PlanSearchRequest};
 use frontier::QueryKey;
@@ -18,7 +18,11 @@ use crate::cache::Outcome;
 use crate::http::Request;
 use crate::json::Json;
 use crate::query::{ApiError, Query};
+use crate::trace::{elapsed_us, RequestTrace, Stage};
 use crate::AppState;
+
+/// Media type of the Prometheus text exposition.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
 
 /// Bounds on user-supplied model scale, keeping hostile queries from
 /// requesting a graph build that exhausts the machine.
@@ -39,18 +43,20 @@ const MAX_SEARCH_LIST: usize = 8;
 const MAX_MICROBATCHES: u64 = 1 << 16;
 
 /// One endpoint's handler function.
-type Handler = fn(&AppState, &Query) -> Result<Routed, ApiError>;
+type Handler = fn(&AppState, &Query, &mut RequestTrace) -> Result<Routed, ApiError>;
 
 /// A routed response, ready to serialize.
 pub struct Routed {
     /// HTTP status.
     pub status: u16,
-    /// JSON body.
+    /// Response body.
     pub body: String,
     /// `hit` / `miss` / `coalesced` for cacheable endpoints.
     pub cache_state: Option<&'static str>,
     /// Endpoint label for metrics.
     pub endpoint: &'static str,
+    /// Media type (`application/json` except the text exposition).
+    pub content_type: &'static str,
 }
 
 impl Routed {
@@ -60,6 +66,7 @@ impl Routed {
             body,
             cache_state: None,
             endpoint,
+            content_type: "application/json",
         }
     }
 
@@ -69,13 +76,26 @@ impl Routed {
             body: e.body().render(),
             cache_state: None,
             endpoint,
+            content_type: "application/json",
         }
     }
 }
 
+/// Consume the transport-level `debug` parameter. `debug=timings` opts the
+/// response into the per-stage breakdown; any other value is a 400.
+fn take_debug(q: &mut Query) -> Result<bool, ApiError> {
+    match q.take("debug").as_deref() {
+        None => Ok(false),
+        Some("timings") => Ok(true),
+        Some(other) => Err(ApiError::bad_request(
+            "bad_parameter",
+            format!("parameter debug={other:?}; the only supported value is \"timings\""),
+        )),
+    }
+}
+
 /// Dispatch one parsed request.
-pub fn dispatch(state: &AppState, req: &Request) -> Routed {
-    let _span = obs::span("serve.request").with_arg("path", req.path.as_str());
+pub fn dispatch(state: &AppState, req: &Request, trace: &mut RequestTrace) -> Routed {
     let (endpoint, handler): (&'static str, Handler) = match req.path.as_str() {
         "/v1/characterize" => ("characterize", characterize_route),
         "/v1/sweep" => ("sweep", sweep_route),
@@ -85,6 +105,8 @@ pub fn dispatch(state: &AppState, req: &Request) -> Routed {
         "/v1/plan/search" => ("plan_search", plan_search_route),
         "/v1/healthz" => ("healthz", healthz_route),
         "/v1/metrics" => ("metrics", metrics_route),
+        "/metrics" => ("metrics_text", metrics_text_route),
+        "/v1/debug/requests" => ("debug_requests", debug_requests_route),
         "/" | "/v1" => ("index", index_route),
         _ => {
             let e = ApiError {
@@ -96,23 +118,74 @@ pub fn dispatch(state: &AppState, req: &Request) -> Routed {
         }
     };
     state.metrics.record_endpoint(endpoint);
-    let result = Query::parse(&req.query).and_then(|q| handler(state, &q));
+    let parse_start = Instant::now();
+    let parsed = Query::parse(&req.query);
+    trace.add(Stage::Parse, elapsed_us(parse_start));
+    let result = parsed.and_then(|mut q| {
+        let debug = take_debug(&mut q)?;
+        handler(state, &q, trace).map(|routed| (routed, debug))
+    });
     match result {
-        Ok(routed) => routed,
+        Ok((mut routed, debug)) => {
+            if debug {
+                augment_with_timings(&mut routed, trace);
+            }
+            routed
+        }
         Err(e) => Routed::err(&e, endpoint),
     }
 }
 
-/// Run `render` through the memo cache under `key`.
+/// Attach the request's per-stage breakdown to a JSON response body
+/// (`debug=timings`). The write stage is unknown until after the socket
+/// write, so the body reports it as `null`; the flight-recorder record
+/// (`/v1/debug/requests`) carries the complete breakdown.
+fn augment_with_timings(routed: &mut Routed, trace: &mut RequestTrace) {
+    if routed.content_type != "application/json" {
+        return;
+    }
+    let reparse_start = Instant::now();
+    let Ok(doc) = Json::parse(&routed.body) else {
+        return;
+    };
+    trace.add(Stage::Serialize, elapsed_us(reparse_start));
+    let debug = Json::obj()
+        .set("request_id", trace.id)
+        .set("sampled", trace.sampled)
+        .set(
+            "timings_us",
+            trace.timings_json().set("write_us", Json::Null),
+        )
+        .set("total_us", trace.elapsed_us());
+    let render_start = Instant::now();
+    routed.body = doc.set("debug", debug).render();
+    trace.add(Stage::Serialize, elapsed_us(render_start));
+}
+
+/// Run `render` through the memo cache under `key`, crediting lookup,
+/// single-flight wait, compute, and serialization to the trace context.
 fn memoized(
     state: &AppState,
     key: &QueryKey,
     endpoint: &'static str,
+    trace: &mut RequestTrace,
     render: impl FnOnce() -> Json,
 ) -> Result<Routed, ApiError> {
-    let (result, outcome) = state
-        .cache
-        .get_or_compute(key.hash128(), || Ok(render().render()));
+    let serialize_us = std::cell::Cell::new(0u64);
+    let (result, outcome, timing) = state.cache.get_or_compute_timed(key.hash128(), || {
+        let doc = render();
+        let serialize_start = Instant::now();
+        let body = doc.render();
+        serialize_us.set(elapsed_us(serialize_start));
+        Ok(body)
+    });
+    trace.add(Stage::CacheLookup, timing.lookup_us);
+    trace.add(Stage::SingleFlightWait, timing.wait_us);
+    trace.add(Stage::Serialize, serialize_us.get());
+    trace.add(
+        Stage::Compute,
+        timing.compute_us.saturating_sub(serialize_us.get()),
+    );
     let cache_state = match outcome {
         Outcome::Hit => "hit",
         Outcome::Miss => "miss",
@@ -124,6 +197,7 @@ fn memoized(
             body: body.as_str().to_string(),
             cache_state: Some(cache_state),
             endpoint,
+            content_type: "application/json",
         }),
         Err(message) => Err(ApiError {
             status: 500,
@@ -158,7 +232,11 @@ fn config_for(domain: Domain, params: Option<u64>) -> ModelConfig {
 
 /// `GET /v1/characterize?domain=&params=&subbatch=` — one Table 2 / Figures
 /// 7–10 measurement.
-fn characterize_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
+fn characterize_route(
+    state: &AppState,
+    q: &Query,
+    trace: &mut RequestTrace,
+) -> Result<Routed, ApiError> {
     q.check_known(&["domain", "params", "subbatch"])?;
     let domain = q.domain()?;
     let params = bounded_params(q)?;
@@ -176,7 +254,7 @@ fn characterize_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
     let key = QueryKey::new("characterize")
         .config(&cfg)
         .bindings(&bindings);
-    memoized(state, &key, "characterize", move || {
+    memoized(state, &key, "characterize", trace, move || {
         let point = characterize(&cfg, subbatch);
         Json::obj()
             .set("domain", domain.key())
@@ -203,7 +281,7 @@ fn characterize_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
 /// the grid parameters, not from any single concrete configuration — two
 /// grids over the same family share the engine's cached symbolic build even
 /// when their memoized bodies differ.
-fn sweep_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
+fn sweep_route(state: &AppState, q: &Query, trace: &mut RequestTrace) -> Result<Routed, ApiError> {
     q.check_known(&["domain", "lo", "hi", "points", "subbatch"])?;
     let domain = q.domain()?;
     let lo = q.opt::<u64>("lo")?.unwrap_or(1_000_000);
@@ -244,7 +322,7 @@ fn sweep_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
         .field("hi", hi)
         .field("points", points)
         .field("subbatch", subbatch);
-    memoized(state, &key, "sweep", move || {
+    memoized(state, &key, "sweep", trace, move || {
         let engine = analysis::FamilyEngine::global();
         let jobs: Vec<_> = modelzoo::sweep_configs(domain, lo, hi, points)
             .into_iter()
@@ -276,14 +354,18 @@ fn sweep_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
 }
 
 /// `GET /v1/project?domain=` — Table 1 projection + Table 3 frontier row.
-fn project_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
+fn project_route(
+    state: &AppState,
+    q: &Query,
+    trace: &mut RequestTrace,
+) -> Result<Routed, ApiError> {
     q.check_known(&["domain"])?;
     let domain = q.domain()?;
     let key = QueryKey::new("project")
         .domain(domain)
         .field("accel", &state.accel.name);
     let accel = state.accel.clone();
-    memoized(state, &key, "project", move || {
+    memoized(state, &key, "project", trace, move || {
         let projection = scaling_for(domain).project();
         let row = frontier_row(domain, &accel);
         Json::obj()
@@ -316,7 +398,11 @@ fn project_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
 
 /// `GET /v1/subbatch?domain=&params=` — Figure 11 sweep + points of
 /// interest. Defaults to the frontier-scale model of the domain.
-fn subbatch_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
+fn subbatch_route(
+    state: &AppState,
+    q: &Query,
+    trace: &mut RequestTrace,
+) -> Result<Routed, ApiError> {
     q.check_known(&["domain", "params"])?;
     let domain = q.domain()?;
     let params = bounded_params(q)?;
@@ -328,7 +414,7 @@ fn subbatch_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
         .config(&cfg)
         .field("accel", &state.accel.name);
     let accel = state.accel.clone();
-    memoized(state, &key, "subbatch", move || {
+    memoized(state, &key, "subbatch", trace, move || {
         let analysis = subbatch_analysis(&cfg, &fig11_batches(), &accel, false);
         let points: Vec<Json> = analysis
             .points
@@ -459,7 +545,7 @@ fn search_point_json(p: &SearchPoint) -> Json {
 /// `days` epoch deadline (default 7). A single-accelerator restriction of
 /// the `/v1/plan/search` space — both endpoints run the same
 /// `parsim::search` enumeration.
-fn plan_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
+fn plan_route(state: &AppState, q: &Query, trace: &mut RequestTrace) -> Result<Routed, ApiError> {
     q.check_known(&["domain", "accels", "days"])?;
     let domain = q.domain()?;
     let max_accels = bounded_max_accels(q)?;
@@ -470,7 +556,7 @@ fn plan_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
         .field("days", format!("{days:?}"))
         .field("accel", &state.accel.name);
     let accel = state.accel.clone();
-    memoized(state, &key, "plan", move || {
+    memoized(state, &key, "plan", trace, move || {
         let req = PlanSearchRequest {
             domain,
             accels: vec![(accel_key_for(&accel), accel.clone())],
@@ -507,7 +593,11 @@ fn plan_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
 /// whole registry); `subbatch` and `micro` are comma lists of candidates.
 /// Returns the Pareto frontier over (epoch days, fleet size, per-device
 /// footprint) plus the argmin plan and pruning counters.
-fn plan_search_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
+fn plan_search_route(
+    state: &AppState,
+    q: &Query,
+    trace: &mut RequestTrace,
+) -> Result<Routed, ApiError> {
     q.check_known(&["domain", "days", "accels", "accel", "subbatch", "micro"])?;
     let domain = q.domain()?;
     let max_accels = bounded_max_accels(q)?;
@@ -561,7 +651,7 @@ fn plan_search_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
         .field("accel", accel_keys.join(","))
         .field("subbatch", join(&subbatches))
         .field("micro", join(&micros));
-    memoized(state, &key, "plan_search", move || {
+    memoized(state, &key, "plan_search", trace, move || {
         let req = PlanSearchRequest {
             domain,
             accels: accel_keys
@@ -608,7 +698,11 @@ fn plan_search_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
 }
 
 /// `GET /v1/healthz` — liveness.
-fn healthz_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
+fn healthz_route(
+    state: &AppState,
+    q: &Query,
+    _trace: &mut RequestTrace,
+) -> Result<Routed, ApiError> {
     q.check_known(&[])?;
     let body = Json::obj()
         .set("status", "ok")
@@ -619,37 +713,34 @@ fn healthz_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
 
 /// `GET /v1/metrics` — request counts, cache effectiveness, latency
 /// quantiles, sweep-engine cache occupancy, and `symath` interner counters.
-fn metrics_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
+fn metrics_route(
+    state: &AppState,
+    q: &Query,
+    _trace: &mut RequestTrace,
+) -> Result<Routed, ApiError> {
     q.check_known(&[])?;
+    use std::sync::atomic::Ordering;
     let m = &state.metrics;
     let c = &state.cache.stats;
     let lat = &m.latency;
     let engine = analysis::FamilyEngine::global();
     let interner = symath::intern_stats();
     let by_endpoint = m
-        .endpoint_counts
-        .lock()
-        .expect("endpoint counts lock")
-        .iter()
-        .fold(Json::obj(), |acc, (name, count)| acc.set(name, *count));
+        .endpoint_counts()
+        .into_iter()
+        .fold(Json::obj(), |acc, (name, count)| acc.set(&name, count));
     let body = Json::obj()
         .set("uptime_seconds", state.started.elapsed().as_secs_f64())
         .set(
             "requests",
             Json::obj()
-                .set("total", m.requests.load(Ordering::Relaxed))
-                .set("in_flight", m.in_flight.load(Ordering::Relaxed))
+                .set("total", m.requests.value())
+                .set("in_flight", u64::try_from(m.in_flight.value()).unwrap_or(0))
                 .set("status_2xx", m.class_count(0))
                 .set("status_4xx", m.class_count(1))
                 .set("status_5xx", m.class_count(2))
-                .set(
-                    "rejected_queue_full",
-                    m.rejected_queue_full.load(Ordering::Relaxed),
-                )
-                .set(
-                    "rejected_deadline",
-                    m.rejected_deadline.load(Ordering::Relaxed),
-                )
+                .set("rejected_queue_full", m.rejected_queue_full.value())
+                .set("rejected_deadline", m.rejected_deadline.value())
                 .set("by_endpoint", by_endpoint),
         )
         .set(
@@ -664,6 +755,7 @@ fn metrics_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
                 .set("failures", c.failures.load(Ordering::Relaxed))
                 .set("hit_rate", state.cache.hit_rate()),
         )
+        .set("pool", Json::obj().set("queue_depth", state.pool.queued()))
         .set(
             "latency_us",
             Json::obj()
@@ -692,14 +784,76 @@ fn metrics_route(state: &AppState, q: &Query) -> Result<Routed, ApiError> {
                 .set("memo_hits", interner.memo_hits)
                 .set("memo_misses", interner.memo_misses)
                 .set("memo_hit_rate", interner.memo_hit_rate())
+                .set("memo_entries", interner.memo_entries)
                 .set("programs_compiled", interner.programs_compiled),
+        )
+        .set(
+            "flight",
+            Json::obj()
+                .set("recorded", state.flight.recorded())
+                .set("capacity", state.flight.capacity()),
         )
         .render();
     Ok(Routed::ok(body, "metrics"))
 }
 
+/// `GET /metrics` — Prometheus text exposition, rendered in one pass from
+/// the same registry `/v1/metrics` reads.
+fn metrics_text_route(
+    state: &AppState,
+    q: &Query,
+    trace: &mut RequestTrace,
+) -> Result<Routed, ApiError> {
+    q.check_known(&[])?;
+    let serialize_start = Instant::now();
+    let body = state.registry.render_prometheus();
+    trace.add(Stage::Serialize, elapsed_us(serialize_start));
+    Ok(Routed {
+        status: 200,
+        body,
+        cache_state: None,
+        endpoint: "metrics_text",
+        content_type: PROMETHEUS_CONTENT_TYPE,
+    })
+}
+
+/// `GET /v1/debug/requests` — dump the flight recorder: the ring of recent
+/// requests (newest first) and the slowest-K retention set (slowest first),
+/// each with per-stage timings.
+fn debug_requests_route(
+    state: &AppState,
+    q: &Query,
+    _trace: &mut RequestTrace,
+) -> Result<Routed, ApiError> {
+    q.check_known(&[])?;
+    let recent: Vec<Json> = state
+        .flight
+        .recent()
+        .iter()
+        .map(crate::flight::RequestRecord::to_json)
+        .collect();
+    let slowest: Vec<Json> = state
+        .flight
+        .slowest()
+        .iter()
+        .map(crate::flight::RequestRecord::to_json)
+        .collect();
+    let body = Json::obj()
+        .set("capacity", state.flight.capacity())
+        .set("recorded", state.flight.recorded())
+        .set("sample_every", state.sample_every)
+        .set("recent", recent)
+        .set("slowest", slowest)
+        .render();
+    Ok(Routed::ok(body, "debug_requests"))
+}
+
 /// `GET /` — endpoint index.
-fn index_route(_state: &AppState, q: &Query) -> Result<Routed, ApiError> {
+fn index_route(
+    _state: &AppState,
+    q: &Query,
+    _trace: &mut RequestTrace,
+) -> Result<Routed, ApiError> {
     q.check_known(&[])?;
     let endpoints = vec![
         Json::Str("/v1/characterize?domain=&params=&subbatch=".into()),
@@ -710,6 +864,8 @@ fn index_route(_state: &AppState, q: &Query) -> Result<Routed, ApiError> {
         Json::Str("/v1/plan/search?domain=&days=&accels=&accel=&subbatch=&micro=".into()),
         Json::Str("/v1/healthz".into()),
         Json::Str("/v1/metrics".into()),
+        Json::Str("/metrics".into()),
+        Json::Str("/v1/debug/requests".into()),
     ];
     let body = Json::obj()
         .set("service", "frontier-serve")

@@ -58,6 +58,8 @@ pub struct InternStats {
     pub table_len: u64,
     /// Distinct expressions with a compiled evaluation program.
     pub programs_compiled: u64,
+    /// Entries across the add/mul/pow/bind operation memo tables.
+    pub memo_entries: u64,
 }
 
 impl InternStats {
@@ -128,6 +130,10 @@ pub fn intern_stats() -> InternStats {
         memo_misses: it.memo_misses.load(Ordering::Relaxed),
         table_len: it.exprs.read().len() as u64,
         programs_compiled: it.programs.read().len() as u64,
+        memo_entries: (it.add_memo.read().len()
+            + it.mul_memo.read().len()
+            + it.pow_memo.read().len()
+            + it.bind_memo.read().len()) as u64,
     }
 }
 

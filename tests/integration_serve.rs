@@ -21,6 +21,7 @@ fn test_server() -> Server {
         cache_entries: 64,
         queue_depth: 64,
         deadline: Duration::from_secs(30),
+        ..ServeConfig::default()
     })
     .expect("bind ephemeral port")
 }
