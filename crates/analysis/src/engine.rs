@@ -45,6 +45,7 @@ use rayon::prelude::*;
 use symath::{Bindings, ExprId};
 
 use crate::characterize::CharacterizationPoint;
+use crate::lru::LruCache;
 
 /// Default bound on cached per-configuration instances.
 pub const DEFAULT_INSTANCE_CAPACITY: usize = 1024;
@@ -73,45 +74,12 @@ struct Instance {
     uniq_elems: Vec<ExprId>,
 }
 
-struct InstanceEntry {
-    value: Arc<Instance>,
-    last_used: u64,
-}
-
-/// LRU map of configuration key → instance (see the module docs).
-struct InstanceCache {
-    map: HashMap<String, InstanceEntry>,
-    tick: u64,
-    capacity: usize,
-}
-
-impl InstanceCache {
-    fn touch(&mut self) -> u64 {
-        self.tick += 1;
-        self.tick
-    }
-
-    fn evict_if_needed(&mut self) {
-        while self.map.len() > self.capacity {
-            let Some(victim) = self
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-            else {
-                return;
-            };
-            self.map.remove(&victim);
-        }
-    }
-}
-
 /// A cache of width-symbolic model families and their per-configuration
 /// instantiations. Cheap to share across threads; sweeps call
 /// [`characterize`](FamilyEngine::characterize) from rayon workers.
 pub struct FamilyEngine {
     families: Mutex<HashMap<String, Arc<Family>>>,
-    instances: Mutex<InstanceCache>,
+    instances: Mutex<LruCache<Arc<Instance>>>,
 }
 
 impl Default for FamilyEngine {
@@ -130,11 +98,7 @@ impl FamilyEngine {
     pub fn with_instance_capacity(capacity: usize) -> FamilyEngine {
         FamilyEngine {
             families: Mutex::new(HashMap::new()),
-            instances: Mutex::new(InstanceCache {
-                map: HashMap::new(),
-                tick: 0,
-                capacity: capacity.max(1),
-            }),
+            instances: Mutex::new(LruCache::new(capacity)),
         }
     }
 
@@ -190,13 +154,8 @@ impl FamilyEngine {
         for (sym, v) in widths.iter() {
             key.push_str(&format!(";{sym}={v}"));
         }
-        {
-            let mut cache = self.instances.lock().expect("poisoned");
-            let tick = cache.touch();
-            if let Some(e) = cache.map.get_mut(&key) {
-                e.last_used = tick;
-                return Arc::clone(&e.value);
-            }
+        if let Some(hit) = self.instances.lock().expect("poisoned").get(&key) {
+            return hit;
         }
         let family = self.family(cfg);
         let stats = family.stats.bind_all(&widths);
@@ -210,20 +169,10 @@ impl FamilyEngine {
             stats,
             uniq_elems,
         });
-        let mut cache = self.instances.lock().expect("poisoned");
-        let tick = cache.touch();
-        let value = Arc::clone(
-            &cache
-                .map
-                .entry(key)
-                .or_insert(InstanceEntry {
-                    value: instance,
-                    last_used: tick,
-                })
-                .value,
-        );
-        cache.evict_if_needed();
-        value
+        self.instances
+            .lock()
+            .expect("poisoned")
+            .insert(key, instance)
     }
 
     /// Symbolic counterpart of [`crate::characterize`]: the same
@@ -292,12 +241,12 @@ impl FamilyEngine {
 
     /// Number of per-configuration instances currently cached.
     pub fn instances_cached(&self) -> usize {
-        self.instances.lock().expect("poisoned").map.len()
+        self.instances.lock().expect("poisoned").len()
     }
 
     /// Bound on the instance cache.
     pub fn instance_capacity(&self) -> usize {
-        self.instances.lock().expect("poisoned").capacity
+        self.instances.lock().expect("poisoned").capacity()
     }
 }
 

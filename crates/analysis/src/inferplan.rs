@@ -1,0 +1,175 @@
+//! SLO plan search over the accelerator registry for a served model.
+//!
+//! Glue between the inference characterization pipeline and
+//! [`parsim::infer_search`]: build one [`parsim::InferProfile`] per
+//! (accelerator, decode batch) from the symbolic
+//! [`InferEngine`](crate::InferEngine) sweep (batched through
+//! `characterize_grid`, so the model math runs once per batch size, not once
+//! per device) and roofline timing — then hand the space to the pruned
+//! search. The serving analogue of [`plan_search`](crate::plan_search).
+
+use parsim::{InferProfile, InferSearchResult, InferSearchSpace, SloTarget};
+use roofline::{roofline_time, Accelerator};
+
+use crate::plansearch::PLAN_USABLE_MEM_FRACTION;
+use crate::{InferConfig, InferEngine};
+
+/// What to search over for one served model.
+#[derive(Clone, Debug)]
+pub struct InferPlanRequest {
+    /// The served configuration.
+    pub config: InferConfig,
+    /// Accelerators to rank, as `(registry key, configuration)` pairs.
+    pub accels: Vec<(String, Accelerator)>,
+    /// Decode batch-size candidates.
+    pub batches: Vec<u64>,
+    /// Prompt length (prefill tokens per sequence; sets TTFT).
+    pub prompt: u64,
+    /// Decode context length the KV cache is sized for.
+    pub context: u64,
+    /// The latency SLO.
+    pub slo: SloTarget,
+    /// Aggregate fleet throughput demand, tokens/s.
+    pub target_tokens_per_s: f64,
+    /// Hard cap on total accelerators (= replicas).
+    pub max_total_accelerators: u64,
+}
+
+impl InferPlanRequest {
+    /// Search the full registry over a power-of-four decode batch ladder,
+    /// like `/v1/infer/plan`'s defaults.
+    pub fn registry_default(
+        config: InferConfig,
+        prompt: u64,
+        context: u64,
+        slo: SloTarget,
+        target_tokens_per_s: f64,
+        max_total: u64,
+    ) -> Self {
+        InferPlanRequest {
+            config,
+            accels: Accelerator::registry()
+                .into_iter()
+                .map(|(k, a)| (k.to_string(), a))
+                .collect(),
+            batches: vec![1, 4, 16, 64, 256],
+            prompt,
+            context,
+            slo,
+            target_tokens_per_s,
+            max_total_accelerators: max_total,
+        }
+    }
+}
+
+/// Build the joint [`InferSearchSpace`] for a request: each batch size is
+/// characterized once through the symbolic engine, then re-priced per
+/// accelerator by the roofline (prefill and decode separately). Memory per
+/// replica is [`InferPoint::serving_bytes`](crate::InferPoint::serving_bytes)
+/// — weights plus the batch's KV cache at the requested context length.
+pub fn infer_search_space(req: &InferPlanRequest) -> InferSearchSpace {
+    let _span = obs::span("analysis.infer_search_space")
+        .with_arg("accels", req.accels.len() as u64)
+        .with_arg("batches", req.batches.len() as u64);
+    let grid: Vec<(u64, u64)> = req.batches.iter().map(|&b| (b, req.context)).collect();
+    let points = InferEngine::global().characterize_grid(&req.config, req.prompt, &grid);
+    let mut profiles = Vec::with_capacity(req.accels.len() * points.len());
+    for (key, accel) in &req.accels {
+        for point in &points {
+            let prefill = roofline_time(point.prefill_flops, point.prefill_bytes, accel);
+            let decode = roofline_time(point.decode_flops, point.decode_bytes, accel);
+            profiles.push(InferProfile {
+                accel_key: key.clone(),
+                accel: accel.clone(),
+                batch: point.batch,
+                prefill_seconds: prefill.seconds,
+                decode_step_seconds: decode.seconds,
+                mem_bytes: point.serving_bytes(),
+            });
+        }
+    }
+    InferSearchSpace {
+        profiles,
+        replica_candidates: parsim::pow2_candidates(req.max_total_accelerators),
+        max_total_accelerators: req.max_total_accelerators,
+        usable_mem_fraction: PLAN_USABLE_MEM_FRACTION,
+        slo: req.slo,
+        target_tokens_per_s: req.target_tokens_per_s,
+    }
+}
+
+/// Run the pruned SLO plan search for a request.
+pub fn infer_plan(req: &InferPlanRequest) -> InferSearchResult {
+    parsim::infer_search(&infer_search_space(req))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_request() -> InferPlanRequest {
+        InferPlanRequest::registry_default(
+            InferConfig::default(),
+            512,
+            1024,
+            SloTarget {
+                p99_token_seconds: 0.050,
+                ttft_seconds: 0.500,
+            },
+            20_000.0,
+            64,
+        )
+    }
+
+    #[test]
+    fn registry_search_is_feasible_and_matches_naive() {
+        let req = default_request();
+        let space = infer_search_space(&req);
+        assert_eq!(
+            space.profiles.len(),
+            req.accels.len() * req.batches.len(),
+            "one profile per (accelerator, batch)"
+        );
+        let result = parsim::infer_search(&space);
+        assert_eq!(result.feasible, parsim::enumerate_infer_naive(&space));
+        let best = result.best.expect("a feasible serving plan exists");
+        assert!(best.p99_token_seconds <= req.slo.p99_token_seconds);
+        assert!(best.ttft_seconds <= req.slo.ttft_seconds);
+        assert!(best.tokens_per_s >= req.target_tokens_per_s);
+        assert!(best.total_accelerators <= req.max_total_accelerators);
+    }
+
+    #[test]
+    fn argmin_replicas_are_minimal_on_the_ladder() {
+        // Hand-check the argmin: no smaller replica count on the pow2 ladder
+        // can meet the throughput demand with the chosen profile.
+        let req = default_request();
+        let space = infer_search_space(&req);
+        let result = parsim::infer_search(&space);
+        let best = result.best.expect("feasible");
+        let per_replica = best.tokens_per_s / best.replicas as f64;
+        if best.replicas > 1 {
+            assert!(
+                (best.replicas / 2) as f64 * per_replica < req.target_tokens_per_s,
+                "half the replicas would already meet the demand"
+            );
+        }
+    }
+
+    #[test]
+    fn faster_memory_serves_tokens_faster() {
+        // Decode is memory-bound, so at equal batch the A100's step beats
+        // the V100's and the H100's beats the A100's.
+        let space = infer_search_space(&default_request());
+        let step = |k: &str, b: u64| {
+            space
+                .profiles
+                .iter()
+                .find(|p| p.accel_key == k && p.batch == b)
+                .expect("registry profile")
+                .decode_step_seconds
+        };
+        assert!(step("a100", 64) < step("v100", 64));
+        assert!(step("h100", 64) < step("a100", 64));
+    }
+}

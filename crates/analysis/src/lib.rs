@@ -23,6 +23,9 @@ mod casestudy;
 mod characterize;
 mod engine;
 mod frontier;
+mod infer;
+mod inferplan;
+mod lru;
 mod plansearch;
 mod sensitivity;
 mod subbatch;
@@ -35,6 +38,11 @@ pub use characterize::{
 };
 pub use engine::FamilyEngine;
 pub use frontier::{frontier_row, table3, FrontierRow};
+pub use infer::{
+    characterize_infer, kv_cache_expr, kv_cache_id, serving_case_study, InferConfig, InferEngine,
+    InferPoint, ServingCaseStudy, ServingRow, KV_DTYPE_BYTES,
+};
+pub use inferplan::{infer_plan, infer_search_space, InferPlanRequest};
 pub use plansearch::{
     plan_search, plan_search_space, synthetic_stages, PlanSearchRequest, PLAN_USABLE_MEM_FRACTION,
 };

@@ -1,0 +1,78 @@
+//! Small string-keyed LRU map shared by the sweep engines.
+//!
+//! The eviction discipline mirrors `serve`'s memo cache: a monotone tick,
+//! touch on use, evict the smallest tick while over capacity. Family caches
+//! are unbounded (there are only a handful of structural families) — this
+//! bounds the per-configuration instance caches, which a long-running server
+//! grows without limit otherwise.
+
+use std::collections::HashMap;
+
+struct Entry<V> {
+    value: V,
+    last_used: u64,
+}
+
+/// String-keyed LRU map holding cheaply-clonable values (`Arc`s in practice).
+pub(crate) struct LruCache<V: Clone> {
+    map: HashMap<String, Entry<V>>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl<V: Clone> LruCache<V> {
+    pub(crate) fn new(capacity: usize) -> LruCache<V> {
+        LruCache {
+            map: HashMap::new(),
+            tick: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Look up `key`, marking it most-recently-used on a hit.
+    pub(crate) fn get(&mut self, key: &str) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            e.value.clone()
+        })
+    }
+
+    /// Insert `value` under `key` unless a concurrent computation got there
+    /// first (first insert wins — results are identical), then evict down to
+    /// capacity. Returns the entry now cached under `key`.
+    pub(crate) fn insert(&mut self, key: String, value: V) -> V {
+        self.tick += 1;
+        let tick = self.tick;
+        let kept = self
+            .map
+            .entry(key)
+            .or_insert(Entry {
+                value,
+                last_used: tick,
+            })
+            .value
+            .clone();
+        while self.map.len() > self.capacity {
+            let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            self.map.remove(&victim);
+        }
+        kept
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+}

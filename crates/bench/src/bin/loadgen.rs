@@ -45,12 +45,15 @@ const MIX: &[&str] = &[
     "/v1/project?domain=speech",
     "/v1/subbatch?domain=charlm&params=10000000",
     "/v1/plan?domain=resnet&accels=16384",
+    "/v1/infer/characterize?batch=64&prompt=512&context=1024",
+    "/v1/infer/sweep?batch=1,4,16,64&context=512,2048",
+    "/v1/infer/plan?tpot_ms=50&ttft_ms=500&tokens_per_s=20000",
     "/v1/healthz",
     "/v1/metrics",
 ];
 
 /// The paths whose first computation is expensive (cold pass targets).
-const EXPENSIVE: usize = 6;
+const EXPENSIVE: usize = 9;
 
 /// One HTTP exchange: returns (status, x-cache header, body).
 fn fetch(addr: SocketAddr, path: &str) -> Result<(u16, Option<String>, String), String> {

@@ -60,6 +60,9 @@ pub use op::{
     conv_out_dim, op_bytes, op_flops, Op, OpId, OpKind, Phase, PointwiseFn, PoolKind, ReduceKind,
 };
 pub use profile::{kind_label, layer_key, phase_label, CostGroup, OpCost, OpProfile};
-pub use stats::{GraphStats, InternedGraphStats, NumericStats};
+pub use stats::{
+    ForwardStats, GraphStats, InternedForwardStats, InternedGraphStats, NumericForwardStats,
+    NumericStats,
+};
 pub use tensor::{DType, Shape, Tensor, TensorId, TensorKind};
 pub use transform::{apply_optimizer, cast_float_precision, optimizer_state_bytes, Optimizer};

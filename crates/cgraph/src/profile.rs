@@ -138,6 +138,38 @@ impl OpProfile {
         self.group_by(|op| layer_key(&op.name).to_string())
     }
 
+    /// Restrict the profile to forward-phase ops, or `None` if the graph has
+    /// no forward-only reading (any backward/update FLOPs in the totals).
+    ///
+    /// The returned profile's totals are the forward view of the graph
+    /// totals re-expanded into [`NumericStats`] (backward/update exactly
+    /// zero), so [`check_consistency`](Self::check_consistency) applies to
+    /// it unchanged — the consistency gate for inference reports.
+    pub fn forward_view(&self) -> Option<OpProfile> {
+        let fwd = self.totals.forward_view()?;
+        let ops: Vec<OpCost> = self
+            .ops
+            .iter()
+            .filter(|o| o.phase == Phase::Forward)
+            .cloned()
+            .collect();
+        Some(OpProfile {
+            graph: self.graph.clone(),
+            ops,
+            totals: NumericStats {
+                flops: fwd.flops,
+                flops_forward: fwd.flops,
+                flops_backward: 0.0,
+                flops_update: 0.0,
+                bytes: fwd.bytes,
+                bytes_read: fwd.bytes_read,
+                bytes_written: fwd.bytes_written,
+                params: fwd.params,
+                io: fwd.io,
+            },
+        })
+    }
+
     /// Verify that per-op costs sum to the [`Graph::stats`] totals within
     /// `rel_tol` relative error; returns a description of the first mismatch.
     pub fn check_consistency(&self, rel_tol: f64) -> Result<(), String> {
@@ -486,5 +518,32 @@ mod tests {
     fn unbound_symbol_is_reported() {
         let g = trained_mlp();
         assert!(g.profile(&Bindings::new()).is_err());
+    }
+
+    #[test]
+    fn forward_view_passes_consistency_on_inference_graph() {
+        let mut g = Graph::new("pf_fwd");
+        let b = Expr::sym("pf_b");
+        let x = g.input("x", [b, Expr::int(64)], DType::F32).unwrap();
+        let w1 = g.weight("enc.w1", [Expr::int(64), Expr::int(128)]).unwrap();
+        let h = g.matmul("enc.fc1", x, w1, false, false).unwrap();
+        let _ = g.unary("enc.relu", PointwiseFn::Relu, h).unwrap();
+        let profile = g.profile(&bindings()).unwrap();
+        let fwd = profile.forward_view().expect("graph is forward-only");
+        fwd.check_consistency(1e-9).unwrap();
+        assert_eq!(fwd.ops.len(), profile.ops.len());
+        assert_eq!(fwd.totals.flops, profile.totals.flops);
+        assert_eq!(fwd.totals.flops_backward, 0.0);
+        assert_eq!(fwd.totals.flops_update, 0.0);
+    }
+
+    #[test]
+    fn forward_view_refuses_training_profile() {
+        let g = trained_mlp();
+        let profile = g.profile(&bindings()).unwrap();
+        assert!(
+            profile.forward_view().is_none(),
+            "training phases must not leak into an inference report"
+        );
     }
 }

@@ -54,6 +54,151 @@ impl GraphStats {
             io: self.io.eval(bindings)?,
         })
     }
+
+    /// The forward-only view, or `None` if any training phase carries cost.
+    ///
+    /// The guard is structural: `symath` keeps expressions canonical, so a
+    /// backward/update total is zero iff the graph has no priced op in that
+    /// phase. Inference paths that call this on a training-step graph get
+    /// `None` instead of silently mixed phases.
+    pub fn forward_view(&self) -> Option<ForwardStats> {
+        if !self.flops_backward.is_zero() || !self.flops_update.is_zero() {
+            return None;
+        }
+        Some(ForwardStats {
+            flops: self.flops_forward.clone(),
+            bytes: self.bytes.clone(),
+            bytes_read: self.bytes_read.clone(),
+            bytes_written: self.bytes_written.clone(),
+            params: self.params.clone(),
+            io: self.io.clone(),
+        })
+    }
+}
+
+/// Forward-only (inference) cost view of a graph.
+///
+/// Inference reports must not leak training phases: there are no
+/// `flops_backward`/`flops_update` fields to mis-read here, and the view is
+/// only constructible (via [`GraphStats::forward_view`]) when both training
+/// phases are exactly zero — a forward-only build. `flops` is taken from the
+/// forward phase, and the byte totals are the graph totals, which on a
+/// forward-only graph are forward bytes by construction.
+#[derive(Clone, Debug)]
+pub struct ForwardStats {
+    /// Algorithmic FLOPs per forward pass.
+    pub flops: Expr,
+    /// Algorithmic bytes read + written per forward pass.
+    pub bytes: Expr,
+    /// Bytes read only.
+    pub bytes_read: Expr,
+    /// Bytes written only.
+    pub bytes_written: Expr,
+    /// Parameter count (elements of all weight tensors).
+    pub params: Expr,
+    /// Algorithmic IO: bytes of input tensors consumed per pass.
+    pub io: Expr,
+}
+
+impl ForwardStats {
+    /// Operational intensity `flops / bytes` as a symbolic expression.
+    pub fn operational_intensity(&self) -> Expr {
+        self.flops.clone() / self.bytes.clone()
+    }
+
+    /// Evaluate all quantities under `bindings`.
+    pub fn eval(&self, bindings: &Bindings) -> Result<NumericForwardStats, UnboundSymbol> {
+        Ok(NumericForwardStats {
+            flops: self.flops.eval(bindings)?,
+            bytes: self.bytes.eval(bindings)?,
+            bytes_read: self.bytes_read.eval(bindings)?,
+            bytes_written: self.bytes_written.eval(bindings)?,
+            params: self.params.eval(bindings)?,
+            io: self.io.eval(bindings)?,
+        })
+    }
+}
+
+/// [`ForwardStats`] over hash-consed ids — the representation the inference
+/// sweep engine caches per model family (see [`InternedGraphStats`] for the
+/// training-step counterpart and the bit-identity contract).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InternedForwardStats {
+    /// Algorithmic FLOPs per forward pass.
+    pub flops: ExprId,
+    /// Algorithmic bytes read + written per forward pass.
+    pub bytes: ExprId,
+    /// Bytes read only.
+    pub bytes_read: ExprId,
+    /// Bytes written only.
+    pub bytes_written: ExprId,
+    /// Parameter count.
+    pub params: ExprId,
+    /// Input bytes consumed per pass.
+    pub io: ExprId,
+}
+
+impl InternedForwardStats {
+    /// Materialize the tree-expression view.
+    pub fn view(&self) -> ForwardStats {
+        ForwardStats {
+            flops: (*self.flops.expr()).clone(),
+            bytes: (*self.bytes.expr()).clone(),
+            bytes_read: (*self.bytes_read.expr()).clone(),
+            bytes_written: (*self.bytes_written.expr()).clone(),
+            params: (*self.params.expr()).clone(),
+            io: (*self.io.expr()).clone(),
+        }
+    }
+
+    /// Substitute integer bindings exactly in every field (memoized).
+    pub fn bind_all(&self, bindings: &Bindings) -> InternedForwardStats {
+        InternedForwardStats {
+            flops: self.flops.bind_all(bindings),
+            bytes: self.bytes.bind_all(bindings),
+            bytes_read: self.bytes_read.bind_all(bindings),
+            bytes_written: self.bytes_written.bind_all(bindings),
+            params: self.params.bind_all(bindings),
+            io: self.io.bind_all(bindings),
+        }
+    }
+
+    /// Evaluate all quantities via the compiled programs. Bit-identical to
+    /// [`ForwardStats::eval`] on the viewed expressions.
+    pub fn eval(&self, bindings: &Bindings) -> Result<NumericForwardStats, UnboundSymbol> {
+        Ok(NumericForwardStats {
+            flops: self.flops.eval(bindings)?,
+            bytes: self.bytes.eval(bindings)?,
+            bytes_read: self.bytes_read.eval(bindings)?,
+            bytes_written: self.bytes_written.eval(bindings)?,
+            params: self.params.eval(bindings)?,
+            io: self.io.eval(bindings)?,
+        })
+    }
+}
+
+/// Numeric forward-only cost summary (see [`ForwardStats`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NumericForwardStats {
+    /// Algorithmic FLOPs per forward pass.
+    pub flops: f64,
+    /// Algorithmic bytes accessed per forward pass.
+    pub bytes: f64,
+    /// Bytes read.
+    pub bytes_read: f64,
+    /// Bytes written.
+    pub bytes_written: f64,
+    /// Parameters.
+    pub params: f64,
+    /// Input bytes per pass.
+    pub io: f64,
+}
+
+impl NumericForwardStats {
+    /// Operational intensity `flops / bytes` (FLOP/B).
+    pub fn operational_intensity(&self) -> f64 {
+        self.flops / self.bytes
+    }
 }
 
 /// [`GraphStats`] with every quantity as a hash-consed [`ExprId`]: cheap to
@@ -136,6 +281,23 @@ impl InternedGraphStats {
             io: self.io.eval(bindings)?,
         })
     }
+
+    /// Interned counterpart of [`GraphStats::forward_view`]: `None` unless
+    /// both training-phase ids are the canonical zero (structural equality on
+    /// hash-consed ids makes the guard O(1)).
+    pub fn forward_view(&self) -> Option<InternedForwardStats> {
+        if !self.flops_backward.is_zero() || !self.flops_update.is_zero() {
+            return None;
+        }
+        Some(InternedForwardStats {
+            flops: self.flops_forward,
+            bytes: self.bytes,
+            bytes_read: self.bytes_read,
+            bytes_written: self.bytes_written,
+            params: self.params,
+            io: self.io,
+        })
+    }
 }
 
 /// Numeric cost summary (see [`GraphStats`]).
@@ -165,6 +327,22 @@ impl NumericStats {
     /// Operational intensity `flops / bytes` (FLOP/B).
     pub fn operational_intensity(&self) -> f64 {
         self.flops / self.bytes
+    }
+
+    /// Numeric counterpart of [`GraphStats::forward_view`]: `None` unless
+    /// backward and update FLOPs are exactly `0.0`.
+    pub fn forward_view(&self) -> Option<NumericForwardStats> {
+        if self.flops_backward != 0.0 || self.flops_update != 0.0 {
+            return None;
+        }
+        Some(NumericForwardStats {
+            flops: self.flops_forward,
+            bytes: self.bytes,
+            bytes_read: self.bytes_read,
+            bytes_written: self.bytes_written,
+            params: self.params,
+            io: self.io,
+        })
     }
 }
 
@@ -430,6 +608,39 @@ mod tests {
         assert_eq!(n.flops_backward, 0.0);
         assert_eq!(n.flops_update, 0.0);
         assert_eq!(n.flops, n.flops_forward);
+    }
+
+    #[test]
+    fn forward_view_matches_totals_on_inference_graph() {
+        let g = mlp();
+        let stats = g.stats();
+        let fwd = stats.forward_view().expect("mlp is forward-only");
+        let b = Bindings::new().with("st_b", 3.0);
+        let n = stats.eval(&b).unwrap();
+        let f = fwd.eval(&b).unwrap();
+        assert_eq!(f.flops, n.flops);
+        assert_eq!(f.bytes, n.bytes);
+        assert_eq!(f.bytes_read, n.bytes_read);
+        assert_eq!(f.bytes_written, n.bytes_written);
+        assert_eq!(f.params, n.params);
+        assert_eq!(f.io, n.io);
+        // Interned and numeric views agree bit-for-bit with the tree walk.
+        let fi = g.stats_interned().forward_view().unwrap();
+        assert_eq!(fi.eval(&b).unwrap(), f);
+        assert_eq!(n.forward_view(), Some(f));
+    }
+
+    #[test]
+    fn forward_view_refuses_training_graphs() {
+        let mut g = mlp();
+        let logits = g.ops().last().unwrap().outputs[0];
+        let labels = g.input("labels", [Expr::sym("st_b")], DType::I32).unwrap();
+        let loss = g.cross_entropy("loss", logits, labels).unwrap();
+        crate::autodiff::build_training_step(&mut g, loss).unwrap();
+        assert!(g.stats().forward_view().is_none());
+        assert!(g.stats_interned().forward_view().is_none());
+        let n = g.stats().eval(&Bindings::new().with("st_b", 2.0)).unwrap();
+        assert!(n.forward_view().is_none());
     }
 
     #[test]

@@ -24,6 +24,7 @@
 pub mod attention;
 mod charlm;
 mod common;
+mod decode;
 mod family;
 pub mod lstm;
 mod nmt;
@@ -35,6 +36,10 @@ mod wordlm;
 
 pub use charlm::{build_char_lm, build_char_lm_dims, CharLmConfig};
 pub use common::{batch, Domain, ModelGraph, BATCH_SYM};
+pub use decode::{
+    build_transformer_decode_dims, build_transformer_prefill_dims, InferGraph, CTX_SYM, HEADS_SYM,
+    HEAD_DIM_SYM, PROMPT_SYM,
+};
 pub use family::{PROJ_SYM, WIDTH_SYM};
 pub use nmt::{build_nmt, build_nmt_dims, NmtConfig};
 pub use resnet::{build_resnet, build_resnet_dims, ResNetConfig, ResNetDepth};

@@ -17,6 +17,7 @@
 mod allreduce;
 mod compression;
 mod dataparallel;
+mod infersearch;
 mod modelparallel;
 mod pipeline_des;
 mod planner;
@@ -31,6 +32,11 @@ pub use compression::GradCompression;
 pub use dataparallel::{
     data_parallel_point, data_parallel_point_compressed, data_parallel_sweep,
     workers_for_epoch_target, ScalePoint, WorkerStep,
+};
+pub use infersearch::{
+    enumerate_infer_naive, infer_argmin_point, infer_pareto_frontier,
+    infer_pareto_frontier_reference, infer_plan_point, infer_search, InferPlanPoint, InferProfile,
+    InferSearchResult, InferSearchSpace, InferSearchStats, SloTarget,
 };
 pub use modelparallel::{
     layer_parallel_plan, peak_footprint, shard_largest_weight, waterfill_largest_weight,

@@ -59,6 +59,14 @@ impl Accelerator {
     pub const KEYS: [&'static str; 4] = ["v100", "a100", "h100", "tpu-v3"];
 
     /// The paper's Table 4 configuration (similar to an NVIDIA V100v2).
+    ///
+    /// Datasheet anchors (Tesla V100 SXM2, NVIDIA V100 datasheet /
+    /// whitepaper WP-08608): 15.7 TFLOP/s fp32, 125 TFLOP/s tensor fp16,
+    /// 7.8 TFLOP/s fp64, 900 GB/s HBM2, 6 MiB L2, up to 32 GB capacity,
+    /// NVLink 2.0. Table 4 prices the memory system at 898 GB/s and the
+    /// interconnect at 56 GB/s (6 links' worth of per-direction NVLink
+    /// payload rather than the marketing 300 GB/s aggregate), and this
+    /// profile follows the paper where the two disagree.
     pub fn v100_like() -> Accelerator {
         Accelerator {
             name: "V100-like (Table 4)".into(),
@@ -76,6 +84,12 @@ impl Accelerator {
 
     /// An A100-80GB-class profile: ~1.25× the V100's f32 peak, 2.3× the
     /// bandwidth, 2.5× the capacity, and a fatter NVLink.
+    ///
+    /// Datasheet anchors (A100 80GB SXM, NVIDIA A100 datasheet): 19.5
+    /// TFLOP/s fp32, 312 TFLOP/s tensor bf16 (dense), 9.7 TFLOP/s fp64,
+    /// 2039 GB/s HBM2e, 40 MiB L2, 80 GB capacity, NVLink 3.0 at 600 GB/s
+    /// aggregate — carried here as 150 GB/s of usable per-direction
+    /// bandwidth to stay consistent with the V100 entry's convention.
     pub fn a100_like() -> Accelerator {
         Accelerator {
             name: "A100-like".into(),
@@ -94,6 +108,12 @@ impl Accelerator {
     /// An H100-class profile: the compute-heavy end of the design space the
     /// paper warns about (§6.2.3) — huge matrix-engine peaks over a
     /// comparatively modest capacity.
+    ///
+    /// Datasheet anchors (H100 SXM, NVIDIA H100 datasheet): 67 TFLOP/s
+    /// fp32, 989 TFLOP/s tensor bf16 (dense), 34 TFLOP/s fp64, 3.35 TB/s
+    /// HBM3, 50 MiB L2, 80 GB capacity, NVLink 4.0 at 900 GB/s aggregate
+    /// — carried as 225 GB/s usable per-direction, same convention as
+    /// above.
     pub fn h100_like() -> Accelerator {
         Accelerator {
             name: "H100-like".into(),
@@ -111,6 +131,13 @@ impl Accelerator {
 
     /// A TPU-v3-class profile: bfloat16 MXU throughput with a V100-scale
     /// HBM capacity and a strong chip-to-chip interconnect.
+    ///
+    /// Published anchors (Google Cloud TPU v3 documentation; Jouppi et al.,
+    /// CACM 2020): 123 TFLOP/s bf16 per chip, 32 GiB HBM at ~900 GB/s, ICI
+    /// links of ~656 Gb/s each (~82 GB/s, carried here as a conservative
+    /// 70 GB/s). The MXU has no general fp32/fp64 pipes, so those peaks
+    /// are stylized low: fp32 at the vector-unit-scale 16 TFLOP/s, fp64
+    /// nominal.
     pub fn tpu_v3_like() -> Accelerator {
         Accelerator {
             name: "TPU-v3-like".into(),

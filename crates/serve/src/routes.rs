@@ -7,10 +7,13 @@
 
 use std::time::Instant;
 
-use analysis::{characterize, fig11_batches, frontier_row, subbatch_analysis, PlanSearchRequest};
+use analysis::{
+    characterize, fig11_batches, frontier_row, subbatch_analysis, InferConfig, InferEngine,
+    InferPlanRequest, InferPoint, PlanSearchRequest,
+};
 use frontier::QueryKey;
 use modelzoo::{Domain, ModelConfig};
-use parsim::{ModelParallelism, Plan, SearchPoint};
+use parsim::{InferPlanPoint, ModelParallelism, Plan, SearchPoint, SloTarget};
 use roofline::Accelerator;
 use scaling::scaling_for;
 
@@ -41,6 +44,18 @@ const MAX_SEARCH_LIST: usize = 8;
 /// Bound on a pipeline microbatch count (beyond this the schedule model is
 /// meaningless and the request is almost certainly hostile).
 const MAX_MICROBATCHES: u64 = 1 << 16;
+/// Bounds on `/v1/infer/*` serving-shape parameters. Context/prompt cap at
+/// 1Mi tokens; batch at 64Ki sequences; the structural caps keep a hostile
+/// query from forcing a pathological family build.
+const MAX_INFER_BATCH: u64 = 1 << 16;
+const MAX_CONTEXT: u64 = 1 << 20;
+const MAX_HEADS: u64 = 256;
+const MAX_HEAD_DIM: u64 = 1024;
+const MAX_LAYERS: u64 = 256;
+const MAX_VOCAB: u64 = 2_000_000;
+const MAX_FF_MULT: u64 = 64;
+/// Bound on an SLO expressed in milliseconds (about 11.5 days).
+const MAX_SLO_MS: f64 = 1e9;
 
 /// One endpoint's handler function.
 type Handler = fn(&AppState, &Query, &mut RequestTrace) -> Result<Routed, ApiError>;
@@ -103,6 +118,9 @@ pub fn dispatch(state: &AppState, req: &Request, trace: &mut RequestTrace) -> Ro
         "/v1/subbatch" => ("subbatch", subbatch_route),
         "/v1/plan" => ("plan", plan_route),
         "/v1/plan/search" => ("plan_search", plan_search_route),
+        "/v1/infer/characterize" => ("infer_characterize", infer_characterize_route),
+        "/v1/infer/sweep" => ("infer_sweep", infer_sweep_route),
+        "/v1/infer/plan" => ("infer_plan", infer_plan_route),
         "/v1/healthz" => ("healthz", healthz_route),
         "/v1/metrics" => ("metrics", metrics_route),
         "/metrics" => ("metrics_text", metrics_text_route),
@@ -602,32 +620,7 @@ fn plan_search_route(
     let domain = q.domain()?;
     let max_accels = bounded_max_accels(q)?;
     let days = bounded_days(q)?;
-    let accel_keys: Vec<String> = match q.raw("accel") {
-        None => Accelerator::KEYS.iter().map(|k| k.to_string()).collect(),
-        Some(raw) => {
-            let mut keys = Vec::new();
-            for piece in raw.split(',') {
-                let key = piece.trim();
-                if Accelerator::by_key(key).is_none() {
-                    return Err(ApiError::bad_request(
-                        "unknown_accelerator",
-                        format!(
-                            "unknown accelerator {key:?}; expected one of {}",
-                            Accelerator::KEYS.join(", ")
-                        ),
-                    ));
-                }
-                if keys.iter().any(|k| k == key) {
-                    return Err(ApiError::bad_request(
-                        "bad_parameter",
-                        format!("accelerator {key:?} listed twice"),
-                    ));
-                }
-                keys.push(key.to_string());
-            }
-            keys
-        }
-    };
+    let accel_keys = accel_key_list(q)?;
     let subbatches = comma_list_u64(q, "subbatch", 1, MAX_SUBBATCH)?
         .unwrap_or_else(|| vec![domain.default_subbatch()]);
     let micros = comma_list_u64(q, "micro", 1, MAX_MICROBATCHES)?.unwrap_or_else(|| vec![2]);
@@ -692,6 +685,374 @@ fn plan_search_route(
             .set("feasible", result.best.is_some());
         match result.best {
             Some(point) => base.set("best", search_point_json(&point)),
+            None => base.set("best", Json::Null),
+        }
+    })
+}
+
+/// Parse the `accel` comma list of registry keys; defaults to the whole
+/// registry. Shared by `/v1/plan/search` and `/v1/infer/plan`.
+fn accel_key_list(q: &Query) -> Result<Vec<String>, ApiError> {
+    let Some(raw) = q.raw("accel") else {
+        return Ok(Accelerator::KEYS.iter().map(|k| k.to_string()).collect());
+    };
+    let mut keys = Vec::new();
+    for piece in raw.split(',') {
+        let key = piece.trim();
+        if Accelerator::by_key(key).is_none() {
+            return Err(ApiError::bad_request(
+                "unknown_accelerator",
+                format!(
+                    "unknown accelerator {key:?}; expected one of {}",
+                    Accelerator::KEYS.join(", ")
+                ),
+            ));
+        }
+        if keys.iter().any(|k| k == key) {
+            return Err(ApiError::bad_request(
+                "bad_parameter",
+                format!("accelerator {key:?} listed twice"),
+            ));
+        }
+        keys.push(key.to_string());
+    }
+    Ok(keys)
+}
+
+// ------------------------------------------------------- /v1/infer endpoints
+
+/// Query parameters shared by every `/v1/infer/*` endpoint: the served
+/// model's structural shape.
+const INFER_CONFIG_PARAMS: [&str; 6] = ["heads", "head_dim", "layers", "vocab", "ff", "tied"];
+
+/// Parse the served-model shape, defaulting to [`InferConfig::default`]
+/// (a ~100M-parameter decoder) with every field individually overridable.
+fn infer_config_from(q: &Query) -> Result<InferConfig, ApiError> {
+    let d = InferConfig::default();
+    let cfg = InferConfig {
+        vocab: q.opt::<u64>("vocab")?.unwrap_or(d.vocab),
+        heads: q.opt::<u64>("heads")?.unwrap_or(d.heads),
+        head_dim: q.opt::<u64>("head_dim")?.unwrap_or(d.head_dim),
+        layers: q.opt::<u64>("layers")?.unwrap_or(d.layers),
+        ff_mult: q.opt::<u64>("ff")?.unwrap_or(d.ff_mult),
+        tied_embedding: q.opt::<bool>("tied")?.unwrap_or(d.tied_embedding),
+    };
+    for (name, v, lo, hi) in [
+        ("heads", cfg.heads, 1, MAX_HEADS),
+        ("head_dim", cfg.head_dim, 1, MAX_HEAD_DIM),
+        ("layers", cfg.layers, 1, MAX_LAYERS),
+        ("vocab", cfg.vocab, 2, MAX_VOCAB),
+        ("ff", cfg.ff_mult, 1, MAX_FF_MULT),
+    ] {
+        if !(lo..=hi).contains(&v) {
+            return Err(ApiError::bad_request(
+                "shape_out_of_range",
+                format!("{name} must be in {lo}..={hi}, got {v}"),
+            ));
+        }
+    }
+    Ok(cfg)
+}
+
+/// Memo-key fields identifying an [`InferConfig`].
+fn infer_config_key(key: QueryKey, cfg: &InferConfig) -> QueryKey {
+    key.field("vocab", cfg.vocab)
+        .field("heads", cfg.heads)
+        .field("head_dim", cfg.head_dim)
+        .field("layers", cfg.layers)
+        .field("ff", cfg.ff_mult)
+        .field("tied", cfg.tied_embedding)
+}
+
+/// Shared `prompt`/`context` validation: both in range, prompt ≤ context
+/// (the decode context includes the prompt).
+fn bounded_prompt_context(q: &Query) -> Result<(u64, u64), ApiError> {
+    let prompt = q.opt::<u64>("prompt")?.unwrap_or(512);
+    let context = q.opt::<u64>("context")?.unwrap_or(1024);
+    for (name, v) in [("prompt", prompt), ("context", context)] {
+        if !(1..=MAX_CONTEXT).contains(&v) {
+            return Err(ApiError::bad_request(
+                "context_out_of_range",
+                format!("{name} must be in 1..={MAX_CONTEXT}, got {v}"),
+            ));
+        }
+    }
+    if prompt > context {
+        return Err(ApiError::bad_request(
+            "context_below_prompt",
+            format!("context ({context}) must be at least prompt ({prompt})"),
+        ));
+    }
+    Ok((prompt, context))
+}
+
+/// One characterized serving point, rendered.
+fn infer_point_json(p: &InferPoint) -> Json {
+    Json::obj()
+        .set("batch", p.batch)
+        .set("prompt", p.prompt)
+        .set("context", p.context)
+        .set("params", p.params)
+        .set("weight_bytes", p.weight_bytes)
+        .set("kv_cache_bytes", p.kv_cache_bytes)
+        .set("serving_bytes", p.serving_bytes())
+        .set(
+            "prefill",
+            Json::obj()
+                .set("flops", p.prefill_flops)
+                .set("bytes", p.prefill_bytes)
+                .set("op_intensity", p.prefill_intensity),
+        )
+        .set(
+            "decode",
+            Json::obj()
+                .set("flops", p.decode_flops)
+                .set("bytes", p.decode_bytes)
+                .set("op_intensity", p.decode_intensity),
+        )
+}
+
+/// `GET /v1/infer/characterize?batch=&prompt=&context=&heads=&head_dim=&layers=&vocab=&ff=&tied=`
+/// — one forward-only serving measurement: prefill and decode phases split,
+/// KV-cache footprint included. Answered through the process-wide
+/// [`analysis::InferEngine`] (symbolic family build + exact substitution).
+fn infer_characterize_route(
+    state: &AppState,
+    q: &Query,
+    trace: &mut RequestTrace,
+) -> Result<Routed, ApiError> {
+    let mut known = vec!["batch", "prompt", "context"];
+    known.extend(INFER_CONFIG_PARAMS);
+    q.check_known(&known)?;
+    let cfg = infer_config_from(q)?;
+    let (prompt, context) = bounded_prompt_context(q)?;
+    let batch = q.opt::<u64>("batch")?.unwrap_or(1);
+    if !(1..=MAX_INFER_BATCH).contains(&batch) {
+        return Err(ApiError::bad_request(
+            "batch_out_of_range",
+            format!("batch must be in 1..={MAX_INFER_BATCH}, got {batch}"),
+        ));
+    }
+    let key = infer_config_key(QueryKey::new("infer_characterize"), &cfg)
+        .field("batch", batch)
+        .field("prompt", prompt)
+        .field("context", context);
+    memoized(state, &key, "infer_characterize", trace, move || {
+        let point = InferEngine::global().characterize(&cfg, batch, prompt, context);
+        Json::obj()
+            .set("d_model", cfg.d_model())
+            .set("point", infer_point_json(&point))
+    })
+}
+
+/// `GET /v1/infer/sweep?prompt=&batch=&context=&...` — a decode
+/// batch × context grid in one query, through the shared engine: `batch`
+/// and `context` are comma lists (defaults `1,4,16,64,256` × the single
+/// default context).
+fn infer_sweep_route(
+    state: &AppState,
+    q: &Query,
+    trace: &mut RequestTrace,
+) -> Result<Routed, ApiError> {
+    let mut known = vec!["batch", "prompt", "context"];
+    known.extend(INFER_CONFIG_PARAMS);
+    q.check_known(&known)?;
+    let cfg = infer_config_from(q)?;
+    let prompt = q.opt::<u64>("prompt")?.unwrap_or(512);
+    if !(1..=MAX_CONTEXT).contains(&prompt) {
+        return Err(ApiError::bad_request(
+            "context_out_of_range",
+            format!("prompt must be in 1..={MAX_CONTEXT}, got {prompt}"),
+        ));
+    }
+    let batches =
+        comma_list_u64(q, "batch", 1, MAX_INFER_BATCH)?.unwrap_or_else(|| vec![1, 4, 16, 64, 256]);
+    let contexts = comma_list_u64(q, "context", 1, MAX_CONTEXT)?.unwrap_or_else(|| vec![1024]);
+    if let Some(&ctx) = contexts.iter().find(|&&c| c < prompt) {
+        return Err(ApiError::bad_request(
+            "context_below_prompt",
+            format!("context ({ctx}) must be at least prompt ({prompt})"),
+        ));
+    }
+    let grid: Vec<(u64, u64)> = batches
+        .iter()
+        .flat_map(|&b| contexts.iter().map(move |&c| (b, c)))
+        .collect();
+    if grid.len() > MAX_SWEEP_POINTS {
+        return Err(ApiError::bad_request(
+            "grid_too_large",
+            format!(
+                "batch×context grid is {}, cap {MAX_SWEEP_POINTS}",
+                grid.len()
+            ),
+        ));
+    }
+    let join = |v: &[u64]| {
+        v.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let key = infer_config_key(QueryKey::new("infer_sweep"), &cfg)
+        .field("prompt", prompt)
+        .field("batch", join(&batches))
+        .field("context", join(&contexts));
+    memoized(state, &key, "infer_sweep", trace, move || {
+        let points = InferEngine::global().characterize_grid(&cfg, prompt, &grid);
+        Json::obj()
+            .set("d_model", cfg.d_model())
+            .set("prompt", prompt)
+            .set("count", points.len() as u64)
+            .set(
+                "points",
+                points.iter().map(infer_point_json).collect::<Vec<_>>(),
+            )
+    })
+}
+
+/// Shared millisecond-SLO validation for `/v1/infer/plan`.
+fn bounded_slo_ms(q: &Query, key: &'static str, default_ms: f64) -> Result<f64, ApiError> {
+    let ms = q.opt::<f64>(key)?.unwrap_or(default_ms);
+    if !ms.is_finite() || ms <= 0.0 || ms > MAX_SLO_MS {
+        return Err(ApiError::bad_request(
+            "slo_out_of_range",
+            format!("{key} must be a positive number of milliseconds, got {ms}"),
+        ));
+    }
+    Ok(ms)
+}
+
+/// One SLO plan point, rendered.
+fn infer_plan_point_json(p: &InferPlanPoint) -> Json {
+    Json::obj()
+        .set("accel", p.accel_key.as_str())
+        .set("batch", p.batch)
+        .set("replicas", p.replicas)
+        .set("total_accelerators", p.total_accelerators)
+        .set("tokens_per_s", p.tokens_per_s)
+        .set("p99_token_seconds", p.p99_token_seconds)
+        .set("ttft_seconds", p.ttft_seconds)
+        .set("mem_per_accel_gb", p.mem_per_accel_gb)
+}
+
+/// `GET /v1/infer/plan?tpot_ms=&ttft_ms=&tokens_per_s=&accel=&batch=&accels=&prompt=&context=&...`
+/// — SLO-driven serving plan search: rank every (accelerator × decode batch
+/// × replica count) configuration under a p99 token-latency bound
+/// (`tpot_ms`, default 50), a TTFT bound (`ttft_ms`, default 500), and an
+/// aggregate throughput demand (`tokens_per_s`, default 20000). `accel` is
+/// a comma list of registry keys; `batch` a comma list of decode batch
+/// sizes; `accels` caps the fleet. Returns the Pareto frontier over (fleet
+/// size, token latency, per-device memory) plus the argmin plan and pruning
+/// counters.
+fn infer_plan_route(
+    state: &AppState,
+    q: &Query,
+    trace: &mut RequestTrace,
+) -> Result<Routed, ApiError> {
+    let mut known = vec![
+        "tpot_ms",
+        "ttft_ms",
+        "tokens_per_s",
+        "accel",
+        "accels",
+        "batch",
+        "prompt",
+        "context",
+    ];
+    known.extend(INFER_CONFIG_PARAMS);
+    q.check_known(&known)?;
+    let cfg = infer_config_from(q)?;
+    let (prompt, context) = bounded_prompt_context(q)?;
+    let tpot_ms = bounded_slo_ms(q, "tpot_ms", 50.0)?;
+    let ttft_ms = bounded_slo_ms(q, "ttft_ms", 500.0)?;
+    let tokens_per_s = q.opt::<f64>("tokens_per_s")?.unwrap_or(20_000.0);
+    if !tokens_per_s.is_finite() || tokens_per_s <= 0.0 {
+        return Err(ApiError::bad_request(
+            "slo_out_of_range",
+            format!("tokens_per_s must be a positive rate, got {tokens_per_s}"),
+        ));
+    }
+    let max_accels = bounded_max_accels(q)?;
+    let accel_keys = accel_key_list(q)?;
+    let batches =
+        comma_list_u64(q, "batch", 1, MAX_INFER_BATCH)?.unwrap_or_else(|| vec![1, 4, 16, 64, 256]);
+    if accel_keys.len() * batches.len() > MAX_SEARCH_GRID {
+        return Err(ApiError::bad_request(
+            "grid_too_large",
+            format!(
+                "accel×batch grid is {}, cap {MAX_SEARCH_GRID}",
+                accel_keys.len() * batches.len()
+            ),
+        ));
+    }
+    let join = |v: &[u64]| {
+        v.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let key = infer_config_key(QueryKey::new("infer_plan"), &cfg)
+        .field("prompt", prompt)
+        .field("context", context)
+        .field("tpot_ms", format!("{tpot_ms:?}"))
+        .field("ttft_ms", format!("{ttft_ms:?}"))
+        .field("tokens_per_s", format!("{tokens_per_s:?}"))
+        .field("accels", max_accels)
+        .field("accel", accel_keys.join(","))
+        .field("batch", join(&batches));
+    memoized(state, &key, "infer_plan", trace, move || {
+        let req = InferPlanRequest {
+            config: cfg,
+            accels: accel_keys
+                .iter()
+                .map(|k| (k.clone(), Accelerator::by_key(k).expect("validated key")))
+                .collect(),
+            batches,
+            prompt,
+            context,
+            slo: SloTarget {
+                p99_token_seconds: tpot_ms / 1e3,
+                ttft_seconds: ttft_ms / 1e3,
+            },
+            target_tokens_per_s: tokens_per_s,
+            max_total_accelerators: max_accels,
+        };
+        let space = analysis::infer_search_space(&req);
+        let result = parsim::infer_search(&space);
+        let pareto: Vec<Json> = result.pareto.iter().map(infer_plan_point_json).collect();
+        let base = Json::obj()
+            .set(
+                "slo",
+                Json::obj()
+                    .set("p99_token_seconds", tpot_ms / 1e3)
+                    .set("ttft_seconds", ttft_ms / 1e3)
+                    .set("tokens_per_s", tokens_per_s),
+            )
+            .set("prompt", prompt)
+            .set("context", context)
+            .set("max_accelerators", max_accels)
+            .set(
+                "accelerators",
+                accel_keys
+                    .iter()
+                    .map(|k| Json::Str(k.clone()))
+                    .collect::<Vec<_>>(),
+            )
+            .set("profiles", space.profiles.len())
+            .set(
+                "stats",
+                Json::obj()
+                    .set("considered", result.stats.considered)
+                    .set("evaluated", result.stats.evaluated)
+                    .set("pruned_memory", result.stats.pruned_memory)
+                    .set("pruned_latency", result.stats.pruned_latency)
+                    .set("pruned_over_cap", result.stats.pruned_over_cap),
+            )
+            .set("feasible_count", result.feasible.len())
+            .set("pareto", pareto)
+            .set("feasible", result.best.is_some());
+        match result.best {
+            Some(point) => base.set("best", infer_plan_point_json(&point)),
             None => base.set("best", Json::Null),
         }
     })
@@ -862,6 +1223,9 @@ fn index_route(
         Json::Str("/v1/subbatch?domain=&params=".into()),
         Json::Str("/v1/plan?domain=&accels=&days=".into()),
         Json::Str("/v1/plan/search?domain=&days=&accels=&accel=&subbatch=&micro=".into()),
+        Json::Str("/v1/infer/characterize?batch=&prompt=&context=&heads=&head_dim=&layers=&vocab=&ff=&tied=".into()),
+        Json::Str("/v1/infer/sweep?prompt=&batch=&context=&heads=&head_dim=&layers=&vocab=&ff=&tied=".into()),
+        Json::Str("/v1/infer/plan?tpot_ms=&ttft_ms=&tokens_per_s=&accel=&batch=&accels=&prompt=&context=".into()),
         Json::Str("/v1/healthz".into()),
         Json::Str("/v1/metrics".into()),
         Json::Str("/metrics".into()),
