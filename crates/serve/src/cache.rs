@@ -333,6 +333,127 @@ impl MemoCache {
     }
 }
 
+// ------------------------------------------------------------- bytes cache
+
+/// A fully pre-serialized response: the JSON body shared with the
+/// [`MemoCache`]'s value plus two pre-rendered heads (`x-cache: hit`, one
+/// per connection disposition). A warm hit is a single `writev` of
+/// `[head, body]` — zero re-encode, zero copy of the body bytes.
+pub struct CachedBytes {
+    /// HTTP status the cached exchange produced (always 200 today; only
+    /// successful cacheable responses are admitted).
+    pub status: u16,
+    /// Endpoint label for metrics/flight records.
+    pub endpoint: &'static str,
+    /// The response body, byte-identical to fresh serialization.
+    pub body: Arc<String>,
+    /// Pre-rendered head ending in `connection: keep-alive` + `x-cache: hit`.
+    pub head_keep_alive: Vec<u8>,
+    /// Pre-rendered head ending in `connection: close` + `x-cache: hit`.
+    pub head_close: Vec<u8>,
+}
+
+struct BytesEntry {
+    value: Arc<CachedBytes>,
+    last_used: u64,
+}
+
+struct BytesShard {
+    map: HashMap<String, BytesEntry>,
+}
+
+/// Response-bytes cache layered **above** the [`MemoCache`].
+///
+/// Keys are the raw request target (`/path?query`), values are
+/// [`CachedBytes`]. Both layers memoize pure functions of the query, so
+/// there is nothing to invalidate — the layers can evict independently
+/// without any staleness risk; the only coupling is capacity (see DESIGN.md
+/// § "Event-driven serve tier"). Entries are inserted by worker threads
+/// after a cold compute and probed by the reactor thread before dispatch;
+/// hit/miss tallies live in
+/// [`ReactorStats`](crate::metrics::ReactorStats), not here, because the
+/// probe site (the reactor) owns the counters.
+pub struct BytesCache {
+    shards: Vec<Mutex<BytesShard>>,
+    per_shard_capacity: usize,
+    tick: AtomicU64,
+}
+
+impl BytesCache {
+    /// A cache bounded to roughly `capacity` resident responses, spread over
+    /// `shards` independently locked shards.
+    pub fn new(capacity: usize, shards: usize) -> BytesCache {
+        let shards = shards.clamp(1, 64);
+        BytesCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(BytesShard {
+                        map: HashMap::new(),
+                    })
+                })
+                .collect(),
+            per_shard_capacity: capacity.div_ceil(shards).max(1),
+            tick: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, target: &str) -> &Mutex<BytesShard> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        target.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Resident responses across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("bytes shard lock").map.len())
+            .sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Probe for `target`, refreshing its recency on a hit.
+    pub fn get(&self, target: &str) -> Option<Arc<CachedBytes>> {
+        // Relaxed: LRU recency only needs RMW total order (see MemoCache).
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_for(target).lock().expect("bytes shard lock");
+        let entry = shard.map.get_mut(target)?;
+        entry.last_used = tick;
+        Some(Arc::clone(&entry.value))
+    }
+
+    /// Insert (or refresh) the pre-rendered response for `target`, evicting
+    /// the least-recently-used entry if the shard is over capacity.
+    pub fn insert(&self, target: String, value: CachedBytes) {
+        // Relaxed: see `get`.
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_for(&target).lock().expect("bytes shard lock");
+        shard.map.insert(
+            target,
+            BytesEntry {
+                value: Arc::new(value),
+                last_used: tick,
+            },
+        );
+        while shard.map.len() > self.per_shard_capacity {
+            let Some(victim) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            shard.map.remove(&victim);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -409,5 +530,60 @@ mod tests {
         // Cache stays usable.
         let (r2, _) = cache.get_or_compute(2, || Ok("fine".into()));
         assert_eq!(r2.expect("ok").as_str(), "fine");
+    }
+
+    fn cached_bytes(endpoint: &'static str, body: &str) -> CachedBytes {
+        let body = Arc::new(body.to_string());
+        CachedBytes {
+            status: 200,
+            endpoint,
+            head_keep_alive: crate::http::render_head(
+                200,
+                body.len(),
+                Some("hit"),
+                "application/json",
+                true,
+            )
+            .into_bytes(),
+            head_close: crate::http::render_head(
+                200,
+                body.len(),
+                Some("hit"),
+                "application/json",
+                false,
+            )
+            .into_bytes(),
+            body,
+        }
+    }
+
+    #[test]
+    fn bytes_cache_round_trips_and_shares_the_body() {
+        let cache = BytesCache::new(8, 2);
+        assert!(cache.get("/v1/characterize?domain=nmt").is_none());
+        cache.insert(
+            "/v1/characterize?domain=nmt".to_string(),
+            cached_bytes("characterize", "{\"x\":1}"),
+        );
+        let hit = cache.get("/v1/characterize?domain=nmt").expect("resident");
+        assert_eq!(hit.body.as_str(), "{\"x\":1}");
+        assert_eq!(hit.endpoint, "characterize");
+        let head = String::from_utf8(hit.head_keep_alive.clone()).expect("utf8");
+        assert!(head.contains("x-cache: hit"), "{head}");
+        assert!(head.contains("connection: keep-alive"), "{head}");
+        assert!(head.contains(&format!("content-length: {}", hit.body.len())));
+    }
+
+    #[test]
+    fn bytes_cache_evicts_least_recently_used() {
+        let cache = BytesCache::new(4, 1);
+        for i in 0..8 {
+            cache.insert(format!("/k{i}"), cached_bytes("characterize", "{}"));
+            // Keep /k0 hot so the eviction victim is always something else.
+            let _ = cache.get("/k0");
+        }
+        assert!(cache.len() <= 4, "len {} over capacity", cache.len());
+        assert!(cache.get("/k0").is_some(), "hot entry survived");
+        assert!(cache.get("/k1").is_none(), "cold entry evicted");
     }
 }

@@ -4,20 +4,25 @@
 //! The paper's analyses (characterization sweeps, frontier projections,
 //! subbatch selection, parallelism planning) are deterministic pure
 //! functions of `(domain, model config, bindings)` — ideal memoization
-//! targets. This crate serves them over plain `std::net` sockets:
+//! targets. This crate serves them over plain `std::net` sockets behind a
+//! single-threaded epoll reactor:
 //!
 //! ```text
-//! accept loop (nonblocking, polls shutdown flag)
-//!   └─ bounded worker pool ──► http parse ──► route dispatch
-//!                                               └─ sharded single-flight
-//!                                                  memo cache ──► analysis
+//! epoll reactor (one thread: accept, parse, keep-alive, writev)
+//!   ├─ response-bytes cache ──► warm hit: zero-copy writev
+//!   ├─ dynamic endpoints ─────► dispatched inline
+//!   └─ cold computes ─────────► bounded worker pool ──► route dispatch
+//!                                 └─ sharded single-flight memo cache
+//!                                      └─ analysis  (eventfd completes
+//!                                                    back to the reactor)
 //! ```
 //!
-//! Everything is `std`-only: hand-rolled HTTP, JSON, histogram, LRU. See
-//! `DESIGN.md` § "Serving layer" for the cache keying and shutdown
-//! semantics, and § "Telemetry plane" for the metric registry, the
-//! request-scoped trace context, and the flight recorder this module
-//! threads through every request.
+//! Everything is `std`-only: hand-rolled HTTP, JSON, histogram, LRU, and
+//! raw-FFI epoll (see [`reactor`]). See `DESIGN.md` § "Event-driven serve
+//! tier" for the connection state machine and the bytes-cache layering,
+//! § "Serving layer" for cache keying and shutdown semantics, and
+//! § "Telemetry plane" for the metric registry, the request-scoped trace
+//! context, and the flight recorder threaded through every request.
 
 pub mod cache;
 pub mod flags;
@@ -27,12 +32,13 @@ pub mod json;
 pub mod metrics;
 pub mod pool;
 pub mod query;
+mod reactor;
 pub mod routes;
 pub mod signal;
 pub mod trace;
 
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
@@ -41,11 +47,12 @@ use std::time::{Duration, Instant};
 use obs::metrics::Registry;
 use roofline::Accelerator;
 
-use cache::MemoCache;
+use cache::{BytesCache, MemoCache};
 use flight::{FlightRecorder, RequestRecord};
-use metrics::Metrics;
-use pool::{QueueWatcher, SubmitError, WorkerPool};
-use trace::{elapsed_us, RequestTrace, Stage};
+use metrics::{Metrics, ReactorStats};
+use pool::{QueueWatcher, WorkerPool};
+use reactor::{Completions, Reactor};
+use trace::RequestTrace;
 
 /// Cap on the global obs recorder once a server is running: sampled spans
 /// must not grow memory without bound on a long-lived process.
@@ -56,13 +63,14 @@ const RECORDER_CAPACITY: usize = 65_536;
 pub struct ServeConfig {
     /// Bind address (`127.0.0.1:8080`; port 0 picks an ephemeral port).
     pub addr: String,
-    /// Worker threads handling requests.
+    /// Worker threads handling cold computes.
     pub threads: usize,
-    /// Memoization cache capacity, in resident response bodies.
+    /// Memoization cache capacity, in resident response bodies. The
+    /// response-bytes cache sizes itself to match.
     pub cache_entries: usize,
-    /// Bounded queue depth between accept loop and workers.
+    /// Bounded queue depth between the reactor and the workers.
     pub queue_depth: usize,
-    /// Per-request deadline: a connection still queued after this long is
+    /// Per-request deadline: a request still queued after this long is
     /// answered 503 instead of computed.
     pub deadline: Duration,
     /// Flight-recorder ring capacity, in request records.
@@ -86,16 +94,21 @@ impl Default for ServeConfig {
     }
 }
 
-/// Shared server state: the cache, the telemetry plane (registry, metrics,
-/// flight recorder), and the reference accelerator all roofline-derived
-/// endpoints price against.
+/// Shared server state: the two cache layers, the telemetry plane
+/// (registry, metrics, flight recorder, reactor stats), and the reference
+/// accelerator all roofline-derived endpoints price against.
 pub struct AppState {
-    /// Memoized response bodies.
+    /// Memoized response bodies (result cache: single-flight, sharded).
     pub cache: MemoCache,
+    /// Pre-serialized responses (bytes cache: head + body, zero re-encode).
+    pub bytes: BytesCache,
     /// Metric registry backing both `/metrics` and `/v1/metrics`.
     pub registry: Arc<Registry>,
     /// Request counters and latency histogram (registry-backed).
     pub metrics: Metrics,
+    /// Reactor-plane counters: connections, keep-alive reuse, bytes-cache
+    /// effectiveness, epoll wakeups.
+    pub reactor: ReactorStats,
     /// Always-on ring + slowest-K set of finished requests.
     pub flight: FlightRecorder,
     /// Worker-pool queue-depth observer.
@@ -112,13 +125,23 @@ pub struct AppState {
     next_id: AtomicU64,
 }
 
+impl AppState {
+    /// Mint the next request id (1-based, monotonic).
+    pub(crate) fn next_request_id(&self) -> u64 {
+        // Relaxed: ids only need uniqueness, not ordering against other
+        // request state.
+        self.next_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
 /// A running server. Dropping it (or calling [`Server::shutdown`]) stops
 /// accepting, drains in-flight requests, and joins every thread.
 pub struct Server {
     state: Arc<AppState>,
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    completions: Arc<Completions>,
+    reactor_thread: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -134,8 +157,10 @@ impl Server {
         let metrics = Metrics::new(&registry);
         let state = Arc::new(AppState {
             cache: MemoCache::new(config.cache_entries.max(1), shards),
+            bytes: BytesCache::new(config.cache_entries.max(1), shards),
             registry,
             metrics,
+            reactor: ReactorStats::default(),
             flight: FlightRecorder::new(config.flight_entries.max(1)),
             pool: pool.watcher(),
             accel: Accelerator::v100_like(),
@@ -146,19 +171,24 @@ impl Server {
         });
         register_external_series(&state);
         let stop = Arc::new(AtomicBool::new(false));
-        let accept_thread = {
-            let state = Arc::clone(&state);
-            let stop = Arc::clone(&stop);
-            std::thread::Builder::new()
-                .name("serve-accept".into())
-                .spawn(move || accept_loop(&listener, &state, &stop, pool))
-                .expect("spawn accept thread")
-        };
+        let completions = Arc::new(Completions::new()?);
+        let reactor = Reactor::new(
+            listener,
+            Arc::clone(&state),
+            pool,
+            Arc::clone(&completions),
+            Arc::clone(&stop),
+        )?;
+        let reactor_thread = std::thread::Builder::new()
+            .name("serve-reactor".into())
+            .spawn(move || reactor.run())
+            .expect("spawn reactor thread");
         Ok(Server {
             state,
             local_addr,
             stop,
-            accept_thread: Some(accept_thread),
+            completions,
+            reactor_thread: Some(reactor_thread),
         })
     }
 
@@ -176,12 +206,16 @@ impl Server {
     /// requests, join all threads. Idempotent.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept_thread.take() {
+        // Pop the reactor out of epoll_wait so it notices the flag now.
+        self.completions.nudge();
+        if let Some(handle) = self.reactor_thread.take() {
             let _ = handle.join();
         }
     }
 
-    /// Serve until SIGTERM/SIGINT, then shut down gracefully.
+    /// Serve until SIGTERM/SIGINT, then shut down gracefully. The reactor
+    /// polls the signal flag itself, so drain starts within one epoll tick
+    /// of delivery; this thread just waits to join.
     pub fn run_until_signal(mut self) {
         signal::install();
         while !signal::requested() && !self.stop.load(Ordering::SeqCst) {
@@ -198,10 +232,10 @@ impl Drop for Server {
 }
 
 /// Register series whose values live outside `serve::metrics` — cache shard
-/// counters, pool queue depth, engine LRU occupancy, interner tables — as
-/// registry callbacks. Callbacks capture a `Weak<AppState>` (the registry
-/// is owned *by* the state, so a strong capture would leak a cycle) and
-/// read the live value at exposition time.
+/// counters, reactor-plane stats, pool queue depth, engine LRU occupancy,
+/// interner tables — as registry callbacks. Callbacks capture a
+/// `Weak<AppState>` (the registry is owned *by* the state, so a strong
+/// capture would leak a cycle) and read the live value at exposition time.
 ///
 /// Engine and interner series read process-wide singletons: in a
 /// multi-server test process they aggregate across servers, exactly as the
@@ -254,11 +288,52 @@ fn register_external_series(state: &Arc<AppState>) {
             move || weak.upgrade().map_or(0.0, |s| s.cache.capacity() as f64),
         );
     }
+    // Reactor plane (ISSUE 8): connection accounting, bytes-cache
+    // effectiveness, event-loop health.
+    {
+        let weak = Arc::downgrade(state);
+        r.gauge_fn(
+            "serve_connections_open",
+            "Connections currently open on the reactor.",
+            move || {
+                weak.upgrade()
+                    .map_or(0.0, |s| s.reactor.connections_open.load(Relaxed) as f64)
+            },
+        );
+    }
+    r.counter_fn(
+        "serve_keepalive_reuses_total",
+        "Responses served on an already-used keep-alive connection.",
+        w(|s| s.reactor.keepalive_reuses.load(Relaxed)),
+    );
+    r.counter_fn(
+        "serve_bytes_cache_hits_total",
+        "Requests answered from the pre-serialized response-bytes cache.",
+        w(|s| s.reactor.bytes_cache_hits.load(Relaxed)),
+    );
+    r.counter_fn(
+        "serve_bytes_cache_misses_total",
+        "Cacheable requests that missed the bytes cache.",
+        w(|s| s.reactor.bytes_cache_misses.load(Relaxed)),
+    );
+    r.counter_fn(
+        "serve_epoll_wakeups_total",
+        "epoll_wait returns that delivered at least one event.",
+        w(|s| s.reactor.epoll_wakeups.load(Relaxed)),
+    );
+    {
+        let weak = Arc::downgrade(state);
+        r.gauge_fn(
+            "serve_bytes_cache_entries",
+            "Pre-serialized responses resident in the bytes cache.",
+            move || weak.upgrade().map_or(0.0, |s| s.bytes.len() as f64),
+        );
+    }
     {
         let watcher = state.pool.clone();
         r.gauge_fn(
             "frontier_pool_queue_depth",
-            "Jobs queued between the accept loop and the workers.",
+            "Jobs queued between the reactor and the workers.",
             move || watcher.queued() as f64,
         );
     }
@@ -331,44 +406,6 @@ fn register_external_series(state: &Arc<AppState>) {
     );
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    state: &Arc<AppState>,
-    stop: &Arc<AtomicBool>,
-    mut pool: WorkerPool,
-) {
-    while !stop.load(Ordering::SeqCst) && !signal::requested() {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let accepted_at = Instant::now();
-                let job_state = Arc::clone(state);
-                let job_stream = stream;
-                let submitted = pool.submit(move || {
-                    handle_connection(&job_state, job_stream, accepted_at);
-                });
-                match submitted {
-                    Ok(()) => {}
-                    Err(SubmitError::QueueFull | SubmitError::ShuttingDown) => {
-                        state.metrics.rejected_queue_full.inc();
-                        // The job (and its stream) was dropped; nothing more
-                        // to send — the client sees a closed connection,
-                        // which is the honest overload signal at this layer.
-                    }
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => {
-                // Transient accept errors (ECONNABORTED etc.): keep serving.
-                std::thread::sleep(Duration::from_millis(5));
-            }
-        }
-    }
-    // Drain: queued connections still get answers, then workers exit.
-    pool.shutdown();
-}
-
 /// RAII accounting for one request: increments `in_flight` on construction
 /// and — on drop, which runs even while a route handler's panic unwinds
 /// toward the pool's `catch_unwind` — records the response (status class +
@@ -376,17 +413,22 @@ fn accept_loop(
 /// record, and emits sampled spans. A panicking route therefore cannot
 /// leak an in-flight count or skip its latency sample; it reports as the
 /// default 500.
-struct RequestGuard<'a> {
-    state: &'a AppState,
-    trace: RequestTrace,
-    target: String,
-    endpoint: &'static str,
-    status: u16,
-    cache_state: Option<&'static str>,
+///
+/// The guard owns an `Arc<AppState>` so it can travel with the request:
+/// created on the reactor thread, carried into a worker for cold computes,
+/// and dropped back on the reactor after the response bytes flush — the
+/// latency sample covers the full first-byte-to-last-byte span.
+pub(crate) struct RequestGuard {
+    pub(crate) state: Arc<AppState>,
+    pub(crate) trace: RequestTrace,
+    pub(crate) target: String,
+    pub(crate) endpoint: &'static str,
+    pub(crate) status: u16,
+    pub(crate) cache_state: Option<&'static str>,
 }
 
-impl<'a> RequestGuard<'a> {
-    fn new(state: &'a AppState, trace: RequestTrace) -> RequestGuard<'a> {
+impl RequestGuard {
+    pub(crate) fn new(state: Arc<AppState>, trace: RequestTrace) -> RequestGuard {
         state.metrics.in_flight.add(1);
         RequestGuard {
             state,
@@ -399,7 +441,7 @@ impl<'a> RequestGuard<'a> {
     }
 }
 
-impl Drop for RequestGuard<'_> {
+impl Drop for RequestGuard {
     fn drop(&mut self) {
         let total_us = self.trace.elapsed_us();
         self.state.metrics.record_response(self.status, total_us);
@@ -421,86 +463,10 @@ impl Drop for RequestGuard<'_> {
     }
 }
 
-/// Handle one connection end to end (runs on a worker thread).
-fn handle_connection(state: &Arc<AppState>, mut stream: TcpStream, accepted_at: Instant) {
-    let id = state.next_id.fetch_add(1, Ordering::Relaxed) + 1;
-    let sampled = state.sample_every != 0 && id.is_multiple_of(state.sample_every);
-    let mut trace = RequestTrace::new(id, accepted_at, sampled);
-    trace.add(Stage::Queue, elapsed_us(accepted_at));
-    let mut guard = RequestGuard::new(state, trace);
-    // The stream arrived nonblocking from the nonblocking listener; request
-    // handling wants blocking reads bounded by timeouts.
-    let _ = stream.set_nonblocking(false);
-    if accepted_at.elapsed() > state.deadline {
-        state.metrics.rejected_deadline.inc();
-        let body = query::ApiError {
-            status: 503,
-            code: "deadline_exceeded",
-            message: "request sat in queue past its deadline".to_string(),
-        }
-        .body()
-        .render();
-        guard.endpoint = "rejected_deadline";
-        guard.status = 503;
-        let write_start = Instant::now();
-        let _ = http::write_response(&mut stream, 503, &body, None, "application/json", false);
-        guard.trace.add(Stage::Write, elapsed_us(write_start));
-        return;
-    }
-    let read_start = Instant::now();
-    match http::read_request(&mut stream) {
-        Ok(req) => {
-            guard.trace.add(Stage::Parse, elapsed_us(read_start));
-            guard.target = if req.query.is_empty() {
-                req.path.clone()
-            } else {
-                format!("{}?{}", req.path, req.query)
-            };
-            let head_only = req.method == "HEAD";
-            let routed = routes::dispatch(state, &req, &mut guard.trace);
-            guard.endpoint = routed.endpoint;
-            guard.status = routed.status;
-            guard.cache_state = routed.cache_state;
-            let write_start = Instant::now();
-            let _ = http::write_response(
-                &mut stream,
-                routed.status,
-                &routed.body,
-                routed.cache_state,
-                routed.content_type,
-                head_only,
-            );
-            guard.trace.add(Stage::Write, elapsed_us(write_start));
-        }
-        Err(e) => {
-            guard.trace.add(Stage::Parse, elapsed_us(read_start));
-            guard.target = "<unparsed>".to_string();
-            guard.endpoint = "bad_request";
-            guard.status = e.status;
-            let body = query::ApiError {
-                status: e.status,
-                code: e.code,
-                message: e.message,
-            }
-            .body()
-            .render();
-            let write_start = Instant::now();
-            let _ = http::write_response(
-                &mut stream,
-                e.status,
-                &body,
-                None,
-                "application/json",
-                false,
-            );
-            guard.trace.add(Stage::Write, elapsed_us(write_start));
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use trace::Stage;
 
     /// Build an [`AppState`] without binding a socket, for guard tests.
     fn test_state() -> Arc<AppState> {
@@ -509,8 +475,10 @@ mod tests {
         let metrics = Metrics::new(&registry);
         Arc::new(AppState {
             cache: MemoCache::new(8, 1),
+            bytes: BytesCache::new(8, 1),
             registry,
             metrics,
+            reactor: ReactorStats::default(),
             flight: FlightRecorder::new(8),
             pool: pool.watcher(),
             accel: Accelerator::v100_like(),
@@ -526,7 +494,7 @@ mod tests {
         let state = test_state();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let trace = RequestTrace::new(1, Instant::now(), false);
-            let _guard = RequestGuard::new(&state, trace);
+            let _guard = RequestGuard::new(Arc::clone(&state), trace);
             assert_eq!(state.metrics.in_flight.value(), 1);
             panic!("route exploded");
         }));
@@ -548,7 +516,7 @@ mod tests {
         {
             let mut trace = RequestTrace::new(9, Instant::now(), false);
             trace.add(Stage::Compute, 1234);
-            let mut guard = RequestGuard::new(&state, trace);
+            let mut guard = RequestGuard::new(Arc::clone(&state), trace);
             guard.endpoint = "characterize";
             guard.status = 200;
             guard.cache_state = Some("miss");
@@ -560,5 +528,13 @@ mod tests {
         assert_eq!(records[0].id, 9);
         assert_eq!(records[0].cache_state, Some("miss"));
         assert_eq!(records[0].stages[4], 1234, "compute stage preserved");
+    }
+
+    #[test]
+    fn request_ids_are_monotonic_from_one() {
+        let state = test_state();
+        assert_eq!(state.next_request_id(), 1);
+        assert_eq!(state.next_request_id(), 2);
+        assert_eq!(state.next_request_id(), 3);
     }
 }

@@ -12,6 +12,7 @@
 //! tests boot several servers in one process and assert exact per-server
 //! counts.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 pub use obs::metrics::Histogram;
@@ -101,6 +102,43 @@ impl Metrics {
     /// Per-endpoint request counts, sorted by endpoint label.
     pub fn endpoint_counts(&self) -> Vec<(String, u64)> {
         self.by_endpoint.snapshot()
+    }
+}
+
+/// Reactor-plane instruments: connection accounting, response-bytes-cache
+/// effectiveness, and event-loop health. These live as plain atomics (the
+/// reactor thread bumps them on its hot path; a registry `Counter` handle
+/// would work too, but the atomics keep the reactor free of `Arc` clones
+/// per event) and are registered as `serve_*` callback series by
+/// `register_external_series`, so they render in both `/metrics` and
+/// `/v1/metrics`.
+#[derive(Debug, Default)]
+pub struct ReactorStats {
+    /// Connections currently open (accepted, not yet closed). Gauge.
+    pub connections_open: AtomicU64,
+    /// Responses served on a connection that had already served at least
+    /// one (keep-alive connection reuse).
+    pub keepalive_reuses: AtomicU64,
+    /// Requests answered from the pre-serialized response-bytes cache.
+    pub bytes_cache_hits: AtomicU64,
+    /// Cacheable requests that missed the bytes cache (cold computes).
+    pub bytes_cache_misses: AtomicU64,
+    /// `epoll_wait` returns that delivered at least one event.
+    pub epoll_wakeups: AtomicU64,
+}
+
+impl ReactorStats {
+    /// One connection accepted.
+    pub fn connection_opened(&self) {
+        // Relaxed everywhere in this impl: standalone monotone tallies /
+        // gauges observed only by scrapes; no value is published through
+        // them.
+        self.connections_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One connection closed.
+    pub fn connection_closed(&self) {
+        self.connections_open.fetch_sub(1, Ordering::Relaxed);
     }
 }
 

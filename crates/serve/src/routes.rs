@@ -1072,8 +1072,9 @@ fn healthz_route(
     Ok(Routed::ok(body, "healthz"))
 }
 
-/// `GET /v1/metrics` — request counts, cache effectiveness, latency
-/// quantiles, sweep-engine cache occupancy, and `symath` interner counters.
+/// `GET /v1/metrics` — request counts, cache effectiveness, reactor and
+/// connection stats, latency quantiles, sweep-engine cache occupancy, and
+/// `symath` interner counters.
 fn metrics_route(
     state: &AppState,
     q: &Query,
@@ -1115,6 +1116,34 @@ fn metrics_route(
                 .set("evictions", c.evictions.load(Ordering::Relaxed))
                 .set("failures", c.failures.load(Ordering::Relaxed))
                 .set("hit_rate", state.cache.hit_rate()),
+        )
+        .set(
+            "reactor",
+            Json::obj()
+                .set(
+                    "connections_open",
+                    state.reactor.connections_open.load(Ordering::Relaxed),
+                )
+                .set(
+                    "keepalive_reuses",
+                    state.reactor.keepalive_reuses.load(Ordering::Relaxed),
+                )
+                .set(
+                    "bytes_cache_entries",
+                    u64::try_from(state.bytes.len()).unwrap_or(0),
+                )
+                .set(
+                    "bytes_cache_hits",
+                    state.reactor.bytes_cache_hits.load(Ordering::Relaxed),
+                )
+                .set(
+                    "bytes_cache_misses",
+                    state.reactor.bytes_cache_misses.load(Ordering::Relaxed),
+                )
+                .set(
+                    "epoll_wakeups",
+                    state.reactor.epoll_wakeups.load(Ordering::Relaxed),
+                ),
         )
         .set("pool", Json::obj().set("queue_depth", state.pool.queued()))
         .set(
