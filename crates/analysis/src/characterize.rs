@@ -115,11 +115,9 @@ pub fn sweep_domain(
         .with_arg("points", n_points);
     let subbatch = domain.default_subbatch();
     let configs = modelzoo::sweep_configs(domain, lo_params, hi_params, n_points);
+    let jobs: Vec<(ModelConfig, u64)> = configs.iter().map(|c| (*c, subbatch)).collect();
     let engine = crate::FamilyEngine::global();
-    let mut points: Vec<CharacterizationPoint> = configs
-        .par_iter()
-        .map(|cfg| engine.characterize(cfg, subbatch))
-        .collect();
+    let mut points = engine.characterize_many(&jobs);
     points.sort_by(|a, b| a.params.partial_cmp(&b.params).expect("finite"));
     obs::recorder().counter("analysis.sweep_points", points.len() as f64);
     points
@@ -145,10 +143,7 @@ pub fn sweep_domain_batches(
         .iter()
         .flat_map(|c| subbatches.iter().map(move |&b| (*c, b)))
         .collect();
-    let engine = crate::FamilyEngine::global();
-    jobs.par_iter()
-        .map(|(cfg, b)| engine.characterize(cfg, *b))
-        .collect()
+    crate::FamilyEngine::global().characterize_many(&jobs)
 }
 
 #[cfg(test)]

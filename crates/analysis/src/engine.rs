@@ -39,10 +39,10 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use cgraph::{footprint_with_sizes, InPlacePolicy, InternedGraphStats, Scheduler};
+use cgraph::{footprint_with_plan, FootprintPlan, InPlacePolicy, InternedGraphStats, Scheduler};
 use modelzoo::{ModelConfig, ModelGraph, BATCH_SYM};
 use rayon::prelude::*;
-use symath::{Bindings, ExprId};
+use symath::{batch_program, Bindings, ExprId};
 
 use crate::characterize::CharacterizationPoint;
 use crate::lru::LruCache;
@@ -64,6 +64,9 @@ struct Family {
     /// Per tensor (indexed like `model.graph.tensors()`): which entry of
     /// `uniq_elems` counts its elements, and its element size in bytes.
     elem_slot: Vec<(u32, u64)>,
+    /// Size-independent footprint extraction of the family graph: built once,
+    /// priced against every configuration's size table.
+    plan: FootprintPlan,
 }
 
 /// One configuration: the family expressions with the width substituted,
@@ -133,11 +136,13 @@ impl FamilyEngine {
                 (slot, t.dtype.size_bytes())
             })
             .collect();
+        let plan = obs::time("engine.family_plan", || FootprintPlan::new(&model.graph));
         let family = Arc::new(Family {
             model,
             stats,
             uniq_elems,
             elem_slot,
+            plan,
         });
         Arc::clone(
             self.families
@@ -148,12 +153,17 @@ impl FamilyEngine {
         )
     }
 
-    fn instance(&self, cfg: &ModelConfig) -> Arc<Instance> {
-        let widths = cfg.family_widths();
+    fn instance_key(cfg: &ModelConfig) -> String {
         let mut key = cfg.family_key();
-        for (sym, v) in widths.iter() {
+        for (sym, v) in cfg.family_widths().iter() {
             key.push_str(&format!(";{sym}={v}"));
         }
+        key
+    }
+
+    fn instance(&self, cfg: &ModelConfig) -> Arc<Instance> {
+        let widths = cfg.family_widths();
+        let key = FamilyEngine::instance_key(cfg);
         if let Some(hit) = self.instances.lock().expect("poisoned").get(&key) {
             return hit;
         }
@@ -198,8 +208,8 @@ impl FamilyEngine {
             .iter()
             .map(|&(slot, db)| uniq[slot as usize] * db)
             .collect();
-        let fp = footprint_with_sizes(
-            &inst.family.model.graph,
+        let fp = footprint_with_plan(
+            &inst.family.plan,
             &sizes,
             Scheduler::Best,
             InPlacePolicy::Never,
@@ -216,14 +226,127 @@ impl FamilyEngine {
         }
     }
 
-    /// Characterize a batch of `(configuration, subbatch)` points, with
-    /// per-configuration instantiation parallelized over the rayon pool.
-    /// Output order matches input order (the shim's `par_iter` collect is
-    /// order-preserving), so results are deterministic.
+    /// Price one instance at several subbatch sizes through the batched
+    /// register VM: one grid evaluation covers the three stats roots and
+    /// every distinct element-count expression across all points (shared
+    /// sub-expressions computed once per point, not once per root), then one
+    /// footprint simulation per point against the cached family plan.
+    ///
+    /// Bit-identical to calling [`characterize`](FamilyEngine::characterize)
+    /// per subbatch: the batched VM replays each root's stack program
+    /// per-point in the same f64 operation order, and the element rounding
+    /// below mirrors [`ExprId::eval_u64`].
+    fn characterize_instance(
+        &self,
+        inst: &Instance,
+        subbatches: &[u64],
+    ) -> Vec<CharacterizationPoint> {
+        if subbatches.is_empty() {
+            return Vec::new();
+        }
+        let mut roots = Vec::with_capacity(3 + inst.uniq_elems.len());
+        roots.push(inst.stats.params);
+        roots.push(inst.stats.flops);
+        roots.push(inst.stats.bytes);
+        roots.extend_from_slice(&inst.uniq_elems);
+        let prog = batch_program(&roots);
+        let points: Vec<Bindings> = subbatches
+            .iter()
+            .map(|&b| Bindings::new().with(BATCH_SYM, b as f64))
+            .collect();
+        let grid = prog.eval_grid(&points).expect("grid is non-empty");
+        let val =
+            |root: usize, p: usize| -> f64 { *grid[root][p].as_ref().expect("all symbols bound") };
+        // `ExprId::eval_u64`'s rounding, applied to the batched value.
+        let as_u64 = |v: f64| -> u64 {
+            assert!(
+                v.is_finite() && v >= -0.5,
+                "expression evaluated to non-representable u64: {v}"
+            );
+            v.round().max(0.0) as u64
+        };
+        subbatches
+            .iter()
+            .enumerate()
+            .map(|(p, &subbatch)| {
+                let params = val(0, p);
+                let flops = val(1, p);
+                let bytes = val(2, p);
+                let uniq: Vec<u64> = (0..inst.uniq_elems.len())
+                    .map(|j| as_u64(val(3 + j, p)))
+                    .collect();
+                let sizes: Vec<u64> = inst
+                    .family
+                    .elem_slot
+                    .iter()
+                    .map(|&(slot, db)| uniq[slot as usize] * db)
+                    .collect();
+                let fp = footprint_with_plan(
+                    &inst.family.plan,
+                    &sizes,
+                    Scheduler::Best,
+                    InPlacePolicy::Never,
+                );
+                CharacterizationPoint {
+                    params,
+                    subbatch,
+                    flops_per_step: flops,
+                    flops_per_sample: flops / subbatch as f64,
+                    bytes_per_step: bytes,
+                    op_intensity: flops / bytes,
+                    footprint_bytes: fp.peak_bytes as f64,
+                    seq_len: inst.family.model.seq_len,
+                }
+            })
+            .collect()
+    }
+
+    /// Characterize a batch of `(configuration, subbatch)` points. Jobs that
+    /// share a configuration are grouped onto one instance and priced in a
+    /// single batched-VM grid evaluation ([`characterize_instance`]); groups
+    /// run on the rayon pool. Output order matches input order, so results
+    /// are deterministic — and bit-identical to calling
+    /// [`characterize`](FamilyEngine::characterize) per job.
+    ///
+    /// [`characterize_instance`]: FamilyEngine::characterize_instance
     pub fn characterize_many(&self, jobs: &[(ModelConfig, u64)]) -> Vec<CharacterizationPoint> {
+        // One instance plus its (input index, subbatch) rows.
+        type Group = (Arc<Instance>, Vec<(usize, u64)>);
         let _span = obs::span("analysis.characterize_many").with_arg("jobs", jobs.len() as u64);
-        jobs.par_iter()
-            .map(|(cfg, b)| self.characterize(cfg, *b))
+        let mut order: Vec<String> = Vec::new();
+        let mut groups: HashMap<String, Group> = HashMap::new();
+        for (i, (cfg, b)) in jobs.iter().enumerate() {
+            let key = FamilyEngine::instance_key(cfg);
+            let entry = match groups.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    order.push(e.key().clone());
+                    e.insert((self.instance(cfg), Vec::new()))
+                }
+            };
+            entry.1.push((i, *b));
+        }
+        let grouped: Vec<Group> = order
+            .iter()
+            .map(|k| groups.remove(k).expect("grouped by key"))
+            .collect();
+        obs::recorder().counter("analysis.batch_groups", grouped.len() as f64);
+        let mut out: Vec<Option<CharacterizationPoint>> = vec![None; jobs.len()];
+        let results: Vec<Vec<(usize, CharacterizationPoint)>> = grouped
+            .par_iter()
+            .map(|(inst, rows)| {
+                let subbatches: Vec<u64> = rows.iter().map(|&(_, b)| b).collect();
+                rows.iter()
+                    .map(|&(i, _)| i)
+                    .zip(self.characterize_instance(inst, &subbatches))
+                    .collect()
+            })
+            .collect();
+        for (i, p) in results.into_iter().flatten() {
+            out[i] = Some(p);
+        }
+        out.into_iter()
+            .map(|p| p.expect("every job priced"))
             .collect()
     }
 

@@ -40,7 +40,7 @@ use modelzoo::{
 use rayon::prelude::*;
 use roofline::{roofline_time, Accelerator, Bound};
 use serde::{Deserialize, Serialize};
-use symath::{Bindings, Expr, ExprId};
+use symath::{batch_program, Bindings, Expr, ExprId};
 
 use crate::engine::DEFAULT_INSTANCE_CAPACITY;
 use crate::lru::LruCache;
@@ -322,9 +322,72 @@ impl InferEngine {
         }
     }
 
-    /// Characterize a `(batch, context)` grid at one prompt length, with
-    /// instantiation parallelized over the rayon pool. Output order matches
-    /// input order, so results are deterministic.
+    /// Price one instance at several batch sizes through the batched
+    /// register VM: the six closed forms an [`InferPoint`] reads evaluate
+    /// across all batches in one grid pass. Bit-identical to
+    /// [`characterize`](InferEngine::characterize) per batch — same per-root
+    /// f64 operation order, and the intensity ratios divide the same values.
+    fn characterize_instance(
+        &self,
+        inst: &InferInstance,
+        prompt: u64,
+        context: u64,
+        batches: &[u64],
+    ) -> Vec<InferPoint> {
+        if batches.is_empty() {
+            return Vec::new();
+        }
+        let roots = [
+            inst.decode.params,
+            inst.prefill.flops,
+            inst.prefill.bytes,
+            inst.decode.flops,
+            inst.decode.bytes,
+            inst.kv,
+        ];
+        let prog = batch_program(&roots);
+        let points: Vec<Bindings> = batches
+            .iter()
+            .map(|&b| Bindings::new().with(BATCH_SYM, b as f64))
+            .collect();
+        let grid = prog.eval_grid(&points).expect("grid is non-empty");
+        let val =
+            |root: usize, p: usize| -> f64 { *grid[root][p].as_ref().expect("all symbols bound") };
+        batches
+            .iter()
+            .enumerate()
+            .map(|(p, &batch)| {
+                let params = val(0, p);
+                let prefill_flops = val(1, p);
+                let prefill_bytes = val(2, p);
+                let decode_flops = val(3, p);
+                let decode_bytes = val(4, p);
+                InferPoint {
+                    batch,
+                    prompt,
+                    context,
+                    params,
+                    weight_bytes: 4.0 * params,
+                    kv_cache_bytes: val(5, p),
+                    prefill_flops,
+                    prefill_bytes,
+                    prefill_intensity: prefill_flops / prefill_bytes,
+                    decode_flops,
+                    decode_bytes,
+                    decode_intensity: decode_flops / decode_bytes,
+                }
+            })
+            .collect()
+    }
+
+    /// Characterize a `(batch, context)` grid at one prompt length. Rows
+    /// sharing a context share an instance and are priced in one batched-VM
+    /// pass ([`characterize_instance`]); contexts run on the rayon pool.
+    /// Output order matches input order, so results are deterministic — and
+    /// bit-identical to calling [`characterize`](InferEngine::characterize)
+    /// per row.
+    ///
+    /// [`characterize_instance`]: InferEngine::characterize_instance
     pub fn characterize_grid(
         &self,
         cfg: &InferConfig,
@@ -332,8 +395,36 @@ impl InferEngine {
         grid: &[(u64, u64)],
     ) -> Vec<InferPoint> {
         let _span = obs::span("analysis.characterize_infer_grid").with_arg("jobs", grid.len());
-        grid.par_iter()
-            .map(|&(b, ctx)| self.characterize(cfg, b, prompt, ctx))
+        let mut order: Vec<u64> = Vec::new();
+        let mut groups: HashMap<u64, Vec<(usize, u64)>> = HashMap::new();
+        for (i, &(b, ctx)) in grid.iter().enumerate() {
+            let rows = groups.entry(ctx).or_insert_with(|| {
+                order.push(ctx);
+                Vec::new()
+            });
+            rows.push((i, b));
+        }
+        let grouped: Vec<(u64, Vec<(usize, u64)>)> = order
+            .iter()
+            .map(|ctx| (*ctx, groups.remove(ctx).expect("grouped by context")))
+            .collect();
+        let mut out: Vec<Option<InferPoint>> = vec![None; grid.len()];
+        let results: Vec<Vec<(usize, InferPoint)>> = grouped
+            .par_iter()
+            .map(|(ctx, rows)| {
+                let inst = self.instance(cfg, prompt, *ctx);
+                let batches: Vec<u64> = rows.iter().map(|&(_, b)| b).collect();
+                rows.iter()
+                    .map(|&(i, _)| i)
+                    .zip(self.characterize_instance(&inst, prompt, *ctx, &batches))
+                    .collect()
+            })
+            .collect();
+        for (i, p) in results.into_iter().flatten() {
+            out[i] = Some(p);
+        }
+        out.into_iter()
+            .map(|p| p.expect("every row priced"))
             .collect()
     }
 

@@ -115,6 +115,52 @@ fn compiled_eval_bit_identical_across_all_family_expressions() {
 }
 
 #[test]
+fn batched_grid_eval_bit_identical_across_family_stats() {
+    // The nine width-bound stats roots of every family, priced over a
+    // subbatch grid (with a duplicate point) in one batched register-VM
+    // pass, against the tree walk per (root, point).
+    for domain in Domain::ALL {
+        let cfg = small(domain);
+        let fam = cfg.build_family_training();
+        let bound = fam.graph.stats_interned().bind_all(&cfg.family_widths());
+        let ids = stats_ids(&bound);
+        let roots: Vec<ExprId> = ids.iter().map(|&(_, id)| id).collect();
+        let prog = symath::batch_program(&roots);
+        // A zero-width grid is a structured error, not a panic or an empty
+        // table silently mistaken for success.
+        assert!(matches!(
+            prog.eval_grid(&[]),
+            Err(symath::BatchError::EmptyGrid)
+        ));
+        let points: Vec<Bindings> = [1u64, 7, 32, 7]
+            .iter()
+            .map(|&b| Bindings::new().with(modelzoo::BATCH_SYM, b as f64))
+            .collect();
+        let grid = prog.eval_grid(&points).expect("non-empty grid");
+        for (r, (what, id)) in ids.iter().enumerate() {
+            for (p, env) in points.iter().enumerate() {
+                let tree = id
+                    .expr()
+                    .eval(env)
+                    .unwrap_or_else(|e| panic!("{domain:?}/{what}: tree eval failed: {e}"));
+                let batched = *grid[r][p]
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("{domain:?}/{what}: batched eval failed: {e}"));
+                assert_eq!(
+                    batched.to_bits(),
+                    tree.to_bits(),
+                    "{domain:?}/{what} point {p}: batched {batched:e} != tree {tree:e}"
+                );
+            }
+        }
+        // The duplicated subbatch must get a bitwise-duplicated column.
+        for (r, (what, _)) in ids.iter().enumerate() {
+            assert_eq!(grid[r][1], grid[r][3], "{domain:?}/{what} duplicate point");
+        }
+    }
+}
+
+#[test]
 fn engine_points_match_brute_characterization_exactly() {
     // End-to-end: the engine's compiled path must reproduce the direct
     // per-config pipeline bit for bit (same fields the golden sweep pins).

@@ -33,6 +33,13 @@ fn assert_bit_identical(cfg: &ModelConfig, subbatch: u64, engine: &FamilyEngine)
         brute, fast,
         "symbolic point diverges from brute force for {cfg:?} at subbatch {subbatch}"
     );
+    // The same point through the batched register VM: a one-job grid is the
+    // degenerate batch, and it must reproduce the per-point path exactly.
+    let batched = engine.characterize_many(&[(*cfg, subbatch)]);
+    assert_eq!(
+        brute, batched[0],
+        "batched point diverges from brute force for {cfg:?} at subbatch {subbatch}"
+    );
 }
 
 #[test]
@@ -83,6 +90,34 @@ fn golden_wordlm_variants() {
     for cfg in variants {
         assert_bit_identical(&ModelConfig::WordLm(cfg), 32, &engine);
     }
+}
+
+#[test]
+fn batched_grids_scatter_to_input_order() {
+    // Mixed domains, mixed subbatches, and verbatim duplicate jobs: the
+    // batched path groups per configuration, prices each group in one grid
+    // evaluation, and must scatter results back in input order.
+    let engine = FamilyEngine::new();
+    let mut jobs: Vec<(ModelConfig, u64)> = Vec::new();
+    for domain in [Domain::WordLm, Domain::Nmt] {
+        for target in [1_000_000u64, 4_000_000] {
+            let cfg = seed(domain).with_target_params(target);
+            for subbatch in [1u64, 16] {
+                jobs.push((cfg, subbatch));
+            }
+        }
+    }
+    jobs.push(jobs[1]); // duplicate grid points share work, not results
+    jobs.push(jobs[0]);
+    let batch = engine.characterize_many(&jobs);
+    assert_eq!(batch.len(), jobs.len());
+    for (job, point) in jobs.iter().zip(&batch) {
+        assert_eq!(*point, engine.characterize(&job.0, job.1));
+    }
+    assert_eq!(batch[batch.len() - 2], batch[1]);
+    assert_eq!(batch[batch.len() - 1], batch[0]);
+    // An empty job list degenerates to an empty answer, not an error.
+    assert!(engine.characterize_many(&[]).is_empty());
 }
 
 proptest! {

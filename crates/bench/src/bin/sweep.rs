@@ -1,11 +1,11 @@
 //! `sweep` — timing gate for the symbolic sweep engine.
 //!
 //! ```text
-//! sweep [--points N] [--summary PATH] [--min-speedup X]
+//! sweep [--points N] [--summary PATH] [--min-speedup X] [--min-batched-speedup X]
 //! ```
 //!
 //! Runs the full Figure 7–10 characterization grid (all five domains, a
-//! log-spaced model-size sweep at each domain's default subbatch) three
+//! log-spaced model-size sweep at each domain's default subbatch) four
 //! ways and checks that each produces **bit-identical** points:
 //!
 //! * **brute** — per point: rebuild the training graph, per-op unfolded
@@ -15,11 +15,20 @@
 //!   classes in `stats()` and use the incremental greedy scheduler
 //!   (today's [`analysis::characterize`]);
 //! * **symbolic** — one width-symbolic family build per domain via a cold
-//!   [`analysis::FamilyEngine`], then exact substitution per point.
+//!   [`analysis::FamilyEngine`], then exact substitution per point with
+//!   per-point stack-VM evaluation;
+//! * **batched** — re-price the whole grid on the now-warm engine through
+//!   [`FamilyEngine::characterize_many`]: closed forms evaluated by the
+//!   batched register VM, footprints priced against the cached family
+//!   plans. This is the steady state of a server answering repeated
+//!   sweeps; best of three repetitions, since at this scale single-core
+//!   scheduling noise rivals the pass itself.
 //!
-//! All three passes run single-threaded so the timings compare algorithms,
-//! not rayon scheduling. Exits nonzero on any equivalence mismatch or when
-//! symbolic speedup over brute falls below `--min-speedup` (default 10).
+//! All passes run single-threaded so the timings compare algorithms,
+//! not rayon scheduling. Exits nonzero on any equivalence mismatch, when
+//! symbolic speedup over brute falls below `--min-speedup` (default 10), or
+//! when the batched pass's speedup over the per-point symbolic pass falls
+//! below `--min-batched-speedup` (default 2).
 //! `--summary PATH` writes the numbers as JSON (see `BENCH_sweep.json`).
 
 use std::process::ExitCode;
@@ -31,10 +40,12 @@ use modelzoo::{Domain, ModelConfig};
 use serve::flags::Flags;
 use serve::json::Json;
 
-const USAGE: &str = "usage: sweep [--points N] [--summary PATH] [--min-speedup X]
-  --points       sweep points per domain (default 9)
-  --summary      write a JSON summary to this path
-  --min-speedup  fail if symbolic/brute falls below this (default 10)";
+const USAGE: &str =
+    "usage: sweep [--points N] [--summary PATH] [--min-speedup X] [--min-batched-speedup X]
+  --points               sweep points per domain (default 9)
+  --summary              write a JSON summary to this path
+  --min-speedup          fail if symbolic/brute falls below this (default 10)
+  --min-batched-speedup  fail if batched/symbolic falls below this (default 2)";
 
 /// The Figure 7–10 model-size range swept per domain.
 const LO_PARAMS: u64 = 1_000_000;
@@ -70,6 +81,7 @@ struct DomainRun {
     brute_ms: f64,
     folded_ms: f64,
     symbolic_ms: f64,
+    batched_ms: f64,
     identical: bool,
 }
 
@@ -103,13 +115,30 @@ fn run_domain(domain: Domain, n_points: usize) -> DomainRun {
             .map(|cfg| engine.characterize(cfg, subbatch))
             .collect::<Vec<_>>()
     });
+    // Warm batched re-price: the families and instances are cached now, so
+    // this times the batched register VM plus the plan-driven footprint
+    // simulation. Best of three repetitions.
+    let jobs: Vec<(ModelConfig, u64)> = configs.iter().map(|c| (*c, subbatch)).collect();
+    let mut batched = Vec::new();
+    let mut batched_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let (pts, ms) = time_pass(|| engine.characterize_many(&jobs));
+        batched_ms = batched_ms.min(ms);
+        batched = pts;
+    }
 
-    let identical = brute == folded && folded == symbolic;
+    let identical = brute == folded && folded == symbolic && symbolic == batched;
     if !identical {
-        for (i, ((b, f), s)) in brute.iter().zip(&folded).zip(&symbolic).enumerate() {
-            if b != f || f != s {
+        for (i, (((b, f), s), v)) in brute
+            .iter()
+            .zip(&folded)
+            .zip(&symbolic)
+            .zip(&batched)
+            .enumerate()
+        {
+            if b != f || f != s || s != v {
                 eprintln!(
-                    "sweep: {} point {i} diverges:\n  brute    {b:?}\n  folded   {f:?}\n  symbolic {s:?}",
+                    "sweep: {} point {i} diverges:\n  brute    {b:?}\n  folded   {f:?}\n  symbolic {s:?}\n  batched  {v:?}",
                     domain.key()
                 );
             }
@@ -121,6 +150,7 @@ fn run_domain(domain: Domain, n_points: usize) -> DomainRun {
         brute_ms,
         folded_ms,
         symbolic_ms,
+        batched_ms,
         identical,
     }
 }
@@ -131,15 +161,22 @@ fn main() -> ExitCode {
         println!("{USAGE}");
         return ExitCode::SUCCESS;
     }
-    let parsed = (|| -> Result<(usize, Option<String>, f64), String> {
-        flags.check_known(&["--points", "--summary", "--min-speedup", "--help"])?;
+    let parsed = (|| -> Result<(usize, Option<String>, f64, f64), String> {
+        flags.check_known(&[
+            "--points",
+            "--summary",
+            "--min-speedup",
+            "--min-batched-speedup",
+            "--help",
+        ])?;
         Ok((
             flags.get_or("--points", 9usize)?,
             flags.get::<String>("--summary")?,
             flags.get_or("--min-speedup", 10.0f64)?,
+            flags.get_or("--min-batched-speedup", 2.0f64)?,
         ))
     })();
-    let (n_points, summary_path, min_speedup) = match parsed {
+    let (n_points, summary_path, min_speedup, min_batched) = match parsed {
         Ok(p) => p,
         Err(e) => {
             eprintln!("sweep: {e}\n{USAGE}");
@@ -161,6 +198,7 @@ fn main() -> ExitCode {
         "brute ms",
         "folded ms",
         "symbolic ms",
+        "batched ms",
         "speedup",
         "identical",
     ]);
@@ -171,6 +209,7 @@ fn main() -> ExitCode {
             format!("{:.1}", r.brute_ms),
             format!("{:.1}", r.folded_ms),
             format!("{:.1}", r.symbolic_ms),
+            format!("{:.1}", r.batched_ms),
             bench::times(r.brute_ms / r.symbolic_ms),
             r.identical.to_string(),
         ]);
@@ -180,12 +219,16 @@ fn main() -> ExitCode {
     let brute_total: f64 = runs.iter().map(|r| r.brute_ms).sum();
     let folded_total: f64 = runs.iter().map(|r| r.folded_ms).sum();
     let symbolic_total: f64 = runs.iter().map(|r| r.symbolic_ms).sum();
+    let batched_total: f64 = runs.iter().map(|r| r.batched_ms).sum();
     let speedup = brute_total / symbolic_total;
+    let batched_speedup = symbolic_total / batched_total;
     let all_identical = runs.iter().all(|r| r.identical);
     println!(
         "total: brute {brute_total:.1} ms  folded {folded_total:.1} ms  \
-         symbolic {symbolic_total:.1} ms  speedup {}",
-        bench::times(speedup)
+         symbolic {symbolic_total:.1} ms  batched {batched_total:.1} ms  \
+         speedup {}  batched-vs-symbolic {}",
+        bench::times(speedup),
+        bench::times(batched_speedup)
     );
 
     if let Some(path) = summary_path {
@@ -198,7 +241,9 @@ fn main() -> ExitCode {
                     .set("brute_ms", r.brute_ms)
                     .set("folded_ms", r.folded_ms)
                     .set("symbolic_ms", r.symbolic_ms)
+                    .set("batched_ms", r.batched_ms)
                     .set("speedup_vs_brute", r.brute_ms / r.symbolic_ms)
+                    .set("speedup_batched_vs_symbolic", r.symbolic_ms / r.batched_ms)
                     .set("bit_identical", r.identical)
             })
             .collect();
@@ -209,9 +254,12 @@ fn main() -> ExitCode {
             .set("brute_ms", brute_total)
             .set("folded_ms", folded_total)
             .set("symbolic_ms", symbolic_total)
+            .set("symbolic_batched_ms", batched_total)
             .set("speedup_symbolic_vs_brute", speedup)
             .set("speedup_folded_vs_brute", brute_total / folded_total)
+            .set("speedup_batched_vs_symbolic", batched_speedup)
             .set("min_speedup_required", min_speedup)
+            .set("min_batched_speedup_required", min_batched)
             .set("all_bit_identical", all_identical)
             .set("domains", domains);
         if let Err(e) = std::fs::write(&path, doc.render() + "\n") {
@@ -227,6 +275,13 @@ fn main() -> ExitCode {
     }
     if speedup < min_speedup {
         eprintln!("sweep: FAIL — symbolic speedup {speedup:.1}x below required {min_speedup}x");
+        return ExitCode::FAILURE;
+    }
+    if batched_speedup < min_batched {
+        eprintln!(
+            "sweep: FAIL — batched speedup {batched_speedup:.1}x over per-point symbolic \
+             below required {min_batched}x"
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -2,7 +2,7 @@
 //! layer.
 //!
 //! ```text
-//! symbench [--summary PATH]
+//! symbench [--summary PATH] [--min-eval-speedup X]
 //! ```
 //!
 //! Builds the word-LM and char-LM width-symbolic families (the two with the
@@ -17,16 +17,23 @@
 //! The warm pass is the number that matters: a healthy interner re-answers
 //! a repeated family build with a near-1.0 intern hit rate and near-zero
 //! fresh table growth.
+//!
+//! A third section times **evaluation only**: the nine bound stats roots of
+//! each family priced across a 64-point subbatch grid, once through the
+//! per-point stack VM ([`InternedGraphStats::eval`]) and once through the
+//! batched register VM ([`symath::batch_program`] + `eval_grid`). Both
+//! produce bit-identical values; the section reports the wall-time ratio
+//! and the `symath` batch counters.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use modelzoo::{Domain, ModelConfig};
+use modelzoo::{Domain, ModelConfig, BATCH_SYM};
 use serve::flags::Flags;
 use serve::json::Json;
-use symath::intern_stats;
+use symath::{batch_program, batch_stats, intern_stats, Bindings};
 
 /// Allocation-counting wrapper around the system allocator.
 struct CountingAlloc;
@@ -52,8 +59,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
 
-const USAGE: &str = "usage: symbench [--summary PATH]
-  --summary  write a JSON summary to this path";
+const USAGE: &str = "usage: symbench [--summary PATH] [--min-eval-speedup X]
+  --summary           write a JSON summary to this path
+  --min-eval-speedup  fail unless batched eval beats the stack VM by X (default 1)";
 
 /// The three sweep sizes bound per family (spanning the Figure 7–10 range).
 const TARGETS: [u64; 3] = [1_000_000, 100_000_000, 1_000_000_000];
@@ -129,6 +137,86 @@ fn measure(label: &'static str, domains: &[Domain]) -> Pass {
     }
 }
 
+/// Subbatch grid the eval-only section prices (64 points).
+const EVAL_GRID: std::ops::RangeInclusive<u64> = 1..=64;
+
+/// Repetitions of the eval-only passes (each is microseconds on its own).
+const EVAL_REPS: usize = 200;
+
+struct EvalOnly {
+    roots: usize,
+    grid_points: usize,
+    reps: usize,
+    stack_ms: f64,
+    batched_ms: f64,
+    identical: bool,
+}
+
+/// Price each family's nine bound stats roots across the subbatch grid,
+/// per-point stack VM vs one batched grid evaluation per rep.
+fn eval_only(domains: &[Domain]) -> EvalOnly {
+    let mut stack_ms = 0.0;
+    let mut batched_ms = 0.0;
+    let mut roots_total = 0;
+    let mut identical = true;
+    let points: Vec<Bindings> = EVAL_GRID
+        .map(|b| Bindings::new().with(BATCH_SYM, b as f64))
+        .collect();
+    for &domain in domains {
+        let base = ModelConfig::default_for(domain);
+        let fam = base.build_family_training();
+        let stats = fam.graph.stats_interned();
+        let bound = stats.bind_all(&base.with_target_params(100_000_000).family_widths());
+        let roots = [
+            bound.flops,
+            bound.flops_forward,
+            bound.flops_backward,
+            bound.flops_update,
+            bound.bytes,
+            bound.bytes_read,
+            bound.bytes_written,
+            bound.params,
+            bound.io,
+        ];
+        roots_total += roots.len();
+        // Warm both compile caches so the timings compare evaluation only.
+        let stack_ref: Vec<_> = points.iter().map(|p| bound.eval(p).unwrap()).collect();
+        let prog = batch_program(&roots);
+        let grid = prog.eval_grid(&points).unwrap();
+        for (p, n) in stack_ref.iter().enumerate() {
+            identical &= grid[0][p] == Ok(n.flops) && grid[7][p] == Ok(n.params);
+        }
+
+        let start = Instant::now();
+        let mut sink = 0.0;
+        for _ in 0..EVAL_REPS {
+            for p in &points {
+                let n = bound.eval(p).unwrap();
+                sink += n.flops + n.params;
+            }
+        }
+        stack_ms += start.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(sink);
+
+        let start = Instant::now();
+        let mut sink = 0.0;
+        for _ in 0..EVAL_REPS {
+            let g = prog.eval_grid(&points).unwrap();
+            sink += g[0][0].as_ref().unwrap() + g[7][points.len() - 1].as_ref().unwrap();
+        }
+        batched_ms += start.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(sink);
+    }
+    EvalOnly {
+        roots: roots_total,
+        grid_points: points.len(),
+        reps: EVAL_REPS,
+        stack_ms,
+        batched_ms,
+        identical,
+    }
+}
+
 fn pass_json(p: &Pass) -> Json {
     Json::obj()
         .set("ms", p.ms)
@@ -148,9 +236,12 @@ fn main() -> ExitCode {
         println!("{USAGE}");
         return ExitCode::SUCCESS;
     }
-    let summary_path = match (|| -> Result<Option<String>, String> {
-        flags.check_known(&["--summary", "--help"])?;
-        flags.get::<String>("--summary")
+    let (summary_path, min_eval_speedup) = match (|| -> Result<_, String> {
+        flags.check_known(&["--summary", "--min-eval-speedup", "--help"])?;
+        Ok((
+            flags.get::<String>("--summary")?,
+            flags.get::<f64>("--min-eval-speedup")?.unwrap_or(1.0),
+        ))
     })() {
         Ok(p) => p,
         Err(e) => {
@@ -171,12 +262,46 @@ fn main() -> ExitCode {
         );
     }
 
-    // A warm identical workload must be answered by the caches.
-    let healthy = warm.intern_hit_rate > 0.99 && warm.table_growth == 0;
+    let evals = eval_only(&domains);
+    let eval_speedup = evals.stack_ms / evals.batched_ms;
+    let bstats = batch_stats();
+    println!(
+        "\neval-only ({} roots x {} points x {} reps): stack {:.1} ms  batched {:.1} ms  \
+         speedup {:.1}x  identical {}",
+        evals.roots,
+        evals.grid_points,
+        evals.reps,
+        evals.stack_ms,
+        evals.batched_ms,
+        eval_speedup,
+        evals.identical
+    );
+    println!(
+        "batch VM: {} programs compiled, {} cache hits, {} instrs, {} regs, {} cse reuses, \
+         {} evals over {} points",
+        bstats.programs_compiled,
+        bstats.program_cache_hits,
+        bstats.instructions,
+        bstats.registers,
+        bstats.cse_reuses,
+        bstats.evals,
+        bstats.points
+    );
+
+    // A warm identical workload must be answered by the caches, the batched
+    // VM must agree with the stack VM bit-for-bit, and — under
+    // `--min-eval-speedup` — the batched grid evaluation must beat the
+    // per-point stack VM by the required factor.
+    let healthy = warm.intern_hit_rate > 0.99
+        && warm.table_growth == 0
+        && evals.identical
+        && eval_speedup >= min_eval_speedup;
     if !healthy {
         eprintln!(
-            "symbench: FAIL — warm pass missed the caches (intern hit rate {:.3}, table growth {})",
-            warm.intern_hit_rate, warm.table_growth
+            "symbench: FAIL — warm pass missed the caches (intern hit rate {:.3}, table growth {}), \
+             batched VM diverged (identical {}), or batched eval speedup {:.1}x fell below the \
+             required {:.1}x",
+            warm.intern_hit_rate, warm.table_growth, evals.identical, eval_speedup, min_eval_speedup
         );
     }
 
@@ -190,6 +315,29 @@ fn main() -> ExitCode {
             .set("cold", pass_json(&cold))
             .set("warm", pass_json(&warm))
             .set("warm_cache_healthy", healthy)
+            .set(
+                "eval_only",
+                Json::obj()
+                    .set("roots", evals.roots)
+                    .set("grid_points", evals.grid_points)
+                    .set("reps", evals.reps)
+                    .set("stack_ms", evals.stack_ms)
+                    .set("batched_ms", evals.batched_ms)
+                    .set("speedup_batched_vs_stack", eval_speedup)
+                    .set("min_speedup_required", min_eval_speedup)
+                    .set("bit_identical", evals.identical),
+            )
+            .set(
+                "batch_vm",
+                Json::obj()
+                    .set("programs_compiled", bstats.programs_compiled)
+                    .set("program_cache_hits", bstats.program_cache_hits)
+                    .set("instructions", bstats.instructions)
+                    .set("registers", bstats.registers)
+                    .set("cse_reuses", bstats.cse_reuses)
+                    .set("evals", bstats.evals)
+                    .set("points", bstats.points),
+            )
             .set("table_len", total.table_len)
             .set("programs_compiled", total.programs_compiled);
         if let Err(e) = std::fs::write(&path, doc.render() + "\n") {

@@ -268,6 +268,258 @@ impl<'g> Sim<'g> {
     }
 }
 
+/// A graph compiled once into flat, size-independent adjacency tables for
+/// footprint simulation.
+///
+/// The simulation itself only ever needs operand/consumer index lists and a
+/// few per-tensor flags, but walking them through [`Graph`] costs a pointer
+/// chase into large `Tensor`/`Op` structs (symbolic shapes, names) per
+/// access — cache-hostile at sweep scale, where the same family graph is
+/// re-simulated at every grid point with nothing changing but the size
+/// table. A `FootprintPlan` extracts the traversal structure once into
+/// packed CSR arrays; [`footprint_with_plan`] then prices any number of
+/// size vectors against it with tight index arithmetic. Results are
+/// identical to simulating the graph directly (the plan is a lossless
+/// projection of what the simulation reads — asserted against
+/// [`footprint_reference`], which still walks the real graph).
+#[derive(Clone, Debug)]
+pub struct FootprintPlan {
+    name: String,
+    /// CSR: input tensor indices per op (occurrences preserved).
+    in_off: Vec<u32>,
+    in_ids: Vec<u32>,
+    /// CSR: output tensor indices per op.
+    out_off: Vec<u32>,
+    out_ids: Vec<u32>,
+    /// CSR: consumer op indices per tensor (one entry per consuming edge).
+    cons_off: Vec<u32>,
+    cons_ids: Vec<u32>,
+    /// Tensor lives for the whole step (weights, optimizer state).
+    persistent: Vec<bool>,
+    /// Tensor has no producer op (graph input / weight): live from start.
+    source: Vec<bool>,
+    /// Producer-backed input occurrences per op (initial dependency count).
+    init_deps: Vec<u32>,
+    /// Op is single-output and of an in-place-eligible kind.
+    in_place_ok: Vec<bool>,
+}
+
+impl FootprintPlan {
+    /// Extract the traversal structure of `graph`.
+    pub fn new(graph: &Graph) -> FootprintPlan {
+        let tensors = graph.tensors();
+        let ops = graph.ops();
+        let mut plan = FootprintPlan {
+            name: graph.name.clone(),
+            in_off: Vec::with_capacity(ops.len() + 1),
+            in_ids: Vec::new(),
+            out_off: Vec::with_capacity(ops.len() + 1),
+            out_ids: Vec::new(),
+            cons_off: Vec::with_capacity(tensors.len() + 1),
+            cons_ids: Vec::new(),
+            persistent: tensors.iter().map(|t| t.kind.is_persistent()).collect(),
+            source: tensors
+                .iter()
+                .map(|t| graph.producer(t.id()).is_none())
+                .collect(),
+            init_deps: Vec::with_capacity(ops.len()),
+            in_place_ok: Vec::with_capacity(ops.len()),
+        };
+        for op in ops {
+            plan.in_off.push(plan.in_ids.len() as u32);
+            plan.out_off.push(plan.out_ids.len() as u32);
+            plan.in_ids
+                .extend(op.inputs.iter().map(|i| i.index() as u32));
+            plan.out_ids
+                .extend(op.outputs.iter().map(|o| o.index() as u32));
+            plan.init_deps.push(
+                op.inputs
+                    .iter()
+                    .filter(|&&i| graph.producer(i).is_some())
+                    .count() as u32,
+            );
+            plan.in_place_ok
+                .push(op.outputs.len() == 1 && in_place_eligible(&op.kind));
+        }
+        plan.in_off.push(plan.in_ids.len() as u32);
+        plan.out_off.push(plan.out_ids.len() as u32);
+        for t in tensors {
+            plan.cons_off.push(plan.cons_ids.len() as u32);
+            plan.cons_ids
+                .extend(graph.consumers(t.id()).iter().map(|c| c.index() as u32));
+        }
+        plan.cons_off.push(plan.cons_ids.len() as u32);
+        plan
+    }
+
+    /// Number of ops in the planned graph.
+    pub fn ops(&self) -> usize {
+        self.in_off.len() - 1
+    }
+
+    /// Number of tensors in the planned graph (the expected size-table
+    /// length).
+    pub fn tensors(&self) -> usize {
+        self.cons_off.len() - 1
+    }
+
+    fn inputs(&self, op: usize) -> &[u32] {
+        &self.in_ids[self.in_off[op] as usize..self.in_off[op + 1] as usize]
+    }
+
+    fn outputs(&self, op: usize) -> &[u32] {
+        &self.out_ids[self.out_off[op] as usize..self.out_off[op + 1] as usize]
+    }
+
+    fn consumers(&self, t: usize) -> &[u32] {
+        &self.cons_ids[self.cons_off[t] as usize..self.cons_off[t + 1] as usize]
+    }
+}
+
+/// [`Sim`] over a [`FootprintPlan`]: the same simulation semantics,
+/// statement for statement, but reading packed index tables instead of graph
+/// structs.
+struct PlanSim<'p> {
+    plan: &'p FootprintPlan,
+    size: &'p [u64],
+    refcount: Vec<u32>,
+    live: Vec<bool>,
+    mem: u64,
+    peak: u64,
+    in_place: InPlacePolicy,
+}
+
+impl<'p> PlanSim<'p> {
+    fn new(plan: &'p FootprintPlan, size: &'p [u64], in_place: InPlacePolicy) -> PlanSim<'p> {
+        let n = plan.tensors();
+        debug_assert_eq!(size.len(), n);
+        let refcount: Vec<u32> = (0..n)
+            .map(|t| plan.cons_off[t + 1] - plan.cons_off[t])
+            .collect();
+        let mut sim = PlanSim {
+            plan,
+            size,
+            refcount,
+            live: vec![false; n],
+            mem: 0,
+            peak: 0,
+            in_place,
+        };
+        for t in 0..n {
+            if plan.source[t] {
+                sim.alloc(t);
+            }
+        }
+        sim.peak = sim.mem;
+        sim
+    }
+
+    fn alloc(&mut self, idx: usize) {
+        debug_assert!(!self.live[idx]);
+        self.live[idx] = true;
+        self.mem += self.size[idx];
+    }
+
+    fn free(&mut self, idx: usize) {
+        debug_assert!(self.live[idx]);
+        self.live[idx] = false;
+        self.mem -= self.size[idx];
+    }
+
+    fn runs_in_place(&self, op: usize) -> bool {
+        if self.in_place != InPlacePolicy::Elementwise || !self.plan.in_place_ok[op] {
+            return false;
+        }
+        let out_size = self.size[self.plan.outputs(op)[0] as usize];
+        self.plan.inputs(op).iter().any(|&i| {
+            let idx = i as usize;
+            self.size[idx] == out_size
+                && self.refcount[idx] == 1
+                && self.live[idx]
+                && !self.plan.persistent[idx]
+        })
+    }
+
+    fn alloc_bytes(&self, op: usize) -> u64 {
+        if self.runs_in_place(op) {
+            return 0;
+        }
+        self.plan
+            .outputs(op)
+            .iter()
+            .map(|&o| self.size[o as usize])
+            .sum()
+    }
+
+    fn delta(&self, op: usize) -> i128 {
+        let alloc = self.alloc_bytes(op) as i128;
+        let mut d: i128 = alloc;
+        for &o in self.plan.outputs(op) {
+            let oi = o as usize;
+            if self.plan.consumers(oi).is_empty() && !self.plan.persistent[oi] {
+                d -= self.size[oi] as i128;
+            }
+        }
+        let in_place = self.runs_in_place(op);
+        let mut reused = false;
+        let out_size = self
+            .plan
+            .outputs(op)
+            .first()
+            .map(|&o| self.size[o as usize])
+            .unwrap_or(0);
+        for &i in self.plan.inputs(op) {
+            let idx = i as usize;
+            if self.refcount[idx] == 1 && !self.plan.persistent[idx] && self.live[idx] {
+                if in_place && !reused && self.size[idx] == out_size {
+                    reused = true;
+                    continue;
+                }
+                d -= self.size[idx] as i128;
+            }
+        }
+        d
+    }
+
+    fn run(&mut self, op: usize) {
+        self.peak = self.peak.max(self.mem + self.alloc_bytes(op));
+        let in_place = self.runs_in_place(op);
+        let out_size = self
+            .plan
+            .outputs(op)
+            .first()
+            .map(|&o| self.size[o as usize])
+            .unwrap_or(0);
+        for &o in self.plan.outputs(op) {
+            self.alloc(o as usize);
+        }
+        if in_place {
+            self.mem -= out_size;
+        }
+        let mut reused = false;
+        for &i in self.plan.inputs(op) {
+            let idx = i as usize;
+            debug_assert!(self.refcount[idx] > 0);
+            self.refcount[idx] -= 1;
+            if self.refcount[idx] == 0 && !self.plan.persistent[idx] && self.live[idx] {
+                if in_place && !reused && self.size[idx] == out_size {
+                    reused = true;
+                    self.live[idx] = false;
+                    continue;
+                }
+                self.free(idx);
+            }
+        }
+        for &o in self.plan.outputs(op) {
+            let oi = o as usize;
+            if self.refcount[oi] == 0 && !self.plan.persistent[oi] {
+                self.free(oi);
+            }
+        }
+        self.peak = self.peak.max(self.mem);
+    }
+}
+
 /// Simulate a traversal of `graph` under `bindings` and report the footprint
 /// (conservative: every op allocates fresh outputs).
 pub fn footprint(
@@ -304,42 +556,55 @@ pub fn tensor_sizes(graph: &Graph, bindings: &Bindings) -> Result<Vec<u64>, Unbo
 /// [`footprint_with`] over precomputed tensor sizes (no symbolic
 /// evaluation). `Scheduler::Best` runs both heuristics against the same size
 /// table instead of re-evaluating it.
+///
+/// Builds a throwaway [`FootprintPlan`]; callers pricing many size vectors
+/// against one graph should build the plan once and use
+/// [`footprint_with_plan`].
 pub fn footprint_with_sizes(
     graph: &Graph,
     sizes: &[u64],
     scheduler: Scheduler,
     in_place: InPlacePolicy,
 ) -> FootprintReport {
+    footprint_with_plan(&FootprintPlan::new(graph), sizes, scheduler, in_place)
+}
+
+/// Simulate a traversal of a precompiled plan against one size table.
+/// Identical results to [`footprint_with_sizes`] on the planned graph.
+pub fn footprint_with_plan(
+    plan: &FootprintPlan,
+    sizes: &[u64],
+    scheduler: Scheduler,
+    in_place: InPlacePolicy,
+) -> FootprintReport {
     let _span = obs::span("cgraph.footprint")
-        .with_arg("graph", graph.name.as_str())
+        .with_arg("graph", plan.name.as_str())
         .with_arg("scheduler", format!("{scheduler:?}"))
-        .with_arg("ops", graph.ops().len());
+        .with_arg("ops", plan.ops());
     if scheduler == Scheduler::Best {
-        let program = footprint_with_sizes(graph, sizes, Scheduler::ProgramOrder, in_place);
-        let greedy = footprint_with_sizes(graph, sizes, Scheduler::GreedyMinPeak, in_place);
+        let program = footprint_with_plan(plan, sizes, Scheduler::ProgramOrder, in_place);
+        let greedy = footprint_with_plan(plan, sizes, Scheduler::GreedyMinPeak, in_place);
         return if greedy.peak_bytes <= program.peak_bytes {
             greedy
         } else {
             program
         };
     }
-    let mut sim = Sim::with_sizes(graph, sizes.to_vec(), in_place);
-    let persistent_bytes: u64 = graph
-        .tensors()
-        .iter()
-        .filter(|t| t.kind.is_persistent())
-        .map(|t| sim.size[t.id().index()])
+    let mut sim = PlanSim::new(plan, sizes, in_place);
+    let persistent_bytes: u64 = (0..plan.tensors())
+        .filter(|&t| plan.persistent[t])
+        .map(|t| sizes[t])
         .sum();
 
     let schedule = match scheduler {
         Scheduler::ProgramOrder => {
-            let order: Vec<OpId> = graph.ops().iter().map(|o| o.id()).collect();
-            for &op in &order {
+            let order: Vec<OpId> = (0..plan.ops() as u32).map(OpId).collect();
+            for op in 0..plan.ops() {
                 sim.run(op);
             }
             order
         }
-        Scheduler::GreedyMinPeak => greedy_schedule(graph, &mut sim),
+        Scheduler::GreedyMinPeak => greedy_schedule(plan, &mut sim),
         Scheduler::Best => unreachable!("handled above"),
     };
 
@@ -402,8 +667,8 @@ pub fn footprint_reference(
 /// the same op — and unlike `transient_peak`, this key only changes when the
 /// state of the op's own input tensors changes, making it incrementally
 /// maintainable.
-fn greedy_key(sim: &Sim<'_>, op: OpId) -> (i128, u64, u32) {
-    (sim.delta(op), sim.alloc_bytes(op), op.0)
+fn greedy_key(sim: &PlanSim<'_>, op: usize) -> (i128, u64, u32) {
+    (sim.delta(op), sim.alloc_bytes(op), op as u32)
 }
 
 /// Greedy min-peak traversal with an incrementally maintained ready set.
@@ -415,63 +680,223 @@ fn greedy_key(sim: &Sim<'_>, op: OpId) -> (i128, u64, u32) {
 /// (weights, optimizer state) never satisfy the dying-input or in-place
 /// conditions the key reads, so their high-fanout consumer lists are
 /// skipped, which is what removes the O(ready²) rescan cost.
-fn greedy_schedule(graph: &Graph, sim: &mut Sim<'_>) -> Vec<OpId> {
-    let n_ops = graph.ops().len();
-    // deps[o] = not-yet-executed producer-backed input occurrences.
-    let mut deps = vec![0usize; n_ops];
-    for op in graph.ops() {
-        deps[op.id().index()] = op
-            .inputs
-            .iter()
-            .filter(|&&i| graph.producer(i).is_some())
-            .count();
+///
+/// The ready set is a min-heap with **lazy deletion**: a key refresh pushes
+/// the new key and leaves the old entry in place, and selection pops until
+/// the entry matches the op's current key (`cur_key`), discarding stale
+/// ones. Keys embed the op id, so an entry is current iff it equals
+/// `cur_key[op]` exactly; the minimum *current* entry popped this way is the
+/// same op a `BTreeSet` of current keys would yield, but without paying a
+/// tree rebalance on every refresh.
+///
+/// Under [`InPlacePolicy::Never`] the keys themselves are maintained
+/// **incrementally**: `alloc_bytes` is then state-independent, and `delta`
+/// depends on the simulation only through the dying-input sum — input
+/// tensors with `refcount == 1 && live && !persistent` — so a ready op's key
+/// changes exactly when one of its input tensors toggles that dying state,
+/// and the change is `∓size` on the delta component. Tracking per-tensor
+/// dying flags turns the per-step refresh from "recompute `delta` (a walk
+/// over every operand) for every consumer of every touched tensor" into a
+/// constant-time patch per actually-toggled tensor edge. The `Elementwise`
+/// policy keeps the full recompute: in-place reuse makes `alloc_bytes`
+/// state-dependent too, and that policy is off the sweep hot path.
+///
+/// When every tensor size fits the packed-key bound (see
+/// [`greedy_schedule_packed`]) the incremental path additionally runs with
+/// single-`u128` keys — the common case for every real model grid.
+fn greedy_schedule(plan: &FootprintPlan, sim: &mut PlanSim<'_>) -> Vec<OpId> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let incremental_keys = sim.in_place == InPlacePolicy::Never;
+    if incremental_keys {
+        // Heap compares dominate the greedy pass; if the whole size table
+        // sums below 2^47 bytes (~140 TB — true for any priceable model),
+        // `delta`, `alloc`, and the op id pack exactly into one u128 key.
+        let total: u128 = sim.size.iter().map(|&s| s as u128).sum();
+        if total < PACK_BIAS as u128 {
+            return greedy_schedule_packed(plan, sim);
+        }
     }
-    let mut ready: std::collections::BTreeSet<(i128, u64, u32)> = std::collections::BTreeSet::new();
+    let n_ops = plan.ops();
+    // deps[o] = not-yet-executed producer-backed input occurrences.
+    let mut deps: Vec<u32> = plan.init_deps.clone();
+    // dying[t] = this tensor's storage is released by its final pending
+    // consumer (the state `delta` reads per input occurrence).
+    let mut dying: Vec<bool> = (0..plan.tensors())
+        .map(|i| sim.refcount[i] == 1 && sim.live[i] && !plan.persistent[i])
+        .collect();
+    let mut ready: BinaryHeap<Reverse<(i128, u64, u32)>> = BinaryHeap::with_capacity(n_ops);
     let mut cur_key: Vec<Option<(i128, u64, u32)>> = vec![None; n_ops];
-    for op in graph.ops() {
-        if deps[op.id().index()] == 0 {
-            let k = greedy_key(sim, op.id());
-            ready.insert(k);
-            cur_key[op.id().index()] = Some(k);
+    for op in 0..n_ops {
+        if deps[op] == 0 {
+            let k = greedy_key(sim, op);
+            ready.push(Reverse(k));
+            cur_key[op] = Some(k);
         }
     }
     let mut schedule = Vec::with_capacity(n_ops);
 
-    while let Some(&k) = ready.iter().next() {
-        let op_id = OpId(k.2);
-        ready.remove(&k);
-        cur_key[op_id.index()] = None;
-        sim.run(op_id);
-        schedule.push(op_id);
-        let op = graph.op(op_id);
+    while let Some(Reverse(k)) = ready.pop() {
+        let op = k.2 as usize;
+        if cur_key[op] != Some(k) {
+            continue; // stale entry superseded by a key refresh
+        }
+        cur_key[op] = None;
+        sim.run(op);
+        schedule.push(OpId(k.2));
+        // Refresh ready ops whose key may have changed: consumers of the
+        // tensors whose refcount/liveness this op just touched. Runs before
+        // dependents are unlocked so freshly computed keys (which already
+        // reflect the post-run state) are never patched twice.
+        for &t in plan.inputs(op).iter().chain(plan.outputs(op)) {
+            let ti = t as usize;
+            if plan.persistent[ti] {
+                continue;
+            }
+            if incremental_keys {
+                let now = sim.refcount[ti] == 1 && sim.live[ti];
+                if now == dying[ti] {
+                    continue;
+                }
+                dying[ti] = now;
+                // Dying inputs are subtracted from `delta`; one patch per
+                // consumer edge matches `delta`'s per-occurrence sum.
+                let ds = if now {
+                    -(sim.size[ti] as i128)
+                } else {
+                    sim.size[ti] as i128
+                };
+                for &c in plan.consumers(ti) {
+                    let ci = c as usize;
+                    if let Some(old) = cur_key[ci] {
+                        let new = (old.0 + ds, old.1, old.2);
+                        ready.push(Reverse(new));
+                        cur_key[ci] = Some(new);
+                    }
+                }
+            } else {
+                for &c in plan.consumers(ti) {
+                    let ci = c as usize;
+                    if let Some(old) = cur_key[ci] {
+                        let new = greedy_key(sim, ci);
+                        if new != old {
+                            ready.push(Reverse(new));
+                            cur_key[ci] = Some(new);
+                        }
+                    }
+                }
+            }
+        }
         // Unlock dependents: one decrement per consumer edge matches the
         // per-occurrence count in `deps`.
-        for &out in &op.outputs {
-            for &c in graph.consumers(out) {
-                let ci = c.index();
+        for &out in plan.outputs(op) {
+            for &c in plan.consumers(out as usize) {
+                let ci = c as usize;
                 deps[ci] -= 1;
                 if deps[ci] == 0 {
-                    let k = greedy_key(sim, c);
-                    ready.insert(k);
+                    let k = greedy_key(sim, ci);
+                    ready.push(Reverse(k));
                     cur_key[ci] = Some(k);
                 }
             }
         }
-        // Refresh ready ops whose key may have changed: consumers of the
-        // tensors whose refcount/liveness this op just touched.
-        for &t in op.inputs.iter().chain(op.outputs.iter()) {
-            if sim.persistent(t.index()) {
+    }
+    assert_eq!(
+        schedule.len(),
+        n_ops,
+        "greedy scheduler failed to schedule every op (cycle?)"
+    );
+    schedule
+}
+
+/// Bias making the packed delta field non-negative; also the size-sum bound
+/// under which packing is exact.
+const PACK_BIAS: u64 = 1 << 47;
+
+/// Pack `(delta, alloc, id)` into one `u128`, preserving lexicographic
+/// order: biased delta in bits 127..80 (48 bits), alloc in bits 79..32
+/// (48 bits), op id in bits 31..0. Exact whenever the total size table sums
+/// below [`PACK_BIAS`] bytes, which bounds both `|delta|` and `alloc`.
+fn pack_key(delta: i128, alloc: u64, id: u32) -> u128 {
+    debug_assert!((-(PACK_BIAS as i128)..PACK_BIAS as i128).contains(&delta));
+    debug_assert!(alloc < PACK_BIAS);
+    (((delta + PACK_BIAS as i128) as u128) << 80) | ((alloc as u128) << 32) | id as u128
+}
+
+/// [`greedy_schedule`]'s incremental path with single-`u128` keys.
+///
+/// Same selection order as the tuple path — `pack_key` is a strictly
+/// monotone encoding of `(delta, alloc_bytes, id)` under the caller-checked
+/// size bound — but heap sift compares are one wide integer compare instead
+/// of a three-field tuple walk, and the delta patch for a toggled dying
+/// tensor is a single wrapping add into the top field (the lower fields are
+/// untouched because the addend's low 80 bits are zero).
+fn greedy_schedule_packed(plan: &FootprintPlan, sim: &mut PlanSim<'_>) -> Vec<OpId> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    /// `cur_key` sentinel for "not ready": unreachable as a packed key
+    /// because the alloc field can never be all-ones under the size bound.
+    const NOT_READY: u128 = u128::MAX;
+
+    let n_ops = plan.ops();
+    let mut deps: Vec<u32> = plan.init_deps.clone();
+    let mut dying: Vec<bool> = (0..plan.tensors())
+        .map(|i| sim.refcount[i] == 1 && sim.live[i] && !plan.persistent[i])
+        .collect();
+    let mut ready: BinaryHeap<Reverse<u128>> = BinaryHeap::with_capacity(n_ops);
+    let mut cur_key: Vec<u128> = vec![NOT_READY; n_ops];
+    for op in 0..n_ops {
+        if deps[op] == 0 {
+            let k = pack_key(sim.delta(op), sim.alloc_bytes(op), op as u32);
+            ready.push(Reverse(k));
+            cur_key[op] = k;
+        }
+    }
+    let mut schedule = Vec::with_capacity(n_ops);
+
+    while let Some(Reverse(k)) = ready.pop() {
+        let op = (k & u32::MAX as u128) as usize;
+        if cur_key[op] != k {
+            continue; // stale entry superseded by a key refresh
+        }
+        cur_key[op] = NOT_READY;
+        sim.run(op);
+        schedule.push(OpId(op as u32));
+        for &t in plan.inputs(op).iter().chain(plan.outputs(op)) {
+            let ti = t as usize;
+            if plan.persistent[ti] {
                 continue;
             }
-            for &c in graph.consumers(t) {
-                let ci = c.index();
-                if let Some(old) = cur_key[ci] {
-                    let new = greedy_key(sim, c);
-                    if new != old {
-                        ready.remove(&old);
-                        ready.insert(new);
-                        cur_key[ci] = Some(new);
-                    }
+            let now = sim.refcount[ti] == 1 && sim.live[ti];
+            if now == dying[ti] {
+                continue;
+            }
+            dying[ti] = now;
+            let ds = if now {
+                -(sim.size[ti] as i128)
+            } else {
+                sim.size[ti] as i128
+            };
+            let patch = (ds << 80) as u128;
+            for &c in plan.consumers(ti) {
+                let ci = c as usize;
+                if cur_key[ci] != NOT_READY {
+                    let new = cur_key[ci].wrapping_add(patch);
+                    ready.push(Reverse(new));
+                    cur_key[ci] = new;
+                }
+            }
+        }
+        for &out in plan.outputs(op) {
+            for &c in plan.consumers(out as usize) {
+                let ci = c as usize;
+                deps[ci] -= 1;
+                if deps[ci] == 0 {
+                    let k = pack_key(sim.delta(ci), sim.alloc_bytes(ci), c);
+                    ready.push(Reverse(k));
+                    cur_key[ci] = k;
                 }
             }
         }
@@ -732,6 +1157,46 @@ mod tests {
         let reference = greedy_schedule_reference(&g, &mut sim);
         assert_eq!(fast.schedule, reference);
         assert_eq!(fast.peak_bytes, sim.peak);
+    }
+
+    #[test]
+    fn huge_sizes_fall_back_to_tuple_keys_and_match_reference() {
+        // Inflate every size by 2^30 so the table sums past the packed-key
+        // bound: the greedy pass must take the tuple-key path and still
+        // reproduce the reference schedule exactly.
+        let g = equivalence_graph();
+        let bind = Bindings::new().with("eq_b", 16.0);
+        let huge: Vec<u64> = tensor_sizes(&g, &bind)
+            .unwrap()
+            .iter()
+            .map(|s| s << 30)
+            .collect();
+        assert!(huge.iter().map(|&s| s as u128).sum::<u128>() >= 1 << 47);
+        let fast = footprint_with_sizes(&g, &huge, Scheduler::GreedyMinPeak, InPlacePolicy::Never);
+        let mut sim = Sim::with_sizes(&g, huge.clone(), InPlacePolicy::Never);
+        let reference = greedy_schedule_reference(&g, &mut sim);
+        assert_eq!(fast.schedule, reference);
+        assert_eq!(fast.peak_bytes, sim.peak);
+    }
+
+    #[test]
+    fn plan_reuse_matches_per_call_simulation() {
+        // One plan priced against several size tables must agree with the
+        // graph-walking reference at every point.
+        let g = equivalence_graph();
+        let plan = FootprintPlan::new(&g);
+        assert_eq!(plan.ops(), g.ops().len());
+        assert_eq!(plan.tensors(), g.tensors().len());
+        for b in [4.0, 16.0, 64.0] {
+            let bind = Bindings::new().with("eq_b", b);
+            let sizes = tensor_sizes(&g, &bind).unwrap();
+            let via_plan =
+                footprint_with_plan(&plan, &sizes, Scheduler::Best, InPlacePolicy::Never);
+            let direct = footprint_reference(&g, &bind, Scheduler::Best).unwrap();
+            assert_eq!(via_plan.peak_bytes, direct.peak_bytes);
+            assert_eq!(via_plan.schedule, direct.schedule);
+            assert_eq!(via_plan.persistent_bytes, direct.persistent_bytes);
+        }
     }
 
     #[test]

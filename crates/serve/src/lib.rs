@@ -404,6 +404,31 @@ fn register_external_series(state: &Arc<AppState>) {
         "Expression programs compiled for evaluation.",
         || symath::intern_stats().programs_compiled,
     );
+    r.counter_fn(
+        "frontier_symath_batch_programs_compiled_total",
+        "Batched register-VM programs compiled for grid evaluation.",
+        || symath::batch_stats().programs_compiled,
+    );
+    r.counter_fn(
+        "frontier_symath_batch_program_cache_hits_total",
+        "Batched register-VM program cache hits.",
+        || symath::batch_stats().program_cache_hits,
+    );
+    r.counter_fn(
+        "frontier_symath_batch_cse_reuses_total",
+        "Subexpressions shared across roots by batched program compilation.",
+        || symath::batch_stats().cse_reuses,
+    );
+    r.counter_fn(
+        "frontier_symath_batch_evals_total",
+        "Grid evaluations answered by the batched register VM.",
+        || symath::batch_stats().evals,
+    );
+    r.counter_fn(
+        "frontier_symath_batch_points_total",
+        "Grid points priced by the batched register VM.",
+        || symath::batch_stats().points,
+    );
 }
 
 /// RAII accounting for one request: increments `in_flight` on construction

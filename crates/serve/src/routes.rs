@@ -1087,6 +1087,7 @@ fn metrics_route(
     let lat = &m.latency;
     let engine = analysis::FamilyEngine::global();
     let interner = symath::intern_stats();
+    let batch = symath::batch_stats();
     let by_endpoint = m
         .endpoint_counts()
         .into_iter()
@@ -1175,7 +1176,19 @@ fn metrics_route(
                 .set("memo_misses", interner.memo_misses)
                 .set("memo_hit_rate", interner.memo_hit_rate())
                 .set("memo_entries", interner.memo_entries)
-                .set("programs_compiled", interner.programs_compiled),
+                .set("programs_compiled", interner.programs_compiled)
+                .set("batch_programs", interner.batch_programs),
+        )
+        .set(
+            "symath_batch",
+            Json::obj()
+                .set("programs_compiled", batch.programs_compiled)
+                .set("program_cache_hits", batch.program_cache_hits)
+                .set("instructions", batch.instructions)
+                .set("registers", batch.registers)
+                .set("cse_reuses", batch.cse_reuses)
+                .set("evals", batch.evals)
+                .set("points", batch.points),
         )
         .set(
             "flight",

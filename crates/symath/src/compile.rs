@@ -259,6 +259,28 @@ mod tests {
     }
 
     #[test]
+    fn min_max_branches_resolve_slots_in_first_encounter_order() {
+        // The canonical form is max(5, z)·min(a, z): `cmp_mm_z` is first
+        // encountered inside the `max` branch, `cmp_mm_a` only later inside
+        // `min`. Slot order must follow encounter order, not name order, and
+        // `cmp_mm_z` under both branches must share one slot — so an
+        // all-unbound eval names `cmp_mm_z` first, exactly like the tree walk.
+        let z = Expr::sym("cmp_mm_z");
+        let a = Expr::sym("cmp_mm_a");
+        let e = Expr::max(vec![z.clone(), Expr::int(5)]) * Expr::min(vec![a.clone(), z.clone()]);
+        let p = Program::compile(&e);
+        let names: Vec<String> = p.symbols().iter().map(|s| s.to_string()).collect();
+        assert_eq!(names, ["cmp_mm_z", "cmp_mm_a"]);
+        let tree_err = e.eval(&Bindings::new()).unwrap_err();
+        let prog_err = p.eval(&Bindings::new()).unwrap_err();
+        assert_eq!(tree_err, prog_err);
+        assert_eq!(prog_err.0.to_string(), "cmp_mm_z");
+        // With `cmp_mm_z` bound, the next slot in encounter order errors.
+        let half = Bindings::new().with("cmp_mm_z", 3.0);
+        assert_eq!(p.eval(&half).unwrap_err(), e.eval(&half).unwrap_err());
+    }
+
+    #[test]
     fn zero_expression_evaluates_to_zero() {
         let p = Program::compile(&Expr::zero());
         assert_eq!(p.eval(&Bindings::new()).unwrap(), 0.0);

@@ -32,6 +32,7 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
 
+use crate::batch::{BatchProgram, BATCH_CACHE_HITS, BATCH_PROGRAMS_COMPILED};
 use crate::compile::Program;
 use crate::eval::{Bindings, UnboundSymbol};
 use crate::expr::Expr;
@@ -58,6 +59,8 @@ pub struct InternStats {
     pub table_len: u64,
     /// Distinct expressions with a compiled evaluation program.
     pub programs_compiled: u64,
+    /// Distinct root sets with a compiled batch program.
+    pub batch_programs: u64,
     /// Entries across the add/mul/pow/bind operation memo tables.
     pub memo_entries: u64,
 }
@@ -93,6 +96,9 @@ struct Interner {
     ids: RwLock<HashMap<Arc<Expr>, u32>>,
     /// Lazily compiled stack program per id.
     programs: RwLock<HashMap<u32, Arc<Program>>>,
+    /// Lazily compiled batch program per root-id list (order-sensitive:
+    /// the list *is* the program's output layout).
+    batch_programs: RwLock<HashMap<Vec<u32>, Arc<BatchProgram>>>,
     add_memo: RwLock<HashMap<(u32, u32), u32>>,
     mul_memo: RwLock<HashMap<(u32, u32), u32>>,
     pow_memo: RwLock<HashMap<(u32, Rat), u32>>,
@@ -109,6 +115,7 @@ fn global() -> &'static Interner {
         exprs: RwLock::new(Vec::new()),
         ids: RwLock::new(HashMap::new()),
         programs: RwLock::new(HashMap::new()),
+        batch_programs: RwLock::new(HashMap::new()),
         add_memo: RwLock::new(HashMap::new()),
         mul_memo: RwLock::new(HashMap::new()),
         pow_memo: RwLock::new(HashMap::new()),
@@ -130,6 +137,7 @@ pub fn intern_stats() -> InternStats {
         memo_misses: it.memo_misses.load(Ordering::Relaxed),
         table_len: it.exprs.read().len() as u64,
         programs_compiled: it.programs.read().len() as u64,
+        batch_programs: it.batch_programs.read().len() as u64,
         memo_entries: (it.add_memo.read().len()
             + it.mul_memo.read().len()
             + it.pow_memo.read().len()
@@ -276,6 +284,30 @@ impl ExprId {
     }
 }
 
+/// The cached [`BatchProgram`] for a root-id list, compiled on first
+/// request. The key is the exact ordered list — it determines the program's
+/// per-root output layout — so a sweep that prices the same stats + element
+/// table compiles once and replays for every grid.
+pub fn batch_program(roots: &[ExprId]) -> Arc<BatchProgram> {
+    let it = global();
+    let key: Vec<u32> = roots.iter().map(|r| r.0).collect();
+    if let Some(p) = it.batch_programs.read().get(&key) {
+        BATCH_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(p);
+    }
+    // Compile outside the lock (same discipline as `memo_op`): concurrent
+    // misses may compile twice, but the programs are identical and the
+    // first insert wins.
+    let prog = Arc::new(BatchProgram::compile(roots));
+    let mut cache = it.batch_programs.write();
+    if let Some(p) = cache.get(&key) {
+        BATCH_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(p);
+    }
+    BATCH_PROGRAMS_COMPILED.fetch_add(1, Ordering::Relaxed);
+    Arc::clone(cache.entry(key).or_insert(prog))
+}
+
 /// Memo-cache lookup with the compute step outside any lock: concurrent
 /// misses may compute twice, but the results are identical canonical
 /// expressions and the first insert wins.
@@ -383,6 +415,19 @@ mod tests {
             e.interned().eval(&b).unwrap().to_bits(),
             e.eval(&b).unwrap().to_bits()
         );
+    }
+
+    #[test]
+    fn batch_program_is_cached_per_root_list() {
+        let a = (Expr::sym("in_bp") + Expr::int(1)).interned();
+        let b = (Expr::sym("in_bp") * Expr::int(2)).interned();
+        let p1 = batch_program(&[a, b]);
+        let p2 = batch_program(&[a, b]);
+        assert!(Arc::ptr_eq(&p1, &p2), "same root list must hit the cache");
+        // A different order is a different output layout → distinct program.
+        let p3 = batch_program(&[b, a]);
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        assert!(intern_stats().batch_programs >= 2);
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * [`ExprId`] — hash-consed expression handles: O(1) equality/hash/clone,
 //!   memoized `add`/`mul`/`pow`/`bind_all`, and compiled ([`Program`])
 //!   evaluation that is bit-identical to the tree walk.
+//! * [`BatchProgram`] — a set of roots compiled once into a register VM
+//!   that evaluates whole grids structure-of-arrays (see [`batch_program`]),
+//!   again bit-identical per point.
 //!
 //! # Example
 //!
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod batch;
 mod compile;
 mod display;
 mod eval;
@@ -42,9 +46,10 @@ mod intern;
 mod rat;
 mod symbol;
 
+pub use batch::{batch_stats, BatchError, BatchInstr, BatchProgram, BatchStats};
 pub use compile::{Instr, Program};
 pub use eval::{Bindings, UnboundSymbol};
 pub use expr::{Atom, Expr, Func};
-pub use intern::{intern_stats, ExprId, InternStats};
+pub use intern::{batch_program, intern_stats, ExprId, InternStats};
 pub use rat::Rat;
 pub use symbol::Symbol;

@@ -170,6 +170,8 @@ fn text_and_json_metrics_agree_on_shared_series() {
         "/v1/project?domain=speech",
         "/v1/healthz",
         "/v1/characterize?domain=klingon",
+        // A sweep drives the batched register VM, so its counters move.
+        "/v1/sweep?domain=charlm&lo=1000000&hi=8000000&points=3&subbatch=8",
     ] {
         let _ = get(addr, path);
     }
@@ -224,6 +226,12 @@ fn text_and_json_metrics_agree_on_shared_series() {
             "symath.programs_compiled",
         ),
         (
+            "frontier_symath_batch_programs_compiled_total",
+            "symath_batch.programs_compiled",
+        ),
+        ("frontier_symath_batch_evals_total", "symath_batch.evals"),
+        ("frontier_symath_batch_points_total", "symath_batch.points"),
+        (
             "frontier_engine_families_built_total",
             "engine.families_built",
         ),
@@ -250,9 +258,17 @@ fn text_and_json_metrics_agree_on_shared_series() {
         a.get("frontier_cache_capacity").copied(),
         j.path("cache.capacity").and_then(Json::as_f64)
     );
-    // And the cache series carry the expected traffic: one miss, one hit.
+    // And the cache series carry the expected traffic: one hit, three
+    // misses (first characterize, project, sweep).
     assert_eq!(j.path("cache.hits").and_then(Json::as_f64), Some(1.0));
-    assert_eq!(j.path("cache.misses").and_then(Json::as_f64), Some(2.0));
+    assert_eq!(j.path("cache.misses").and_then(Json::as_f64), Some(3.0));
+    // The sweep ran through the batched register VM: its three grid points
+    // were priced in (at least) one batched evaluation.
+    let batch_points = j
+        .path("symath_batch.points")
+        .and_then(Json::as_f64)
+        .expect("symath_batch.points in JSON");
+    assert!(batch_points >= 3.0, "batch VM priced {batch_points} points");
 }
 
 /// Sum the non-null stage entries of a `timings_us` object.
